@@ -1,0 +1,41 @@
+//! Throughput of the block-level engine: full §4.3-style runs (1200 s of
+//! swarm time plus drain) at small and large bundle sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use swarm_bt::{run, BtConfig};
+
+fn bench_bt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bt_engine");
+    group.sample_size(10);
+    group.bench_function("bt_K1_1200s", |b| {
+        b.iter_batched(
+            || BtConfig {
+                drain_ticks: 600,
+                ..BtConfig::paper_section_4_3(1, 7)
+            },
+            |cfg| run(&cfg),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bt_K4_1200s", |b| {
+        b.iter_batched(
+            || BtConfig {
+                drain_ticks: 600,
+                ..BtConfig::paper_section_4_3(4, 7)
+            },
+            |cfg| run(&cfg),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bt_K8_seedless_1500s", |b| {
+        b.iter_batched(
+            || BtConfig::paper_section_4_2(8, 7),
+            |cfg| run(&cfg),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bt);
+criterion_main!(benches);

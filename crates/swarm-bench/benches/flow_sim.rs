@@ -1,0 +1,52 @@
+//! Throughput of the flow-level discrete-event simulator: events per
+//! second across the regimes the Figure 6 sweeps run in.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use swarm_sim::{run, Patience, PublisherProcess, ServiceModel, SimConfig};
+
+fn cfg(k: u32, horizon: f64) -> SimConfig {
+    let kf = k as f64;
+    SimConfig {
+        lambda: kf / 60.0,
+        service: ServiceModel::Exponential { mean: 80.0 * kf },
+        publisher: PublisherProcess::SingleOnOff {
+            on_mean: 300.0,
+            off_mean: 900.0,
+            initially_on: true,
+        },
+        patience: Patience::Patient,
+        linger_mean: None,
+        coverage_threshold: 9,
+        horizon,
+        warmup: 0.0,
+        seed: 1,
+        record_timeline: false,
+    }
+}
+
+fn bench_flow_sim(c: &mut Criterion) {
+    c.bench_function("flow_sim_K1_10k_s", |b| {
+        b.iter_batched(|| cfg(1, 10_000.0), |c| run(&c), BatchSize::SmallInput)
+    });
+    c.bench_function("flow_sim_K4_10k_s", |b| {
+        b.iter_batched(|| cfg(4, 10_000.0), |c| run(&c), BatchSize::SmallInput)
+    });
+    c.bench_function("flow_sim_fluid_K4_10k_s", |b| {
+        b.iter_batched(
+            || SimConfig {
+                service: ServiceModel::Fluid {
+                    size: 16_000.0,
+                    peer_upload: 50.0,
+                    publisher_upload: 100.0,
+                    download_cap: 4_000.0,
+                },
+                ..cfg(4, 10_000.0)
+            },
+            |c| run(&c),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_flow_sim);
+criterion_main!(benches);

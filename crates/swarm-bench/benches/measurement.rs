@@ -1,0 +1,36 @@
+//! Throughput of the measurement pipeline: catalog generation and the
+//! agent-sampling loop behind Figure 1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use swarm_measurement::{availability_study, generate_catalog, CatalogConfig};
+
+fn bench_measurement(c: &mut Criterion) {
+    c.bench_function("generate_catalog_1pct", |b| {
+        b.iter(|| {
+            generate_catalog(&CatalogConfig {
+                scale: 0.01,
+                seed: 1,
+            })
+        })
+    });
+
+    let mut group = c.benchmark_group("availability_study");
+    group.sample_size(10);
+    group.bench_function("monitor_500_swarms_7mo", |b| {
+        let catalog = generate_catalog(&CatalogConfig {
+            scale: 0.0005,
+            seed: 2,
+        });
+        b.iter_batched(
+            || ChaCha8Rng::seed_from_u64(3),
+            |mut rng| availability_study(&catalog, 7, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measurement);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end model sweeps: the complete analytic curves behind Figures 3
+//! and 6(a) — what a user of the library pays to produce one figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swarm_core::bundling::{sweep, sweep_single_publisher};
+use swarm_core::params::{PublisherScaling, SwarmParams};
+
+fn bench_sweeps(c: &mut Criterion) {
+    let fig3 = SwarmParams {
+        lambda: 0.003,
+        size: 170.0,
+        mu: 1.0,
+        r: 1.0 / 900.0,
+        u: 105.0,
+    };
+    let ks: Vec<u32> = (1..=10).collect();
+    c.bench_function("fig3_one_curve_patient_sweep", |b| {
+        b.iter(|| sweep(&fig3, PublisherScaling::Fixed, &ks))
+    });
+
+    let fig6 = SwarmParams {
+        lambda: 1.0 / 60.0,
+        size: 4_000.0,
+        mu: 50.0,
+        r: 1.0 / 900.0,
+        u: 300.0,
+    };
+    let ks8: Vec<u32> = (1..=8).collect();
+    c.bench_function("fig6a_model_curve_eq16_sweep", |b| {
+        b.iter(|| sweep_single_publisher(&fig6, PublisherScaling::Fixed, 9, &ks8))
+    });
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

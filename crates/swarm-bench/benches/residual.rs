@@ -1,0 +1,28 @@
+//! Microbenchmarks of residual busy periods B(n,m) and the Poisson
+//! mixture B(m) — the eq. (13) evaluation behind every Figure 6 model
+//! curve and the §4.2 table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swarm_queue::residual::{poisson_mixture_residual, residual_busy_period};
+
+fn bench_residual(c: &mut Criterion) {
+    c.bench_function("residual_B(5,0)_small_load", |b| {
+        b.iter(|| residual_busy_period(black_box(5), black_box(1.0 / 150.0), black_box(121.2)))
+    });
+
+    c.bench_function("residual_B(40,0)_bundle_load", |b| {
+        // K = 7 bundle in the Figure 4 setting.
+        b.iter(|| residual_busy_period(black_box(40), black_box(7.0 / 150.0), black_box(848.4)))
+    });
+
+    c.bench_function("poisson_mixture_B(9)_K1", |b| {
+        b.iter(|| poisson_mixture_residual(black_box(9), black_box(1.0 / 60.0), black_box(80.0)))
+    });
+
+    c.bench_function("poisson_mixture_B(9)_K5", |b| {
+        b.iter(|| poisson_mixture_residual(black_box(9), black_box(5.0 / 60.0), black_box(400.0)))
+    });
+}
+
+criterion_group!(benches, bench_residual);
+criterion_main!(benches);

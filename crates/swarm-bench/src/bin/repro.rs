@@ -1,0 +1,59 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # show available experiment ids
+//! repro all [--quick]        # run everything (writes repro_out/)
+//! repro fig6a [--quick]      # run one experiment
+//! repro fig1 fig3 --quick    # run several
+//! ```
+//!
+//! Output goes to stdout and to `repro_out/<id>.{txt,json}`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use swarm_bench::{run_experiment, EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if ids.is_empty() || ids.iter().any(|a| a.as_str() == "help") {
+        eprintln!("usage: repro <list|all|EXPERIMENT...> [--quick]");
+        eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+        return ExitCode::from(2);
+    }
+    if ids.len() == 1 && ids[0] == "list" {
+        for id in EXPERIMENTS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&str> = if ids.len() == 1 && ids[0] == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        let mut v = Vec::new();
+        for id in &ids {
+            if !EXPERIMENTS.contains(&id.as_str()) {
+                eprintln!("unknown experiment: {id}");
+                eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+                return ExitCode::from(2);
+            }
+            v.push(id.as_str());
+        }
+        v
+    };
+
+    let out_dir = PathBuf::from("repro_out");
+    for id in selected {
+        let start = std::time::Instant::now();
+        let report = run_experiment(id, quick).expect("validated id");
+        println!("{}", report.text);
+        if let Err(e) = report.save(&out_dir) {
+            eprintln!("warning: failed to save {id}: {e}");
+        }
+        eprintln!("[{id} finished in {:.1} s]", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,70 @@
+//! E1 — Figure 1: CDF of seed availability across the monitored swarms.
+
+use crate::output::Report;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use swarm_measurement::{availability_study, generate_catalog, CatalogConfig};
+use swarm_stats::ascii::{line_chart, Series};
+
+/// Regenerate Figure 1. `quick` shrinks the catalog.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new("fig1", "CDF of seed availability (paper Figure 1)");
+    let scale = if quick { 0.002 } else { 0.01 };
+    let months = 7;
+    let catalog = generate_catalog(&CatalogConfig { scale, seed: 1001 });
+    let mut rng = ChaCha8Rng::seed_from_u64(1002);
+    let study = availability_study(&catalog, months, &mut rng);
+
+    let first: Vec<(f64, f64)> = study.first_month.curve(0.0, 1.0, 41);
+    let whole: Vec<(f64, f64)> = study.whole_trace.curve(0.0, 1.0, 41);
+    report.block(line_chart(
+        "CDF of per-swarm seed availability (x: availability, y: fraction of swarms)",
+        &[
+            Series::new("first month after creation", first.clone()),
+            Series::new(format!("entire {months}-month trace"), whole.clone()),
+        ],
+        64,
+        18,
+    ));
+    let always = study.always_available_first_month();
+    let mostly_off = study.mostly_unavailable_whole_trace(0.2);
+    report.line(format!(
+        "swarms monitored: {} | always available in first month: {:.1}% (paper: <35%)",
+        catalog.len(),
+        always * 100.0
+    ));
+    report.line(format!(
+        "unavailable >=80% of the whole trace: {:.1}% (paper: ~80%)",
+        mostly_off * 100.0
+    ));
+
+    report.set_data(json!({
+        "swarms": catalog.len(),
+        "months": months,
+        "always_available_first_month": always,
+        "mostly_unavailable_whole_trace": mostly_off,
+        "first_month_cdf": first,
+        "whole_trace_cdf": whole,
+        "paper": {
+            "always_available_first_month": "< 0.35",
+            "mostly_unavailable_whole_trace": "~ 0.80",
+        },
+    }));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_shape() {
+        let r = run(true);
+        let always = r.data["always_available_first_month"].as_f64().unwrap();
+        let mostly = r.data["mostly_unavailable_whole_trace"].as_f64().unwrap();
+        assert!(always < 0.45, "always available {always}");
+        assert!(mostly > 0.5, "mostly unavailable {mostly}");
+        assert!(r.text.contains("CDF"));
+    }
+}

@@ -1,0 +1,136 @@
+//! E6 — Figure 4 and the §4.2 B(m) table: availability of seedless swarms.
+//!
+//! A publisher seeds the swarm until the first peer completes, then never
+//! returns. For small bundles only a handful of additional peers finish
+//! before pieces go extinct; for large bundles the swarm becomes
+//! self-sustaining and completions keep accumulating linearly. The §4.2
+//! companion table evaluates the model's expected residual busy period
+//! B(m) (eq. 13) with m = 9 for K = 1..8.
+
+use crate::output::{table2, Report};
+use serde_json::json;
+use swarm_bt::{run as bt_run, BtConfig};
+use swarm_core::params::{PublisherScaling, SwarmParams};
+use swarm_core::threshold;
+use swarm_stats::ascii::{line_chart, Series};
+
+/// §4.2 model parameters: λ = 1/150 peers/s, s = 4 MB, μ = 33 kB/s.
+pub fn fig4_params() -> SwarmParams {
+    SwarmParams {
+        lambda: 1.0 / 150.0,
+        size: 4_000.0,
+        mu: 33.0,
+        r: 1.0 / 900.0, // irrelevant to B(m); required positive
+        u: 300.0,
+    }
+}
+
+/// Regenerate Figure 4 (block-level simulation).
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new(
+        "fig4",
+        "Availability of seedless swarms vs bundle size (paper Figure 4)",
+    );
+    let ks: [u32; 6] = [1, 2, 4, 6, 8, 10];
+    let reps = if quick { 2 } else { 6 };
+    let mut series = Vec::new();
+    let mut data = Vec::new();
+    for &k in &ks {
+        // Average the cumulative-completions curve over replications.
+        let mut avg_curve = [0.0f64; 16];
+        let mut last_avail = 0.0;
+        for rep in 0..reps {
+            let cfg = BtConfig {
+                record_timeline: false,
+                ..BtConfig::paper_section_4_2(k, 4000 + rep)
+            };
+            let r = bt_run(&cfg);
+            for (i, slot) in avg_curve.iter_mut().enumerate() {
+                let t = (i as u64 + 1) * 100; // 100 s bins up to 1500 s
+                *slot += r.completions_between(0, t.min(1_500)) as f64 / reps as f64;
+            }
+            last_avail += r.last_available_tick.unwrap_or(0) as f64 / reps as f64;
+        }
+        let curve: Vec<(f64, f64)> = (0..15)
+            .map(|i| (((i + 1) * 100) as f64, avg_curve[i]))
+            .collect();
+        series.push(Series::new(format!("K={k}"), curve.clone()));
+        report.line(format!(
+            "K={k:>2}: {:.1} peers served by t=1500 s; last fully-available tick ≈ {last_avail:.0}",
+            curve.last().unwrap().1
+        ));
+        data.push(json!({ "k": k, "curve": curve, "last_available": last_avail }));
+    }
+    report.block(line_chart(
+        "peers served (cumulative) vs time (s), publisher leaves after first completion",
+        &series,
+        64,
+        18,
+    ));
+    report.line("paper: K=1,2,4 stall soon after the publisher leaves; K=6,8,10 grow linearly.");
+    report.set_data(json!({ "curves": data }));
+    report
+}
+
+/// Regenerate the §4.2 B(m) table (model, eq. 13).
+pub fn bm_table(_quick: bool) -> Report {
+    let mut report = Report::new(
+        "table-bm",
+        "Residual busy periods B(m), m = 9 (paper §4.2 values)",
+    );
+    let paper = [0.0, 0.0, 47.0, 569.0, 2_816.0, 8_835.0, 256_446.0, 75_276.0];
+    let base = fig4_params();
+    let mut rows = Vec::new();
+    let mut values = Vec::new();
+    for k in 1..=8u32 {
+        let b = base.bundle(k, PublisherScaling::Fixed);
+        let bm = threshold::residual_busy_period(&b, 9);
+        rows.push((
+            format!("K={k}"),
+            format!("B(9) = {:>12.0} s   (paper: {:>7.0})", bm, paper[k as usize - 1]),
+        ));
+        values.push(bm);
+    }
+    report.block(table2(("bundle", "residual busy period"), &rows));
+    report.line(
+        "note: the paper's K=7 value (256,446) exceeds its K=8 value (75,276); \
+         eq. (13) is monotone in K, so we report the monotone series and flag \
+         the paper's non-monotonicity as a likely numerical artifact.",
+    );
+    report.set_data(json!({ "m": 9, "bm": values, "paper": paper }));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_large_bundles_serve_more_late_peers() {
+        let r = run(true);
+        let curves = r.data["curves"].as_array().unwrap();
+        let total = |idx: usize| -> f64 {
+            let c: Vec<(f64, f64)> =
+                serde_json::from_value(curves[idx]["curve"].clone()).unwrap();
+            c.last().unwrap().1
+        };
+        // K=8 (index 4) must both serve more peers and stay available
+        // longer than K=1 (index 0).
+        assert!(total(4) > total(0), "K=8 {} vs K=1 {}", total(4), total(0));
+        let la = |idx: usize| curves[idx]["last_available"].as_f64().unwrap();
+        assert!(la(4) > la(0) + 300.0, "availability: {} vs {}", la(4), la(0));
+    }
+
+    #[test]
+    fn bm_table_matches_paper_transition() {
+        let r = bm_table(true);
+        let bm: Vec<f64> = serde_json::from_value(r.data["bm"].clone()).unwrap();
+        // Paper: B(9) ≈ 0 for K=1,2; crosses the 1500 s experiment horizon
+        // by K ≈ 5-6 (self-sustaining swarms).
+        assert!(bm[0] < 1.0 && bm[1] < 5.0, "K=1,2 must be ~0: {:?}", &bm[..2]);
+        assert!(bm[5] > 1_500.0, "K=6 must exceed the horizon: {}", bm[5]);
+        // Monotone in K (the paper's non-monotone K=7/8 values are flagged
+        // as an artifact).
+        assert!(bm.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,64 @@
+//! E11 — Figure 7: typical arrival patterns of new and old swarms.
+
+use crate::output::Report;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use swarm_measurement::popularity::{daily_cv, new_swarm_rate, old_swarm_rate, sample_trace};
+use swarm_stats::ascii::{line_chart, Series};
+
+/// Regenerate Figure 7.
+pub fn run(_quick: bool) -> Report {
+    let mut report = Report::new(
+        "fig7",
+        "Typical peer arrival patterns of short- and long-lived swarms (paper Figure 7)",
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(7001);
+    let new = sample_trace(|t| new_swarm_rate(180.0, t), 180.0, 30, &mut rng);
+    let old = sample_trace(|t| old_swarm_rate(35.0, t), 35.0, 30, &mut rng);
+
+    let new_pts: Vec<(f64, f64)> = new.daily.iter().map(|&(d, c)| (d, c as f64)).collect();
+    let old_pts: Vec<(f64, f64)> = old.daily.iter().map(|&(d, c)| (d, c as f64)).collect();
+    report.block(line_chart(
+        "arrivals/day vs day",
+        &[
+            Series::new("new swarm (first month)", new_pts.clone()),
+            Series::new("old swarm (2 years after creation)", old_pts.clone()),
+        ],
+        64,
+        16,
+    ));
+    let (cv_new, cv_old) = (daily_cv(&new), daily_cv(&old));
+    report.line(format!(
+        "coefficient of variation of daily arrivals: new {cv_new:.2}, old {cv_old:.2} \
+         (paper: old swarms show much less variation)"
+    ));
+    report.set_data(json!({
+        "new": new_pts, "old": old_pts,
+        "cv_new": cv_new, "cv_old": cv_old,
+        "total_new": new.total, "total_old": old.total,
+    }));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_new_swarms_vary_more() {
+        let r = run(true);
+        let cv_new = r.data["cv_new"].as_f64().unwrap();
+        let cv_old = r.data["cv_old"].as_f64().unwrap();
+        assert!(cv_new > 2.0 * cv_old, "cv_new {cv_new} vs cv_old {cv_old}");
+    }
+
+    #[test]
+    fn fig7_new_swarm_wave_decays() {
+        let r = run(true);
+        let new: Vec<(f64, f64)> = serde_json::from_value(r.data["new"].clone()).unwrap();
+        let first_week: f64 = new[..7].iter().map(|p| p.1).sum();
+        let last_week: f64 = new[23..].iter().map(|p| p.1).sum();
+        assert!(first_week > 3.0 * last_week.max(1.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Experiment report plumbing: every reproduction produces a [`Report`]
+//! with human-readable text (including ASCII renderings of the figures)
+//! and machine-readable JSON, written under `repro_out/`.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One experiment's output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `fig4`, `table-bundling`, `ablation-zipf`).
+    pub id: String,
+    /// Human-readable title (paper artifact it regenerates).
+    pub title: String,
+    /// Rendered text (tables, ASCII charts, commentary).
+    pub text: String,
+    /// Structured results for downstream tooling and tests.
+    pub data: Value,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str) -> Self {
+        let mut text = String::new();
+        let _ = writeln!(text, "==== {id}: {title} ====");
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            text,
+            data: Value::Null,
+        }
+    }
+
+    /// Append a text line.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.text.push_str(s.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Append a pre-rendered block (charts).
+    pub fn block(&mut self, s: impl AsRef<str>) {
+        self.text.push_str(s.as_ref());
+        if !s.as_ref().ends_with('\n') {
+            self.text.push('\n');
+        }
+    }
+
+    /// Attach the structured payload.
+    pub fn set_data(&mut self, data: Value) {
+        self.data = data;
+    }
+
+    /// Write `<id>.txt` and `<id>.json` into `dir` (created if missing).
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.txt", self.id)), &self.text)?;
+        let json = serde_json::to_string_pretty(&self.data).expect("serializable data");
+        std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        Ok(())
+    }
+}
+
+/// Format a two-column numeric table.
+pub fn table2(header: (&str, &str), rows: &[(String, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>16} | {}", header.0, header.1);
+    let _ = writeln!(out, "{:->16}-+-{:-<24}", "", "");
+    for (a, b) in rows {
+        let _ = writeln!(out, "{a:>16} | {b}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_text() {
+        let mut r = Report::new("x", "t");
+        r.line("hello");
+        r.block("block\n");
+        assert!(r.text.contains("==== x: t ===="));
+        assert!(r.text.contains("hello\n"));
+        assert!(r.text.contains("block\n"));
+    }
+
+    #[test]
+    fn report_saves_files() {
+        let dir = std::env::temp_dir().join("swarmsys-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = Report::new("demo", "demo");
+        r.set_data(serde_json::json!({"k": 1}));
+        r.save(&dir).unwrap();
+        assert!(dir.join("demo.txt").exists());
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("demo.json")).unwrap())
+                .unwrap();
+        assert_eq!(json["k"], 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let t = table2(
+            ("K", "E[T]"),
+            &[("1".into(), "100".into()), ("2".into(), "90".into())],
+        );
+        assert!(t.contains('K'));
+        assert!(t.lines().count() == 4);
+    }
+}

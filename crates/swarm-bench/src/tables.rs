@@ -1,0 +1,177 @@
+//! E2/E3 — the §2.3 tables: extent of bundling, book availability
+//! contrast, and the "Friends" case study.
+
+use crate::output::{table2, Report};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use swarm_measurement::{
+    book_stats, bundling_extent, generate_catalog, show_case_study, CatalogConfig, Category,
+};
+
+/// E2 — §2.3.1: extent of bundling per category.
+pub fn bundling_table(quick: bool) -> Report {
+    let mut report = Report::new("table-bundling", "Extent of bundling (paper §2.3.1)");
+    let scale = if quick { 0.005 } else { 0.02 };
+    let catalog = generate_catalog(&CatalogConfig { scale, seed: 2001 });
+
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    // Paper reference fractions for the three classified categories.
+    let paper = [
+        (Category::Music, 193_491.0 / 267_117.0),
+        (Category::Tv, 25_990.0 / 164_930.0),
+        (Category::Books, 7_111.0 / 66_387.0),
+    ];
+    for (cat, paper_frac) in paper {
+        let ext = bundling_extent(&catalog, cat);
+        rows.push((
+            format!("{cat:?}"),
+            format!(
+                "{}/{} bundles ({:.1}%; paper {:.1}%){}",
+                ext.bundles,
+                ext.total,
+                ext.bundle_fraction() * 100.0,
+                paper_frac * 100.0,
+                if cat == Category::Books {
+                    format!(", {} collections", ext.collections)
+                } else {
+                    String::new()
+                }
+            ),
+        ));
+        data.push(json!({
+            "category": format!("{cat:?}"),
+            "total": ext.total,
+            "bundles": ext.bundles,
+            "collections": ext.collections,
+            "fraction": ext.bundle_fraction(),
+            "paper_fraction": paper_frac,
+        }));
+    }
+    report.block(table2(("category", "bundling"), &rows));
+    report.set_data(json!({ "categories": data, "catalog_size": catalog.len() }));
+    report
+}
+
+/// E3a — §2.3.2: book swarms vs collections.
+pub fn books_table(quick: bool) -> Report {
+    let mut report = Report::new(
+        "table-books",
+        "Bundled content is more available: books (paper §2.3.2)",
+    );
+    let scale = if quick { 0.01 } else { 0.04 };
+    let catalog = generate_catalog(&CatalogConfig { scale, seed: 2003 });
+    let mut rng = ChaCha8Rng::seed_from_u64(2004);
+    let stats = book_stats(&catalog, &mut rng);
+
+    report.block(table2(
+        ("metric", "value (paper)"),
+        &[
+            (
+                "no seed, all".into(),
+                format!("{:.0}% (62%)", stats.unavailable_all * 100.0),
+            ),
+            (
+                "no seed, colls".into(),
+                format!("{:.0}% (36%)", stats.unavailable_collections * 100.0),
+            ),
+            (
+                "effective".into(),
+                format!(
+                    "{:.0}% (25%, after super-collection folding)",
+                    stats.unavailable_collections_effective * 100.0
+                ),
+            ),
+            (
+                "downloads".into(),
+                format!(
+                    "typical {:.0} vs collections {:.0} (paper 2,578 vs 4,216)",
+                    stats.downloads_typical, stats.downloads_collections
+                ),
+            ),
+        ],
+    ));
+    report.set_data(serde_json::to_value(stats).expect("serializable"));
+    report
+}
+
+/// E3b — §2.3.2: the "Friends" case study.
+pub fn friends_table(_quick: bool) -> Report {
+    let mut report = Report::new(
+        "table-friends",
+        "Bundled content is more available: the \"Friends\" swarms (paper §2.3.2)",
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(2005);
+    // Paper: 52 swarms, 28 bundles (21 + 7); 23 available of which 21
+    // bundles. Bundle share 28/52.
+    let s = show_case_study(52, 28.0 / 52.0, &mut rng);
+    report.block(table2(
+        ("metric", "value (paper)"),
+        &[
+            ("total swarms".into(), format!("{} (52)", s.total)),
+            ("available".into(), format!("{} (23)", s.available)),
+            (
+                "avail. bundles".into(),
+                format!("{} (21)", s.available_bundles),
+            ),
+            (
+                "unavail. bundles".into(),
+                format!("{} (7)", s.unavailable_bundles),
+            ),
+        ],
+    ));
+    report.set_data(serde_json::to_value(s).expect("serializable"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundling_fractions_close_to_paper() {
+        let r = bundling_table(true);
+        for cat in r.data["categories"].as_array().unwrap() {
+            let got = cat["fraction"].as_f64().unwrap();
+            let want = cat["paper_fraction"].as_f64().unwrap();
+            assert!(
+                (got - want).abs() < 0.06,
+                "{}: {got} vs paper {want}",
+                cat["category"]
+            );
+        }
+    }
+
+    #[test]
+    fn books_contrast_direction() {
+        let r = books_table(true);
+        let all = r.data["unavailable_all"].as_f64().unwrap();
+        let coll = r.data["unavailable_collections"].as_f64().unwrap();
+        let eff = r.data["unavailable_collections_effective"].as_f64().unwrap();
+        assert!(all > coll, "collections more available: {all} vs {coll}");
+        assert!(eff <= coll);
+        assert!(
+            r.data["downloads_collections"].as_f64().unwrap()
+                > r.data["downloads_typical"].as_f64().unwrap()
+        );
+    }
+
+    #[test]
+    fn friends_bundles_dominate_available() {
+        let r = friends_table(true);
+        let available = r.data["available"].as_u64().unwrap();
+        let avail_bundles = r.data["available_bundles"].as_u64().unwrap();
+        let total = r.data["total"].as_u64().unwrap();
+        let unavail_bundles = r.data["unavailable_bundles"].as_u64().unwrap();
+        assert_eq!(total, 52);
+        // Bundle share among available must exceed share among unavailable.
+        let unavailable = total - available;
+        let f_avail = avail_bundles as f64 / available.max(1) as f64;
+        let f_unavail = unavail_bundles as f64 / unavailable.max(1) as f64;
+        assert!(
+            f_avail > f_unavail,
+            "available {f_avail} vs unavailable {f_unavail}"
+        );
+    }
+}

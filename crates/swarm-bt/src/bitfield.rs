@@ -1,0 +1,195 @@
+//! Piece bitfields.
+//!
+//! BitTorrent peers advertise the pieces they hold as a bitmap; the
+//! paper's monitoring agents classify seeds vs leechers from exactly these
+//! bitmaps (§2.2). The engine uses them for piece accounting, rarest-first
+//! counting and availability checks.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size bitmap over content pieces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitfield {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Bitfield {
+    /// All-zero bitfield over `len` pieces.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "content must have at least one piece");
+        Bitfield {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one bitfield (a seed's bitmap).
+    pub fn full(len: usize) -> Self {
+        let mut b = Self::new(len);
+        for i in 0..len {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Number of pieces the bitfield ranges over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitfield covers zero pieces — impossible by
+    /// construction, kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn index(&self, piece: usize) -> (usize, u64) {
+        assert!(piece < self.len, "piece {piece} out of range 0..{}", self.len);
+        (piece / 64, 1u64 << (piece % 64))
+    }
+
+    /// Does the peer hold `piece`?
+    #[inline]
+    pub fn has(&self, piece: usize) -> bool {
+        let (w, m) = self.index(piece);
+        self.bits[w] & m != 0
+    }
+
+    /// Mark `piece` as held.
+    #[inline]
+    pub fn set(&mut self, piece: usize) {
+        let (w, m) = self.index(piece);
+        self.bits[w] |= m;
+    }
+
+    /// Number of pieces held.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Does this bitfield hold every piece (i.e. is the peer a seed)?
+    pub fn is_complete(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// Union in-place: pieces held by `self` or `other`.
+    ///
+    /// # Panics
+    /// If lengths differ.
+    pub fn union_with(&mut self, other: &Bitfield) {
+        assert_eq!(self.len, other.len, "bitfield length mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate over pieces that `other` holds and `self` lacks (the pieces
+    /// `self` is *interested* in when talking to `other`).
+    pub fn missing_from<'a>(&'a self, other: &'a Bitfield) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.len, other.len, "bitfield length mismatch");
+        (0..self.len).filter(move |&i| other.has(i) && !self.has(i))
+    }
+
+    /// Is `self` interested in `other` (does `other` hold any piece `self`
+    /// lacks)? Cheap word-wise check.
+    pub fn interested_in(&self, other: &Bitfield) -> bool {
+        assert_eq!(self.len, other.len, "bitfield length mismatch");
+        self.bits.iter().zip(&other.bits).any(|(a, b)| !a & b != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty_full_is_complete() {
+        let b = Bitfield::new(100);
+        assert_eq!(b.count(), 0);
+        assert!(!b.is_complete());
+        let f = Bitfield::full(100);
+        assert_eq!(f.count(), 100);
+        assert!(f.is_complete());
+    }
+
+    #[test]
+    fn set_and_has() {
+        let mut b = Bitfield::new(130);
+        assert!(!b.has(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.has(0) && b.has(63) && b.has(64) && b.has(129));
+        assert!(!b.has(1) && !b.has(128));
+        assert_eq!(b.count(), 4);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut b = Bitfield::new(8);
+        b.set(3);
+        b.set(3);
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn has_out_of_range_panics() {
+        Bitfield::new(10).has(10);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let mut a = Bitfield::new(10);
+        a.set(1);
+        let mut b = Bitfield::new(10);
+        b.set(7);
+        a.union_with(&b);
+        assert!(a.has(1) && a.has(7));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn missing_from_lists_interesting_pieces() {
+        let mut me = Bitfield::new(6);
+        me.set(0);
+        me.set(1);
+        let mut them = Bitfield::new(6);
+        them.set(1);
+        them.set(2);
+        them.set(5);
+        let missing: Vec<usize> = me.missing_from(&them).collect();
+        assert_eq!(missing, vec![2, 5]);
+    }
+
+    #[test]
+    fn interest_matches_missing_from() {
+        let mut me = Bitfield::new(70);
+        let mut them = Bitfield::new(70);
+        assert!(!me.interested_in(&them));
+        them.set(65);
+        assert!(me.interested_in(&them));
+        me.set(65);
+        assert!(!me.interested_in(&them));
+        assert_eq!(me.missing_from(&them).count(), 0);
+    }
+
+    #[test]
+    fn seed_is_never_interested() {
+        let seed = Bitfield::full(40);
+        let mut leecher = Bitfield::new(40);
+        leecher.set(3);
+        assert!(!seed.interested_in(&leecher));
+        assert!(leecher.interested_in(&seed));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_rejects_length_mismatch() {
+        let mut a = Bitfield::new(10);
+        a.union_with(&Bitfield::new(11));
+    }
+}

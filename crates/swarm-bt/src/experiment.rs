@@ -1,0 +1,121 @@
+//! Replicated block-level experiments.
+//!
+//! The paper's §4.3 experiments run "10 runs of 1200 s each" per bundle
+//! size; this module parallelizes replications and aggregates download
+//! times across runs.
+
+use crate::config::BtConfig;
+use crate::engine::run;
+use crate::metrics::BtResult;
+use swarm_stats::{BoxPlot, Samples};
+
+/// Aggregate of independent replications of one configuration.
+#[derive(Debug, Clone)]
+pub struct BtReplicated {
+    /// Download times pooled across runs.
+    pub download_times: Samples,
+    /// Mean availability across runs.
+    pub availability: f64,
+    /// Per-run results (timeline and curve inspection).
+    pub runs: Vec<BtResult>,
+}
+
+impl BtReplicated {
+    /// Pooled mean download time.
+    pub fn mean_download_time(&self) -> f64 {
+        self.download_times.mean()
+    }
+
+    /// Pooled box plot (quartiles and 5/95 percentiles, Figure 6(c)).
+    pub fn box_plot(&mut self) -> BoxPlot {
+        self.download_times.box_plot()
+    }
+}
+
+/// Run `n` replications (seeds `seed..seed+n`) on up to `threads` threads.
+pub fn replicate(cfg: &BtConfig, n: usize, threads: usize) -> BtReplicated {
+    assert!(n >= 1, "need at least one replication");
+    assert!(threads >= 1, "need at least one thread");
+    cfg.validate();
+
+    let results: Vec<BtResult> = if threads == 1 || n == 1 {
+        (0..n)
+            .map(|i| {
+                run(&BtConfig {
+                    seed: cfg.seed.wrapping_add(i as u64),
+                    ..cfg.clone()
+                })
+            })
+            .collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<BtResult>> = (0..n).map(|_| None).collect();
+        crossbeam::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, BtResult)>();
+            for _ in 0..threads.min(n) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = run(&BtConfig {
+                        seed: cfg.seed.wrapping_add(i as u64),
+                        ..cfg.clone()
+                    });
+                    tx.send((i, r)).expect("collector alive");
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+        })
+        .expect("replication workers must not panic");
+        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    };
+
+    let mut download_times = Samples::new();
+    let mut availability = 0.0;
+    for r in &results {
+        download_times.extend_from(&r.download_times);
+        availability += r.availability;
+    }
+    availability /= results.len() as f64;
+    BtReplicated {
+        download_times,
+        availability,
+        runs: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BtPublisher;
+
+    fn cfg() -> BtConfig {
+        BtConfig {
+            horizon: 600,
+            publisher: BtPublisher::AlwaysOn,
+            ..BtConfig::paper_section_4_3(1, 41)
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let s = replicate(&cfg(), 3, 1);
+        let p = replicate(&cfg(), 3, 3);
+        assert_eq!(s.download_times.values(), p.download_times.values());
+        assert_eq!(s.availability, p.availability);
+    }
+
+    #[test]
+    fn pools_across_runs() {
+        let one = replicate(&cfg(), 1, 1);
+        let four = replicate(&cfg(), 4, 2);
+        assert!(four.download_times.len() > one.download_times.len());
+        assert_eq!(four.runs.len(), 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! Block-level BitTorrent-like swarm engine.
+//!
+//! The paper validates its availability model with the mainline
+//! BitTorrent client on PlanetLab (§4). This crate is that testbed's
+//! stand-in: a compact but faithful block-level swarm simulation with
+//! pieces and bitfields, tracker + PEX neighbor discovery, tit-for-tat
+//! unchoking with optimistic slots, strict-priority + rarest-first piece
+//! selection, per-second capacity sharing, intermittent publishers and
+//! heterogeneous (BitTyrant-like) upload capacities.
+//!
+//! Unlike the flow-level [`swarm_sim`](../swarm_sim/index.html) crate —
+//! which implements the *model's* abstraction — this engine exhibits the
+//! protocol-level phenomena the experiments depend on:
+//!
+//! * **blocked leechers**: peers stuck at 99% because the only copy of a
+//!   piece left with the publisher,
+//! * **flash departures** (Figure 5): blocked peers all finishing moments
+//!   after the publisher returns,
+//! * **the self-sustaining transition** (Figure 4): bundles large enough
+//!   that the peer population alone covers every piece indefinitely.
+//!
+//! # Example
+//!
+//! ```
+//! use swarm_bt::{run, BtConfig};
+//!
+//! // A 4-file bundle with the paper's §4.3 parameters, 1200 s run.
+//! let result = run(&BtConfig::paper_section_4_3(4, 42));
+//! assert!(result.arrivals > 0);
+//! ```
+
+pub mod bitfield;
+pub mod capacity;
+pub mod config;
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+
+pub use bitfield::Bitfield;
+pub use capacity::CapacityDistribution;
+pub use config::{BtConfig, BtPublisher};
+pub use engine::run;
+pub use experiment::{replicate, BtReplicated};
+pub use metrics::{BtResult, PeerSpan};

@@ -1,0 +1,107 @@
+//! Property-based tests for the block-level engine's data structures and
+//! end-to-end invariants.
+
+use proptest::prelude::*;
+use swarm_bt::{run, Bitfield, BtConfig, BtPublisher, CapacityDistribution};
+
+proptest! {
+    #[test]
+    fn bitfield_set_membership(len in 1usize..500, picks in prop::collection::vec(0usize..500, 0..50)) {
+        let mut b = Bitfield::new(len);
+        let mut expected = std::collections::HashSet::new();
+        for p in picks {
+            let p = p % len;
+            b.set(p);
+            expected.insert(p);
+        }
+        prop_assert_eq!(b.count(), expected.len());
+        for i in 0..len {
+            prop_assert_eq!(b.has(i), expected.contains(&i));
+        }
+        prop_assert_eq!(b.is_complete(), expected.len() == len);
+    }
+
+    #[test]
+    fn bitfield_union_is_commutative_and_covers(
+        len in 1usize..300,
+        xs in prop::collection::vec(0usize..300, 0..40),
+        ys in prop::collection::vec(0usize..300, 0..40),
+    ) {
+        let mut a = Bitfield::new(len);
+        let mut b = Bitfield::new(len);
+        for x in &xs { a.set(x % len); }
+        for y in &ys { b.set(y % len); }
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba);
+        for i in 0..len {
+            prop_assert_eq!(ab.has(i), a.has(i) || b.has(i));
+        }
+    }
+
+    #[test]
+    fn interest_iff_missing_nonempty(
+        len in 1usize..200,
+        xs in prop::collection::vec(0usize..200, 0..30),
+        ys in prop::collection::vec(0usize..200, 0..30),
+    ) {
+        let mut me = Bitfield::new(len);
+        let mut them = Bitfield::new(len);
+        for x in &xs { me.set(x % len); }
+        for y in &ys { them.set(y % len); }
+        let missing = me.missing_from(&them).count();
+        prop_assert_eq!(me.interested_in(&them), missing > 0);
+    }
+
+    #[test]
+    fn capacity_samples_within_support(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let d = CapacityDistribution::BitTyrant;
+        for _ in 0..50 {
+            let v = d.sample(&mut rng);
+            prop_assert!((12.0..=5_000.0).contains(&v), "sample {v}");
+        }
+    }
+}
+
+proptest! {
+    // End-to-end engine runs are costly; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn engine_accounting_invariants(k in 1u32..4, seed in 0u64..100) {
+        let cfg = BtConfig {
+            publisher: BtPublisher::AlwaysOn,
+            horizon: 600,
+            drain_ticks: 300,
+            record_timeline: true,
+            ..BtConfig::paper_section_4_3(k, seed)
+        };
+        let r = run(&cfg);
+        // Conservation: everyone who arrived either completed, is still
+        // in flight, or departed incomplete (impossible here: peers only
+        // leave on completion when not lingering).
+        prop_assert!(r.completions <= r.arrivals);
+        prop_assert!((0.0..=1.0).contains(&r.availability));
+        // Download times are physically possible: at least size/download_cap.
+        let floor = cfg.content_size() / cfg.download_cap;
+        for &t in r.download_times.values() {
+            prop_assert!(t >= floor - 1e-9, "download {t} below physical floor {floor}");
+        }
+        // Completion curve is strictly increasing in count.
+        prop_assert!(r.completion_curve.windows(2).all(|w| w[0].1 < w[1].1));
+        // Spans are consistent.
+        for s in &r.spans {
+            if let Some(c) = s.completed {
+                prop_assert!(c >= s.arrived);
+                prop_assert!((s.final_fraction - 1.0).abs() < 1e-9);
+            }
+            if let (Some(c), Some(d)) = (s.completed, s.departed) {
+                prop_assert!(d >= c);
+            }
+        }
+    }
+}

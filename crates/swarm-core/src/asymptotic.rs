@@ -1,0 +1,124 @@
+//! Empirical verification of the paper's e^Θ(K²) asymptotics.
+//!
+//! Lemma 3.1 and Theorem 3.1 claim `ln E[B]`, `ln E[N]` and `−ln P` all
+//! grow as Θ(K²) under bundling. The test suites and ablation benches
+//! verify this by regressing those logarithms on K² and checking the fit.
+
+use serde::{Deserialize, Serialize};
+
+/// Least-squares fit of `y = slope·K² + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KSquaredFit {
+    /// Coefficient on K².
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+}
+
+/// Fit `y = slope·K² + intercept` to points `(K, y)` by least squares.
+///
+/// # Panics
+/// With fewer than 3 points (the fit would be trivial or undetermined).
+pub fn fit_k_squared(points: &[(f64, f64)]) -> KSquaredFit {
+    assert!(points.len() >= 3, "need at least 3 points, got {}", points.len());
+    let n = points.len() as f64;
+    let xs: Vec<f64> = points.iter().map(|p| p.0 * p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    assert!(
+        ys.iter().all(|y| y.is_finite()),
+        "all y values must be finite (use ln_* model forms)"
+    );
+    let x_mean = xs.iter().sum::<f64>() / n;
+    let y_mean = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - x_mean).powi(2)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - x_mean) * (y - y_mean))
+        .sum();
+    assert!(sxx > 0.0, "all K values identical; cannot fit");
+    let slope = sxy / sxx;
+    let intercept = y_mean - slope * x_mean;
+    let ss_tot: f64 = ys.iter().map(|y| (y - y_mean).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    KSquaredFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Compare quadratic (`y ~ K²`) against linear (`y ~ K`) explanatory
+/// power: returns `(r2_quadratic, r2_linear)`. A Θ(K²) law should show
+/// `r2_quadratic` near 1 *and clearly above* `r2_linear`.
+pub fn quadratic_vs_linear(points: &[(f64, f64)]) -> (f64, f64) {
+    let quad = fit_k_squared(points).r2;
+    // Linear fit on (K, y) re-uses the same code by pre-square-rooting:
+    // fit y = a·(√K)² + b == y = a·K + b.
+    let lin_pts: Vec<(f64, f64)> = points.iter().map(|p| (p.0.sqrt(), p.1)).collect();
+    let lin = fit_k_squared(&lin_pts).r2;
+    (quad, lin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quadratic_fits_perfectly() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|k| (k as f64, 3.0 * (k * k) as f64 + 2.0)).collect();
+        let fit = fit_k_squared(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_data_fits_quadratic_poorly_relative_to_linear() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|k| (k as f64, 5.0 * k as f64)).collect();
+        let (quad, lin) = quadratic_vs_linear(&pts);
+        assert!((lin - 1.0).abs() < 1e-12);
+        assert!(quad < lin);
+    }
+
+    #[test]
+    fn quadratic_data_prefers_quadratic() {
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|k| (k as f64, 0.7 * (k * k) as f64 + 0.1))
+            .collect();
+        let (quad, lin) = quadratic_vs_linear(&pts);
+        assert!(quad > lin);
+        assert!((quad - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_quadratic_still_high_r2() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|k| {
+                let kf = k as f64;
+                (kf, 2.0 * kf * kf + (kf * 17.0).sin() * 0.5)
+            })
+            .collect();
+        let fit = fit_k_squared(&pts);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn rejects_too_few_points() {
+        fit_k_squared(&[(1.0, 1.0), (2.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn rejects_degenerate_x() {
+        fit_k_squared(&[(2.0, 1.0), (2.0, 2.0), (2.0, 3.0)]);
+    }
+}

@@ -1,0 +1,264 @@
+//! §3.4 — when can bundling reduce download time?
+//!
+//! Sweeps the patient-peer model (eq. 11) over the bundle size K,
+//! reproducing the shape of Figure 3: as K grows the mean download time
+//! first *increases* (small bundles add service time without buying
+//! enough busy period), then *decreases* (availability gains kick in),
+//! then increases again (service time dominates once the swarm is fully
+//! self-sustaining). The benefit grows as the publisher becomes rarer
+//! (smaller R).
+
+use crate::params::{PublisherScaling, SwarmParams};
+use crate::{impatient, patient, threshold};
+use serde::{Deserialize, Serialize};
+
+/// One point of a bundling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Bundle size.
+    pub k: u32,
+    /// Mean download time `E[T]` of the bundle (per-peer, for the whole
+    /// bundle).
+    pub download_time: f64,
+    /// Unavailability `P` of the bundle.
+    pub unavailability: f64,
+    /// Expected availability period `ln E[B]` (log domain; linear value
+    /// overflows for large K).
+    pub ln_busy_period: f64,
+}
+
+/// Sweep the patient-peer model over bundle sizes `ks`.
+pub fn sweep(file: &SwarmParams, scaling: PublisherScaling, ks: &[u32]) -> Vec<SweepPoint> {
+    ks.iter()
+        .map(|&k| {
+            let b = file.bundle(k, scaling);
+            SweepPoint {
+                k,
+                download_time: patient::download_time(&b),
+                unavailability: impatient::unavailability(&b),
+                ln_busy_period: impatient::ln_busy_period(&b),
+            }
+        })
+        .collect()
+}
+
+/// Sweep the threshold-coverage model (Theorem 3.3 with a single
+/// intermittent publisher, eq. 16) over bundle sizes — the model curve of
+/// §4.3.1 / Figure 6(a).
+pub fn sweep_single_publisher(
+    file: &SwarmParams,
+    scaling: PublisherScaling,
+    m: u64,
+    ks: &[u32],
+) -> Vec<SweepPoint> {
+    ks.iter()
+        .map(|&k| {
+            let b = file.bundle(k, scaling);
+            SweepPoint {
+                k,
+                download_time: threshold::single_publisher_download_time(&b, m),
+                unavailability: threshold::single_publisher_unavailability(&b, m),
+                ln_busy_period: impatient::ln_busy_period(&b),
+            }
+        })
+        .collect()
+}
+
+/// The bundle size minimizing mean download time over `1..=k_max`
+/// (patient model). Returns `(k_opt, E[T](k_opt))`.
+///
+/// ```
+/// use swarm_core::bundling::optimal_bundle_size;
+/// use swarm_core::{PublisherScaling, SwarmParams};
+/// // A rarely-reseeded file: some bundling is optimal.
+/// let file = SwarmParams {
+///     lambda: 1.0 / 60.0, size: 4_000.0, mu: 50.0,
+///     r: 1.0 / 20_000.0, u: 300.0,
+/// };
+/// let (k, t) = optimal_bundle_size(&file, PublisherScaling::Fixed, 10);
+/// assert!(k > 1);
+/// assert!(t < 20_000.0);
+/// ```
+pub fn optimal_bundle_size(
+    file: &SwarmParams,
+    scaling: PublisherScaling,
+    k_max: u32,
+) -> (u32, f64) {
+    assert!(k_max >= 1);
+    let ks: Vec<u32> = (1..=k_max).collect();
+    sweep(file, scaling, &ks)
+        .into_iter()
+        .min_by(|a, b| a.download_time.partial_cmp(&b.download_time).expect("finite times"))
+        .map(|p| (p.k, p.download_time))
+        .expect("nonempty sweep")
+}
+
+/// Does bundling (at the optimal size ≤ `k_max`) strictly reduce download
+/// time relative to distributing the file alone?
+pub fn bundling_helps(file: &SwarmParams, scaling: PublisherScaling, k_max: u32) -> bool {
+    let single = patient::download_time(file);
+    let (k, t) = optimal_bundle_size(file, scaling, k_max);
+    k > 1 && t < single
+}
+
+/// Per-file verdict for a heterogeneous bundle (§4.3.3 / Figure 6(c)):
+/// compares each file's stand-alone download time against the common
+/// bundle download time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeterogeneousVerdict {
+    /// Stand-alone `E[T]` per file, in input order.
+    pub individual_times: Vec<f64>,
+    /// `E[T]` of the bundle containing every file.
+    pub bundle_time: f64,
+    /// For each file, whether joining the bundle reduces its download time.
+    pub helped: Vec<bool>,
+}
+
+/// Evaluate bundling for files with heterogeneous popularities
+/// `(λₖ, sₖ)`; every file shares `mu` and the publisher process `(r, u)`.
+pub fn heterogeneous_bundle(
+    files: &[(f64, f64)],
+    mu: f64,
+    r: f64,
+    u: f64,
+) -> HeterogeneousVerdict {
+    assert!(!files.is_empty());
+    let individual_times: Vec<f64> = files
+        .iter()
+        .map(|&(lambda, size)| {
+            patient::download_time(&SwarmParams {
+                lambda,
+                size,
+                mu,
+                r,
+                u,
+            })
+        })
+        .collect();
+    let bundle = SwarmParams::aggregate(files, mu, r, u);
+    let bundle_time = patient::download_time(&bundle);
+    let helped = individual_times.iter().map(|&t| bundle_time < t).collect();
+    HeterogeneousVerdict {
+        individual_times,
+        bundle_time,
+        helped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Figure-3-like configuration: unpopular file, rare publisher.
+    fn fig3_file(inv_r: f64) -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 55.0,
+            size: 4000.0,
+            mu: 80.0,
+            r: 1.0 / inv_r,
+            u: 50.0,
+        }
+    }
+
+    #[test]
+    fn sweep_is_ordered_and_finite() {
+        let pts = sweep(&fig3_file(800.0), PublisherScaling::Fixed, &[1, 2, 3, 4, 5]);
+        assert_eq!(pts.len(), 5);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.k, i as u32 + 1);
+            assert!(p.download_time.is_finite() && p.download_time > 0.0);
+            assert!((0.0..=1.0).contains(&p.unavailability));
+        }
+    }
+
+    #[test]
+    fn figure3_shape_rare_publisher_has_interior_minimum() {
+        // For large 1/R, E[T](K) has an interior minimum at K > 1.
+        let file = fig3_file(1100.0);
+        let (k_opt, t_opt) = optimal_bundle_size(&file, PublisherScaling::Fixed, 10);
+        assert!(k_opt > 1, "optimal K = {k_opt}");
+        assert!(t_opt < patient::download_time(&file));
+        // Curve rises again past the optimum.
+        let pts = sweep(&file, PublisherScaling::Fixed, &[k_opt, k_opt + 3]);
+        assert!(pts[1].download_time > pts[0].download_time);
+    }
+
+    #[test]
+    fn figure3_shape_frequent_publisher_prefers_no_bundling() {
+        // For small 1/R the wait is cheap; K = 1 wins.
+        let file = fig3_file(50.0);
+        let (k_opt, _) = optimal_bundle_size(&file, PublisherScaling::Fixed, 10);
+        assert_eq!(k_opt, 1);
+        assert!(!bundling_helps(&file, PublisherScaling::Fixed, 10));
+    }
+
+    #[test]
+    fn benefits_increase_as_publisher_rarer() {
+        // Figure 3: "the benefits of bundling increase as the value of R
+        // decreases" — measure the relative gain of the optimal bundle.
+        let mut prev_gain = f64::NEG_INFINITY;
+        for inv_r in [600.0, 900.0, 1300.0, 2000.0] {
+            let file = fig3_file(inv_r);
+            let single = patient::download_time(&file);
+            let (_, t_opt) = optimal_bundle_size(&file, PublisherScaling::Fixed, 12);
+            let gain = (single - t_opt) / single;
+            assert!(
+                gain >= prev_gain - 1e-9,
+                "1/R={inv_r}: gain {gain} fell below {prev_gain}"
+            );
+            prev_gain = gain;
+        }
+        assert!(prev_gain > 0.0, "rarest publisher must benefit from bundling");
+    }
+
+    #[test]
+    fn single_publisher_sweep_matches_fig6a_shape() {
+        // §4.3: λ=1/60, s/μ=80 s, one publisher on 300 s / off 900 s, m=9.
+        let file = SwarmParams {
+            lambda: 1.0 / 60.0,
+            size: 4000.0,
+            mu: 50.0,
+            r: 1.0 / 900.0,
+            u: 300.0,
+        };
+        let ks: Vec<u32> = (1..=8).collect();
+        let pts = sweep_single_publisher(&file, PublisherScaling::Fixed, 9, &ks);
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.download_time.partial_cmp(&b.download_time).unwrap())
+            .unwrap();
+        assert!(
+            (3..=6).contains(&best.k),
+            "model optimum ~K=5 per the paper, got {} ({pts:?})",
+            best.k
+        );
+        // K=1,2 dominated by waiting: download times near P/r scale.
+        assert!(pts[0].download_time > 2.0 * pts[best.k as usize - 1].download_time / 1.5);
+    }
+
+    #[test]
+    fn heterogeneous_bundle_helps_unpopular_files_only() {
+        // §4.3.3: λᵢ = 1/(8i)·(scaled), most popular file loses, the
+        // unpopular ones win.
+        let mu = 50.0;
+        let files: Vec<(f64, f64)> = (1..=4).map(|i| (1.0 / (80.0 * i as f64), 4000.0)).collect();
+        let v = heterogeneous_bundle(&files, mu, 1.0 / 900.0, 300.0);
+        // Download times rise with decreasing popularity.
+        for w in v.individual_times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // The most popular file should gain least (or lose); the least
+        // popular should gain most.
+        let gain_first = v.individual_times[0] - v.bundle_time;
+        let gain_last = v.individual_times[3] - v.bundle_time;
+        assert!(gain_last > gain_first);
+        assert!(v.helped[3], "least popular file must benefit");
+    }
+
+    #[test]
+    fn optimal_bundle_size_respects_k_max() {
+        let file = fig3_file(5000.0);
+        let (k, _) = optimal_bundle_size(&file, PublisherScaling::Fixed, 3);
+        assert!(k <= 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! §3.3.1 — availability with impatient peers.
+//!
+//! Publishers arrive at rate `r` and stay `u` on average; peers arrive at
+//! rate `λ` and stay one download (`s/μ`). A peer arriving during an idle
+//! period leaves immediately (it is *impatient*), so the metric is the
+//! probability `P` that a request goes unserved — eq. (10):
+//!
+//! `P = (1/r) / (E[B] + 1/r)`
+//!
+//! with `E[B]` from the Browne–Steele formula (eq. 9) parameterized as
+//! `β = λ + r`, `θ = u`, `α₁ = s/μ`, `q₁ = λ/(λ+r)`, `α₂ = u`.
+
+use crate::params::SwarmParams;
+use swarm_queue::busy::TwoPhaseBusyPeriod;
+use swarm_queue::series::ln_add_exp;
+
+/// The eq. (9) parameterization of this model's busy period.
+pub fn busy_period_params(p: &SwarmParams) -> TwoPhaseBusyPeriod {
+    p.validate();
+    TwoPhaseBusyPeriod {
+        beta: p.lambda + p.r,
+        theta: p.u,
+        q1: p.lambda / (p.lambda + p.r),
+        alpha1: p.service_time(),
+        alpha2: p.u,
+    }
+}
+
+/// Expected availability period `E[B]` (may be `+inf` for extreme bundle
+/// loads; see [`ln_busy_period`]).
+pub fn busy_period(p: &SwarmParams) -> f64 {
+    busy_period_params(p).expected()
+}
+
+/// `ln E[B]`, finite at any load.
+pub fn ln_busy_period(p: &SwarmParams) -> f64 {
+    busy_period_params(p).ln_expected()
+}
+
+/// Probability an (impatient) request finds the content unavailable —
+/// eq. (10): `P = 1/(1 + r·E[B])`.
+///
+/// ```
+/// use swarm_core::{impatient, SwarmParams, PublisherScaling};
+/// let file = SwarmParams {
+///     lambda: 1.0 / 150.0, size: 4_000.0, mu: 50.0,
+///     r: 1.0 / 10_000.0, u: 300.0,
+/// };
+/// let p1 = impatient::unavailability(&file);
+/// let p4 = impatient::unavailability(&file.bundle(4, PublisherScaling::Fixed));
+/// assert!(p4 < p1); // Theorem 3.1: bundling slashes unavailability
+/// ```
+pub fn unavailability(p: &SwarmParams) -> f64 {
+    ln_unavailability(p).exp()
+}
+
+/// `ln P`, computed without overflow as `−ln(1 + r·E[B])`.
+pub fn ln_unavailability(p: &SwarmParams) -> f64 {
+    let ln_b = ln_busy_period(p);
+    // ln(1 + r e^{ln_b})
+    -ln_add_exp(0.0, p.r.ln() + ln_b)
+}
+
+/// Mean number of peers served in one busy period, `E[N] = λ·E[B]`
+/// (Lemma 3.1 studies its e^Θ(K²) growth under bundling).
+pub fn mean_peers_served(p: &SwarmParams) -> f64 {
+    ln_mean_peers_served(p).exp()
+}
+
+/// `ln E[N]`.
+pub fn ln_mean_peers_served(p: &SwarmParams) -> f64 {
+    p.lambda.ln() + ln_busy_period(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PublisherScaling;
+    use swarm_queue::dist::{Exp, Mixture2, ResidenceTime};
+    use swarm_queue::mc::{mean_busy_period, McConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn swarm() -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 60.0,
+            size: 4000.0,
+            mu: 50.0,
+            r: 1.0 / 900.0,
+            u: 300.0,
+        }
+    }
+
+    #[test]
+    fn busy_period_matches_monte_carlo() {
+        let p = swarm();
+        let params = busy_period_params(&p);
+        let service = Mixture2::new(params.q1, Exp::new(params.alpha1), Exp::new(params.alpha2));
+        let initiator = Exp::new(params.theta);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let cfg = McConfig {
+            beta: params.beta,
+            service: &service,
+            initial: vec![],
+            threshold: 0,
+            max_time: 1e8,
+        };
+        let (mc, _) = mean_busy_period(&cfg, 20_000, |rng| vec![initiator.sample(rng)], &mut rng);
+        let analytic = busy_period(&p);
+        assert!(
+            ((mc - analytic) / analytic).abs() < 0.05,
+            "MC {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn unavailability_in_unit_interval_and_consistent() {
+        let p = swarm();
+        let pr = unavailability(&p);
+        assert!((0.0..=1.0).contains(&pr));
+        let eb = busy_period(&p);
+        let direct = (1.0 / p.r) / (eb + 1.0 / p.r);
+        assert!(((pr - direct) / direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn theorem_3_1_unavailability_falls_as_exp_k_squared() {
+        // With R, U fixed (independent of K), −ln P = Θ(K²).
+        let p = swarm();
+        let ks = [1u32, 2, 3, 4, 5, 6];
+        let pts: Vec<(f64, f64)> = ks
+            .iter()
+            .map(|&k| {
+                let b = p.bundle(k, PublisherScaling::Fixed);
+                (k as f64, -ln_unavailability(&b))
+            })
+            .collect();
+        let fit = crate::asymptotic::fit_k_squared(&pts);
+        assert!(fit.r2 > 0.99, "quadratic fit r²={}", fit.r2);
+        assert!(fit.slope > 0.0);
+    }
+
+    #[test]
+    fn lemma_3_1_peers_served_grows_as_exp_k_squared() {
+        let p = swarm();
+        let pts: Vec<(f64, f64)> = (1..=6u32)
+            .map(|k| {
+                let b = p.bundle(k, PublisherScaling::Fixed);
+                (k as f64, ln_mean_peers_served(&b))
+            })
+            .collect();
+        let fit = crate::asymptotic::fit_k_squared(&pts);
+        assert!(fit.r2 > 0.99, "quadratic fit r²={}", fit.r2);
+    }
+
+    #[test]
+    fn individual_swarm_metrics_are_theta_one_in_k() {
+        // P_k and E[B_k] do not depend on K at all for the individual
+        // swarm — sanity-check the obvious.
+        let p = swarm();
+        let p1 = unavailability(&p);
+        let p2 = unavailability(&p);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn more_frequent_publishers_improve_availability() {
+        let p = swarm();
+        let better = SwarmParams { r: p.r * 5.0, ..p };
+        assert!(unavailability(&better) < unavailability(&p));
+    }
+
+    #[test]
+    fn robustness_publisher_rate_shrinking_as_exp_minus_ck2() {
+        // Remark after Theorem 3.1: even if R = Ω(e^{−cK²}) with small c,
+        // bundle availability still improves with K.
+        let p = swarm();
+        let c = 0.05;
+        let mut prev = ln_unavailability(&p);
+        for k in 2..=6u32 {
+            let kf = k as f64;
+            let shrunk_r = p.r * (-c * kf * kf).exp();
+            let b = p.bundle(k, PublisherScaling::Custom { r: shrunk_r, u: p.u });
+            let cur = ln_unavailability(&b);
+            assert!(cur < prev, "k={k}: ln P {cur} >= {prev}");
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Content availability and bundling models for swarming systems.
+//!
+//! This crate is the primary contribution of *"Content Availability and
+//! Bundling in Swarming Systems"* (Menasche, Rocha, Li, Towsley,
+//! Venkataramani — CoNEXT 2009), implemented as a library:
+//!
+//! * [`params`] — the paper's Table 1 notation: per-swarm parameters
+//!   (λ, s, μ, r, u) and bundle construction (Λ = Kλ, S = Ks, with
+//!   publisher scaling policies for R and U);
+//! * [`simple`] — §3.2, the simple availability model (eqs. 1–8):
+//!   publisher-only availability and the first e^Θ(K²) bundling result;
+//! * [`impatient`] — §3.3.1, availability with impatient peers (eq. 10),
+//!   peers served per busy period (Lemma 3.1) and the Availability Theorem
+//!   (Theorem 3.1);
+//! * [`patient`] — §3.3.2, mean download time with patient peers (eq. 11)
+//!   and the Download Time Theorem (Theorem 3.2);
+//! * [`threshold`] — §3.3.3, coverage thresholds: residual busy periods
+//!   B(m) (eqs. 12–13), availability and download time under a threshold
+//!   (Theorem 3.3), and the single-publisher adaptation (eq. 16) used to
+//!   validate against the experiments of §4.3;
+//! * [`lingering`] — §3.3.4, altruistic lingering: peers staying online
+//!   for an exponential time after completing, and the eq. (15)
+//!   equivalence between lingering and bundling;
+//! * [`mixed`] — §5's economics: pure vs mixed bundling, take-rate
+//!   sweeps and the forced-download overhead;
+//! * [`partition`] — the paper's open question made concrete: partition a
+//!   heterogeneous catalog into bundles minimizing the demand-weighted
+//!   mean download time (greedy + local search, brute-force validated);
+//! * [`zipf`] — skewed (Zipf) per-file popularity inside a bundle;
+//! * [`bundling`] — §3.4, the download-time-vs-K tradeoff: sweep curves,
+//!   optimal bundle size, and when bundling reduces download time;
+//! * [`baseline`] — the naive fluid-model adaptation (Qiu–Srikant style)
+//!   that the paper contrasts in Related Work: it predicts bundling
+//!   *always* hurts because it has no availability term;
+//! * [`asymptotic`] — regression helpers that verify the e^Θ(K²) laws
+//!   empirically (used heavily by the test suite and ablation benches).
+//!
+//! # Quick start
+//!
+//! ```
+//! use swarm_core::params::{PublisherScaling, SwarmParams};
+//! use swarm_core::{impatient, patient};
+//!
+//! // An unpopular 4 MB file served at 33 kB/s, one peer every 150 s,
+//! // a publisher that shows up every 1000 s and stays 300 s.
+//! let file = SwarmParams {
+//!     lambda: 1.0 / 150.0,
+//!     size: 4_000.0,
+//!     mu: 33.0,
+//!     r: 1.0 / 1000.0,
+//!     u: 300.0,
+//! };
+//! let p_single = impatient::unavailability(&file);
+//!
+//! // Bundle five such files (demand and size both scale by 5).
+//! let bundle = file.bundle(5, PublisherScaling::Fixed);
+//! let p_bundle = impatient::unavailability(&bundle);
+//! assert!(p_bundle < p_single, "bundling must improve availability");
+//!
+//! // ... and with a very unavailable publisher it downloads faster too.
+//! let t_single = patient::download_time(&file);
+//! let t_bundle = patient::download_time(&bundle);
+//! assert!(t_bundle < 5.0 * t_single);
+//! ```
+
+pub mod asymptotic;
+pub mod baseline;
+pub mod bundling;
+pub mod impatient;
+pub mod lingering;
+pub mod mixed;
+pub mod params;
+pub mod partition;
+pub mod patient;
+pub mod simple;
+pub mod threshold;
+pub mod zipf;
+
+pub use params::{PublisherScaling, SwarmParams};

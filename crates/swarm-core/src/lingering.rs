@@ -1,0 +1,190 @@
+//! §3.3.4 — altruistic lingering.
+//!
+//! Peers may stay online as seeds for an exponential time with mean `1/γ`
+//! after completing their download (altruism, or publisher-provided
+//! incentives). A lingering peer's total residence is then
+//! `download + lingering` — a *hypoexponential* — so the busy period needs
+//! the generalized Browne–Steele form (the paper's technical report
+//! parameterizes "a general version of eq. (9)"; we reconstruct it via
+//! [`swarm_queue::general`]).
+//!
+//! The module also implements the eq. (15) comparison: how long must peers
+//! of a small unpopular swarm linger to match the availability a bundle
+//! would give them for free?
+
+use crate::params::SwarmParams;
+use swarm_queue::general::{general_busy_period, IntegratedTail};
+use swarm_queue::series::ln_add_exp;
+
+/// Expected availability period when every peer lingers for an exponential
+/// time with mean `1/gamma` after completing its download.
+///
+/// Busy-period parameterization: arrivals at `β = λ + r`; an arrival is a
+/// peer w.p. `λ/(λ+r)` with residence `hypoexp(s/μ, 1/γ)`, else a
+/// publisher with residence `Exp(u)`; the initiator is a publisher.
+pub fn busy_period(p: &SwarmParams, gamma: f64) -> f64 {
+    p.validate();
+    assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive, got {gamma}");
+    let linger_mean = 1.0 / gamma;
+    let service = p.service_time();
+    // The signed-mixture representation of the hypoexponential has
+    // coefficients ∝ 1/(rate difference), so nearly-equal stage rates are
+    // numerically hostile. The busy period is smooth in γ: near the
+    // degenerate point evaluate at ±10% and average (second-order
+    // accurate through the removable singularity).
+    if (linger_mean - service).abs() < 0.1 * service {
+        let lo = busy_period_at(p, service * 0.85);
+        let hi = busy_period_at(p, service * 1.15);
+        return 0.5 * (lo + hi);
+    }
+    busy_period_at(p, linger_mean)
+}
+
+fn busy_period_at(p: &SwarmParams, linger_mean: f64) -> f64 {
+    let peer_tail = IntegratedTail::hypoexp2(p.service_time(), linger_mean);
+    let publisher_tail = IntegratedTail::exponential(p.u);
+    let q1 = p.lambda / (p.lambda + p.r);
+    let tail = IntegratedTail::mix(q1, &peer_tail, &publisher_tail);
+    general_busy_period(p.lambda + p.r, p.u, &tail)
+}
+
+/// Probability a peer arrives while content is unavailable, with
+/// lingering: `P = 1/(1 + r·E[B])`.
+pub fn unavailability(p: &SwarmParams, gamma: f64) -> f64 {
+    let eb = busy_period(p, gamma);
+    (-ln_add_exp(0.0, (p.r * eb).ln())).exp()
+}
+
+/// Mean download time with patient peers and lingering:
+/// `E[T] = s/μ + P/r`. (Lingering happens *after* completion, so it does
+/// not add to the download time — it only lengthens busy periods.)
+pub fn download_time(p: &SwarmParams, gamma: f64) -> f64 {
+    p.service_time() + unavailability(p, gamma) / p.r
+}
+
+/// The eq. (15) equivalence. Consider swarms 1 (small, unpopular) and 2
+/// (large, popular) and a bundle of both. For swarm 1 *alone* to offer the
+/// same peer-sustained load as the bundle, its peers must linger so that
+///
+/// `s₁/μ + 1/γ = (λ₁ + λ₂)(s₁ + s₂)/(μ λ₁)`
+///
+/// Returns the required mean residence `s₁/μ + 1/γ` (the eq. 15 RHS) and
+/// the implied mean lingering time `1/γ`.
+///
+/// The lingering time is always strictly positive: the target residence
+/// `(λ₁+λ₂)(s₁+s₂)/(μλ₁)` exceeds `s₁/μ` because `(λ₁+λ₂)/λ₁ > 1` and
+/// `s₁+s₂ > s₁` — swarm 1 alone can never match the bundle on service
+/// time alone.
+pub fn equivalent_lingering(
+    lambda1: f64,
+    size1: f64,
+    lambda2: f64,
+    size2: f64,
+    mu: f64,
+) -> (f64, f64) {
+    for (name, v) in [
+        ("lambda1", lambda1),
+        ("size1", size1),
+        ("lambda2", lambda2),
+        ("size2", size2),
+        ("mu", mu),
+    ] {
+        assert!(v > 0.0 && v.is_finite(), "{name} must be positive, got {v}");
+    }
+    let target_residence = (lambda1 + lambda2) * (size1 + size2) / (mu * lambda1);
+    let service = size1 / mu;
+    debug_assert!(target_residence > service);
+    (target_residence, target_residence - service)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn swarm() -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 100.0,
+            size: 2000.0,
+            mu: 50.0,
+            r: 1.0 / 2000.0,
+            u: 200.0,
+        }
+    }
+
+    #[test]
+    fn lingering_lengthens_busy_periods() {
+        let p = swarm();
+        // γ → ∞ approximates no lingering.
+        let b_none = busy_period(&p, 1e6);
+        let b_some = busy_period(&p, 1.0 / 60.0); // linger 60 s
+        let b_long = busy_period(&p, 1.0 / 600.0); // linger 600 s
+        assert!(b_some > b_none, "{b_some} vs {b_none}");
+        assert!(b_long > b_some);
+    }
+
+    #[test]
+    fn no_lingering_limit_matches_patient_model() {
+        let p = swarm();
+        let b_limit = busy_period(&p, 1e8);
+        let b_patient = crate::patient::busy_period(&p);
+        assert!(
+            ((b_limit - b_patient) / b_patient).abs() < 1e-3,
+            "γ→∞ limit {b_limit} vs patient {b_patient}"
+        );
+    }
+
+    #[test]
+    fn lingering_reduces_download_time() {
+        let p = swarm();
+        let t_none = download_time(&p, 1e6);
+        let t_linger = download_time(&p, 1.0 / 300.0);
+        assert!(t_linger < t_none);
+        // Lingering never drives T below pure service time.
+        assert!(t_linger >= p.service_time());
+    }
+
+    #[test]
+    fn unavailability_falls_with_lingering() {
+        let p = swarm();
+        let mut prev = 1.0;
+        for linger in [1.0, 30.0, 120.0, 600.0] {
+            let pr = unavailability(&p, 1.0 / linger);
+            assert!(pr < prev, "linger={linger}: {pr} >= {prev}");
+            prev = pr;
+        }
+    }
+
+    #[test]
+    fn eq15_unpopular_small_file_needs_enormous_lingering() {
+        // s₁ ≪ s₂, λ₁ ≪ 1 ≪ λ₂: the residence target explodes as
+        // (1 + λ₂/λ₁)(s₁+s₂)/μ — matching the paper's λ₁ → 0 limit.
+        let (mu, s1, s2) = (50.0, 100.0, 40_000.0);
+        let (l1, l2) = (1e-4, 2.0);
+        let (residence, linger) = equivalent_lingering(l1, s1, l2, s2, mu);
+        let expected = (s1 + s2) / mu * (1.0 + l2 / l1);
+        assert!(((residence - expected) / expected).abs() < 1e-9);
+        // The bundle gives the same availability with residence
+        // (s1+s2)/μ ≈ 802 s; lingering alone needs ~16M s.
+        assert!(linger > 1e7);
+    }
+
+    #[test]
+    fn eq15_lingering_always_positive() {
+        // Even with overwhelming demand for file 1, the target residence
+        // strictly exceeds the pure service time, so some lingering is
+        // always required to emulate the bundle.
+        let (residence, linger) = equivalent_lingering(1e6, 4000.0, 1e-6, 1.0, 50.0);
+        assert!(linger > 0.0);
+        assert!(residence > 4000.0 / 50.0);
+        assert!((residence - linger - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_gamma_equal_service_rate_does_not_panic() {
+        let p = swarm();
+        let service = p.service_time();
+        // 1/γ exactly equals s/μ: internally perturbed, must not panic.
+        let b = busy_period(&p, 1.0 / service);
+        assert!(b.is_finite() && b > 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Mixed vs pure bundling (paper §5, "Economics of bundling").
+//!
+//! The paper distinguishes **pure bundling** — the publisher ships a
+//! single archive, every peer downloads all K files — from **mixed
+//! bundling** — peers may choose between the bundle and the individual
+//! file, and even a small fraction opting for the bundle improves
+//! availability for everyone.
+//!
+//! This module formalizes that discussion with the machinery of §3:
+//!
+//! * under mixed bundling with *take rate* `φ`, a share `φ` of each
+//!   file's demand goes to the bundled swarm (arrival rate `φ·Σλₖ`) and
+//!   the rest to the individual swarm (`(1−φ)·λₖ`);
+//! * file k is available if *either* swarm is in a busy period; the two
+//!   swarms' availability processes are driven by independent publisher
+//!   and peer arrivals, so a peer wanting file k is blocked only when
+//!   both are idle: `Pₖ(φ) = Pₖ_indiv(φ) · P_bundle(φ)`;
+//! * a blocked peer waits for whichever swarm revives first — publisher
+//!   arrivals race at rate `rₖ + R`, so the mean wait is
+//!   `Pₖ(φ) / (rₖ + R)`.
+//!
+//! The module computes per-file unavailability and download time across
+//! the bundling spectrum: `φ = 0` (no bundling), `φ = 1` (pure
+//! bundling), and everything between (mixed).
+
+use crate::params::SwarmParams;
+use crate::impatient;
+use serde::{Deserialize, Serialize};
+
+/// One file's demand and size in a mixed-bundling catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// Peer arrival rate λₖ for this file.
+    pub lambda: f64,
+    /// File size sₖ.
+    pub size: f64,
+}
+
+/// Per-file outcome under a given take rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FileOutcome {
+    /// Probability a request for this file finds *neither* swarm busy.
+    pub unavailability: f64,
+    /// Mean download time for a peer fetching this file individually
+    /// (service sₖ/μ plus the both-swarms-idle wait).
+    pub individual_download_time: f64,
+    /// Mean download time for a peer taking the bundle instead.
+    pub bundle_download_time: f64,
+}
+
+/// Outcome of a mixed-bundling configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedOutcome {
+    /// The take rate evaluated.
+    pub phi: f64,
+    /// Per-file outcomes, in input order.
+    pub files: Vec<FileOutcome>,
+    /// Unavailability of the bundled swarm itself.
+    pub bundle_unavailability: f64,
+}
+
+/// Evaluate mixed bundling at take rate `phi ∈ [0, 1]`.
+///
+/// `mu` is the per-swarm effective capacity; the publisher posts both the
+/// individual torrents and the bundle with the same process `(r, u)`.
+/// At `phi = 1` the individual swarms receive no demand (pure bundling);
+/// at `phi = 0` the bundle receives none and the outcome reduces to
+/// isolated swarms.
+///
+/// ```
+/// use swarm_core::mixed::{mixed_bundling, FileSpec};
+/// let files = vec![
+///     FileSpec { lambda: 0.2, size: 4_000.0 },    // a hit
+///     FileSpec { lambda: 0.002, size: 4_000.0 },  // a niche file
+/// ];
+/// let none = mixed_bundling(&files, 50.0, 2e-4, 300.0, 0.0);
+/// let some = mixed_bundling(&files, 50.0, 2e-4, 300.0, 0.2);
+/// // Even a 20% take rate rescues the niche file (§5).
+/// assert!(some.files[1].unavailability < none.files[1].unavailability);
+/// ```
+pub fn mixed_bundling(
+    files: &[FileSpec],
+    mu: f64,
+    r: f64,
+    u: f64,
+    phi: f64,
+) -> MixedOutcome {
+    assert!(!files.is_empty(), "need at least one file");
+    assert!((0.0..=1.0).contains(&phi), "phi must be in [0,1], got {phi}");
+    for f in files {
+        assert!(f.lambda > 0.0 && f.lambda.is_finite());
+        assert!(f.size > 0.0 && f.size.is_finite());
+    }
+
+    // The bundled swarm under take rate φ. λ = 0 is invalid for the busy
+    // period machinery; treat a dead swarm as never available.
+    let bundle_lambda = phi * files.iter().map(|f| f.lambda).sum::<f64>();
+    let bundle_size: f64 = files.iter().map(|f| f.size).sum();
+    let p_bundle = if bundle_lambda > 0.0 {
+        let bundle = SwarmParams {
+            lambda: bundle_lambda,
+            size: bundle_size,
+            mu,
+            r,
+            u,
+        };
+        impatient::unavailability(&bundle)
+    } else {
+        1.0
+    };
+    let bundle_service = bundle_size / mu;
+
+    let outcomes = files
+        .iter()
+        .map(|f| {
+            let indiv_lambda = (1.0 - phi) * f.lambda;
+            let p_indiv = if indiv_lambda > 0.0 {
+                impatient::unavailability(&SwarmParams {
+                    lambda: indiv_lambda,
+                    size: f.size,
+                    mu,
+                    r,
+                    u,
+                })
+            } else {
+                1.0
+            };
+            // Both swarms idle simultaneously; the publisher processes
+            // are independent.
+            let p_both = p_indiv * p_bundle;
+            // Blocked peers wait for whichever swarm's publisher returns
+            // first (rate r for each torrent: r + r).
+            let wait = p_both / (2.0 * r);
+            FileOutcome {
+                unavailability: p_both,
+                individual_download_time: f.size / mu + wait,
+                bundle_download_time: bundle_service + p_bundle / r,
+            }
+        })
+        .collect();
+
+    MixedOutcome {
+        phi,
+        files: outcomes,
+        bundle_unavailability: p_bundle,
+    }
+}
+
+/// Pure bundling (`φ = 1`): everyone downloads the bundle. Equivalent to
+/// [`mixed_bundling`] at φ = 1, exposed for readability.
+pub fn pure_bundling(files: &[FileSpec], mu: f64, r: f64, u: f64) -> MixedOutcome {
+    mixed_bundling(files, mu, r, u, 1.0)
+}
+
+/// Availability-per-byte comparison the §5 discussion gestures at: the
+/// minimum take rate at which every file's unavailability drops below
+/// `target`, or `None` if even pure bundling cannot reach it.
+pub fn min_take_rate_for_availability(
+    files: &[FileSpec],
+    mu: f64,
+    r: f64,
+    u: f64,
+    target: f64,
+    step: f64,
+) -> Option<f64> {
+    assert!((0.0..1.0).contains(&target));
+    assert!(step > 0.0 && step < 1.0);
+    let mut phi = 0.0f64;
+    while phi <= 1.0 + 1e-9 {
+        let o = mixed_bundling(files, mu, r, u, phi.min(1.0));
+        if o.files.iter().all(|f| f.unavailability <= target) {
+            return Some(phi.min(1.0));
+        }
+        phi += step;
+    }
+    None
+}
+
+/// The §5 tension in one number: under pure bundling, how much *longer*
+/// does a peer interested only in file `k` spend downloading content it
+/// did not want, relative to fetching the file alone under mixed
+/// bundling at take rate `phi`?
+pub fn forced_download_overhead(
+    files: &[FileSpec],
+    mu: f64,
+    r: f64,
+    u: f64,
+    k: usize,
+    phi: f64,
+) -> f64 {
+    assert!(k < files.len(), "file index out of range");
+    let pure = pure_bundling(files, mu, r, u);
+    let mixed = mixed_bundling(files, mu, r, u, phi);
+    pure.files[k].bundle_download_time - mixed.files[k].individual_download_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Vec<FileSpec> {
+        vec![
+            // Genuinely popular: load λs/μ = 16, self-sustaining alone.
+            FileSpec { lambda: 1.0 / 5.0, size: 4_000.0 },
+            FileSpec { lambda: 1.0 / 600.0, size: 4_000.0 }, // niche
+            FileSpec { lambda: 1.0 / 1_200.0, size: 4_000.0 },
+        ]
+    }
+
+    const MU: f64 = 50.0;
+    const R: f64 = 1.0 / 5_000.0;
+    const U: f64 = 300.0;
+
+    #[test]
+    fn phi_zero_matches_isolated_swarms() {
+        let o = mixed_bundling(&catalog(), MU, R, U, 0.0);
+        assert_eq!(o.bundle_unavailability, 1.0);
+        for (f, spec) in o.files.iter().zip(catalog()) {
+            let iso = impatient::unavailability(&SwarmParams {
+                lambda: spec.lambda,
+                size: spec.size,
+                mu: MU,
+                r: R,
+                u: U,
+            });
+            assert!((f.unavailability - iso).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn even_small_take_rates_improve_availability() {
+        // §5: "Even a small fraction of users opting to download more
+        // content than they strictly sought can significantly improve
+        // availability."
+        let none = mixed_bundling(&catalog(), MU, R, U, 0.0);
+        let small = mixed_bundling(&catalog(), MU, R, U, 0.1);
+        // The niche files gain dramatically...
+        for k in [1, 2] {
+            assert!(
+                small.files[k].unavailability < 0.5 * none.files[k].unavailability,
+                "file {k}: {} !< half of {}",
+                small.files[k].unavailability,
+                none.files[k].unavailability
+            );
+        }
+        // ...while the popular file — already essentially always
+        // available — pays at most a negligible availability tax from
+        // the diverted demand (the paper's "may increase download times
+        // of peers downloading the most popular contents").
+        assert!(small.files[0].unavailability < 1e-3);
+    }
+
+    #[test]
+    fn unavailability_monotone_decreasing_for_niche_files() {
+        let mut prev = f64::INFINITY;
+        for phi in [0.0, 0.2, 0.4, 0.6, 0.8] {
+            let o = mixed_bundling(&catalog(), MU, R, U, phi);
+            let p = o.files[2].unavailability;
+            assert!(p <= prev + 1e-12, "phi={phi}: {p} > {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn pure_bundling_penalizes_popular_file_seekers() {
+        // The popular file's fans must fetch 3x the bytes under pure
+        // bundling; mixed bundling keeps an individual swarm alive for
+        // them.
+        let overhead = forced_download_overhead(&catalog(), MU, R, U, 0, 0.3);
+        assert!(overhead > 0.0, "pure bundling must cost the popular seekers");
+    }
+
+    #[test]
+    fn min_take_rate_is_monotone_in_target() {
+        let loose = min_take_rate_for_availability(&catalog(), MU, R, U, 0.5, 0.05);
+        let tight = min_take_rate_for_availability(&catalog(), MU, R, U, 0.05, 0.05);
+        match (loose, tight) {
+            (Some(l), Some(t)) => assert!(l <= t, "loose {l} > tight {t}"),
+            (Some(_), None) => {}
+            (None, Some(_)) => panic!("tighter target reachable but looser not"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn pure_bundling_equals_phi_one() {
+        let a = pure_bundling(&catalog(), MU, R, U);
+        let b = mixed_bundling(&catalog(), MU, R, U, 1.0);
+        assert_eq!(a.bundle_unavailability, b.bundle_unavailability);
+        assert_eq!(a.files.len(), b.files.len());
+    }
+
+    #[test]
+    fn bundle_download_time_consistent_with_patient_model() {
+        let o = pure_bundling(&catalog(), MU, R, U);
+        let total_lambda: f64 = catalog().iter().map(|f| f.lambda).sum();
+        let bundle = SwarmParams {
+            lambda: total_lambda,
+            size: 12_000.0,
+            mu: MU,
+            r: R,
+            u: U,
+        };
+        let t_model = crate::patient::download_time(&bundle);
+        // Same structure: service + P/r.
+        assert!(
+            (o.files[0].bundle_download_time - t_model).abs() / t_model < 1e-9,
+            "{} vs {}",
+            o.files[0].bundle_download_time,
+            t_model
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in [0,1]")]
+    fn rejects_bad_phi() {
+        mixed_bundling(&catalog(), MU, R, U, 1.5);
+    }
+}

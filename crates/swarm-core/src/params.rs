@@ -1,0 +1,201 @@
+//! The paper's Table 1 notation: swarm parameters and bundle construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one swarm (Table 1 of the paper).
+///
+/// Units are free as long as they are consistent: `size/mu` must come out
+/// in the same time unit as `1/lambda`, `1/r` and `u`. The experiments use
+/// kB and seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwarmParams {
+    /// Peer arrival rate λ (peers per unit time).
+    pub lambda: f64,
+    /// Content size s.
+    pub size: f64,
+    /// Mean effective download rate μ of peers (size units per unit time).
+    pub mu: f64,
+    /// Publisher arrival rate r.
+    pub r: f64,
+    /// Mean publisher residence time u.
+    pub u: f64,
+}
+
+/// How the publisher process scales when `K` files are bundled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PublisherScaling {
+    /// `R = K·r`, `U = K·u` — each file's publisher now serves the bundle
+    /// (§3.2: "If R and U scale as R = Kr and U = Ku").
+    Proportional,
+    /// `R = r`, `U = u` — the bundle gets no more publisher effort than a
+    /// single file (the conservative assumption of Lemma 3.1 and
+    /// Theorem 3.1; bundling still wins by e^Θ(K²)).
+    Fixed,
+    /// Explicit bundle publisher parameters.
+    Custom {
+        /// Bundle publisher arrival rate R.
+        r: f64,
+        /// Bundle publisher mean residence U.
+        u: f64,
+    },
+}
+
+impl SwarmParams {
+    /// Mean service (active download) time `s/μ` — the residence time of a
+    /// peer during a busy period.
+    pub fn service_time(&self) -> f64 {
+        self.size / self.mu
+    }
+
+    /// Offered peer load `λ·s/μ`: the steady-state mean population of
+    /// concurrently downloading peers.
+    pub fn peer_load(&self) -> f64 {
+        self.lambda * self.service_time()
+    }
+
+    /// Panic unless every parameter is positive and finite. Models call
+    /// this on entry so misconfigurations fail loudly at the boundary.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("lambda", self.lambda),
+            ("size", self.size),
+            ("mu", self.mu),
+            ("r", self.r),
+            ("u", self.u),
+        ] {
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "SwarmParams.{name} must be positive and finite, got {v}"
+            );
+        }
+    }
+
+    /// Bundle `k` copies of this (homogeneous) file: the bundled swarm has
+    /// peer arrival rate `Λ = kλ` (any peer wanting any constituent file
+    /// downloads the bundle) and size `S = ks`, with the publisher process
+    /// scaled per `scaling`.
+    ///
+    /// The result is itself a [`SwarmParams`], so every model applies
+    /// uniformly to files and bundles — exactly how the paper replaces
+    /// (λ, s, r, u) with (Λ, S, R, U).
+    pub fn bundle(&self, k: u32, scaling: PublisherScaling) -> SwarmParams {
+        assert!(k >= 1, "bundle size must be at least 1");
+        let kf = k as f64;
+        let (r, u) = match scaling {
+            PublisherScaling::Proportional => (self.r * kf, self.u * kf),
+            PublisherScaling::Fixed => (self.r, self.u),
+            PublisherScaling::Custom { r, u } => (r, u),
+        };
+        SwarmParams {
+            lambda: self.lambda * kf,
+            size: self.size * kf,
+            mu: self.mu,
+            r,
+            u,
+        }
+    }
+
+    /// Bundle heterogeneous files: `Λ = Σλₖ`, `S = Σsₖ` (§3.3.4 and the
+    /// heterogeneous-popularity experiment of §4.3.3). `mu` is the common
+    /// swarm capacity; `r`/`u` describe the bundle's publisher.
+    pub fn aggregate(files: &[(f64, f64)], mu: f64, r: f64, u: f64) -> SwarmParams {
+        assert!(!files.is_empty(), "aggregate of zero files");
+        let lambda = files.iter().map(|f| f.0).sum();
+        let size = files.iter().map(|f| f.1).sum();
+        let p = SwarmParams {
+            lambda,
+            size,
+            mu,
+            r,
+            u,
+        };
+        p.validate();
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file() -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 60.0,
+            size: 4000.0,
+            mu: 50.0,
+            r: 1.0 / 900.0,
+            u: 300.0,
+        }
+    }
+
+    #[test]
+    fn service_time_and_load() {
+        let p = file();
+        assert!((p.service_time() - 80.0).abs() < 1e-12);
+        assert!((p.peer_load() - 80.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bundle_proportional_scales_everything() {
+        let p = file();
+        let b = p.bundle(4, PublisherScaling::Proportional);
+        assert!((b.lambda - 4.0 * p.lambda).abs() < 1e-15);
+        assert!((b.size - 4.0 * p.size).abs() < 1e-9);
+        assert!((b.r - 4.0 * p.r).abs() < 1e-15);
+        assert!((b.u - 4.0 * p.u).abs() < 1e-9);
+        assert_eq!(b.mu, p.mu);
+        // Load scales as K².
+        assert!((b.peer_load() - 16.0 * p.peer_load()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bundle_fixed_keeps_publisher() {
+        let p = file();
+        let b = p.bundle(6, PublisherScaling::Fixed);
+        assert_eq!(b.r, p.r);
+        assert_eq!(b.u, p.u);
+        assert!((b.lambda - 6.0 * p.lambda).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bundle_custom_overrides_publisher() {
+        let p = file();
+        let b = p.bundle(2, PublisherScaling::Custom { r: 0.5, u: 7.0 });
+        assert_eq!(b.r, 0.5);
+        assert_eq!(b.u, 7.0);
+    }
+
+    #[test]
+    fn bundle_of_one_with_proportional_is_identity() {
+        let p = file();
+        let b = p.bundle(1, PublisherScaling::Proportional);
+        assert_eq!(p, b);
+    }
+
+    #[test]
+    fn aggregate_sums_demand_and_size() {
+        // Fig 6(c): λᵢ = 1/(8i), four files of 4 MB.
+        let files: Vec<(f64, f64)> = (1..=4).map(|i| (1.0 / (8.0 * i as f64), 4000.0)).collect();
+        let b = SwarmParams::aggregate(&files, 50.0, 1.0 / 900.0, 300.0);
+        assert!((b.lambda - (1.0 / 8.0 + 1.0 / 16.0 + 1.0 / 24.0 + 1.0 / 32.0)).abs() < 1e-12);
+        assert!((b.size - 16000.0).abs() < 1e-9);
+        // The paper quotes the aggregate as λ = 1/3.84.
+        assert!((b.lambda - 1.0 / 3.84).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn validate_rejects_zero_rate() {
+        SwarmParams {
+            lambda: 0.0,
+            ..file()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn bundle_of_zero_rejected() {
+        file().bundle(0, PublisherScaling::Fixed);
+    }
+}

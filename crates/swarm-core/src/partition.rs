@@ -1,0 +1,362 @@
+//! Optimal bundle composition — the paper's open question.
+//!
+//! §5: "more work is needed to understand how a content provider should
+//! optimally bundle files to meet performance or cost objectives". This
+//! module takes a concrete swing at it with the §3 machinery: given a
+//! catalog of files with heterogeneous demands and sizes, partition it
+//! into bundles (each file in exactly one bundle) to minimize the
+//! demand-weighted mean download time.
+//!
+//! The objective for a bundle B with files {(λₖ, sₖ)} follows §3.3.2
+//! applied to the aggregated swarm (Λ = Σλₖ, S = Σsₖ): every peer in the
+//! bundle downloads all of S, so the bundle contributes
+//! `Λ_B · E[T_B]` to the demand-weighted total.
+//!
+//! Exact partition optimization is exponential; we provide:
+//!
+//! * [`evaluate_partition`] — the exact objective for any partition,
+//! * [`greedy_partition`] — seed singletons, then greedily merge the pair
+//!   of bundles whose merge most reduces the objective (classic
+//!   agglomerative heuristic),
+//! * [`local_search`] — first-improvement moves of single files between
+//!   bundles until a local optimum.
+//!
+//! The tests verify the heuristics against brute force on small catalogs.
+
+use crate::params::SwarmParams;
+use crate::patient;
+use serde::{Deserialize, Serialize};
+
+/// One catalog file: demand and size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogFile {
+    /// Peer arrival rate λₖ.
+    pub lambda: f64,
+    /// File size sₖ.
+    pub size: f64,
+}
+
+/// A partition of the catalog into bundles, as index sets.
+pub type Partition = Vec<Vec<usize>>;
+
+/// Shared swarm environment for every bundle: capacity and publisher
+/// process (the publisher posts one torrent per bundle with the same
+/// effort).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Effective per-peer capacity μ.
+    pub mu: f64,
+    /// Publisher arrival rate r per torrent.
+    pub r: f64,
+    /// Mean publisher residence u.
+    pub u: f64,
+}
+
+fn bundle_params(files: &[CatalogFile], bundle: &[usize], env: Environment) -> SwarmParams {
+    let lambda: f64 = bundle.iter().map(|&i| files[i].lambda).sum();
+    let size: f64 = bundle.iter().map(|&i| files[i].size).sum();
+    SwarmParams {
+        lambda,
+        size,
+        mu: env.mu,
+        r: env.r,
+        u: env.u,
+    }
+}
+
+/// Demand-weighted mean download time of a partition:
+/// `Σ_B Λ_B·E[T_B] / Σ λ` — the expected download time of a random
+/// arriving peer.
+pub fn evaluate_partition(
+    files: &[CatalogFile],
+    partition: &Partition,
+    env: Environment,
+) -> f64 {
+    validate_partition(files, partition);
+    let total_lambda: f64 = files.iter().map(|f| f.lambda).sum();
+    let weighted: f64 = partition
+        .iter()
+        .filter(|b| !b.is_empty())
+        .map(|b| {
+            let p = bundle_params(files, b, env);
+            p.lambda * patient::download_time(&p)
+        })
+        .sum();
+    weighted / total_lambda
+}
+
+/// Panic unless `partition` covers every file exactly once.
+pub fn validate_partition(files: &[CatalogFile], partition: &Partition) {
+    let mut seen = vec![false; files.len()];
+    for b in partition {
+        for &i in b {
+            assert!(i < files.len(), "file index {i} out of range");
+            assert!(!seen[i], "file {i} appears in two bundles");
+            seen[i] = true;
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "partition must cover every file exactly once"
+    );
+}
+
+/// Agglomerative greedy: start from singletons; repeatedly merge the pair
+/// of bundles whose merge most reduces the objective; stop when no merge
+/// helps (or a single bundle remains).
+pub fn greedy_partition(files: &[CatalogFile], env: Environment) -> Partition {
+    assert!(!files.is_empty(), "empty catalog");
+    let mut bundles: Partition = (0..files.len()).map(|i| vec![i]).collect();
+    loop {
+        let current = evaluate_partition(files, &bundles, env);
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..bundles.len() {
+            for b in (a + 1)..bundles.len() {
+                let mut candidate = bundles.clone();
+                let merged: Vec<usize> = candidate[a]
+                    .iter()
+                    .chain(candidate[b].iter())
+                    .copied()
+                    .collect();
+                candidate[a] = merged;
+                candidate.remove(b);
+                let score = evaluate_partition(files, &candidate, env);
+                if score < current - 1e-12
+                    && best.is_none_or(|(_, _, s)| score < s)
+                {
+                    best = Some((a, b, score));
+                }
+            }
+        }
+        match best {
+            Some((a, b, _)) => {
+                let moved = bundles.remove(b);
+                bundles[a].extend(moved);
+            }
+            None => return bundles,
+        }
+    }
+}
+
+/// First-improvement local search: move single files between bundles
+/// (including into a fresh singleton bundle) while any move improves the
+/// objective. Returns the improved partition and its objective.
+pub fn local_search(
+    files: &[CatalogFile],
+    start: Partition,
+    env: Environment,
+    max_rounds: usize,
+) -> (Partition, f64) {
+    let mut partition = start;
+    partition.retain(|b| !b.is_empty());
+    let mut score = evaluate_partition(files, &partition, env);
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        'outer: for from in 0..partition.len() {
+            for fi in 0..partition[from].len() {
+                let file = partition[from][fi];
+                // Try moving `file` into every other bundle and a new one.
+                for to in 0..=partition.len() {
+                    if to == from {
+                        continue;
+                    }
+                    let mut candidate = partition.clone();
+                    candidate[from].remove(fi);
+                    if to == partition.len() {
+                        candidate.push(vec![file]);
+                    } else {
+                        candidate[to].push(file);
+                    }
+                    candidate.retain(|b| !b.is_empty());
+                    let s = evaluate_partition(files, &candidate, env);
+                    if s < score - 1e-12 {
+                        partition = candidate;
+                        score = s;
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (partition, score)
+}
+
+/// Brute-force optimal partition (Bell-number enumeration): only feasible
+/// for tiny catalogs; used to validate the heuristics.
+pub fn brute_force_partition(files: &[CatalogFile], env: Environment) -> (Partition, f64) {
+    assert!(
+        files.len() <= 8,
+        "brute force is exponential; use greedy_partition for {} files",
+        files.len()
+    );
+    let mut best: Option<(Partition, f64)> = None;
+    let mut assignment = vec![0usize; files.len()];
+    enumerate_partitions(files.len(), 0, 0, &mut assignment, &mut |assign, blocks| {
+        let mut partition: Partition = vec![Vec::new(); blocks];
+        for (i, &b) in assign.iter().enumerate() {
+            partition[b].push(i);
+        }
+        let score = evaluate_partition(files, &partition, env);
+        if best.as_ref().is_none_or(|(_, s)| score < *s) {
+            best = Some((partition, score));
+        }
+    });
+    best.expect("at least one partition exists")
+}
+
+/// Enumerate set partitions in restricted-growth form.
+fn enumerate_partitions(
+    n: usize,
+    i: usize,
+    max_block: usize,
+    assignment: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize], usize),
+) {
+    if i == n {
+        f(assignment, max_block);
+        return;
+    }
+    for b in 0..=max_block {
+        assignment[i] = b;
+        enumerate_partitions(n, i + 1, max_block.max(b + 1), assignment, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENV: Environment = Environment {
+        mu: 50.0,
+        r: 1.0 / 20_000.0,
+        u: 300.0,
+    };
+
+    fn mixed_catalog() -> Vec<CatalogFile> {
+        // One self-sustaining hit plus niche files whose *aggregate*
+        // demand is enough to self-sustain as a bundle but not alone.
+        vec![
+            CatalogFile { lambda: 1.0 / 10.0, size: 4_000.0 },  // hit
+            CatalogFile { lambda: 1.0 / 50.0, size: 4_000.0 },  // niche
+            CatalogFile { lambda: 1.0 / 80.0, size: 4_000.0 },  // niche
+            CatalogFile { lambda: 1.0 / 150.0, size: 2_000.0 }, // tiny niche
+        ]
+    }
+
+    #[test]
+    fn evaluate_matches_patient_model_for_singletons() {
+        let files = mixed_catalog();
+        let singletons: Partition = (0..files.len()).map(|i| vec![i]).collect();
+        let total_lambda: f64 = files.iter().map(|f| f.lambda).sum();
+        let expected: f64 = files
+            .iter()
+            .map(|f| {
+                let p = SwarmParams {
+                    lambda: f.lambda,
+                    size: f.size,
+                    mu: ENV.mu,
+                    r: ENV.r,
+                    u: ENV.u,
+                };
+                f.lambda * patient::download_time(&p)
+            })
+            .sum::<f64>()
+            / total_lambda;
+        let got = evaluate_partition(&files, &singletons, ENV);
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn bundling_niche_files_beats_no_bundling() {
+        let files = mixed_catalog();
+        let singletons: Partition = (0..files.len()).map(|i| vec![i]).collect();
+        // Bundle the three niche files, keep the hit solo.
+        let smart: Partition = vec![vec![0], vec![1, 2, 3]];
+        let t_single = evaluate_partition(&files, &singletons, ENV);
+        let t_smart = evaluate_partition(&files, &smart, ENV);
+        assert!(
+            t_smart < t_single,
+            "bundling niche files must help: {t_smart} vs {t_single}"
+        );
+    }
+
+    #[test]
+    fn greedy_never_loses_to_singletons() {
+        let files = mixed_catalog();
+        let singletons: Partition = (0..files.len()).map(|i| vec![i]).collect();
+        let greedy = greedy_partition(&files, ENV);
+        let t_greedy = evaluate_partition(&files, &greedy, ENV);
+        let t_single = evaluate_partition(&files, &singletons, ENV);
+        assert!(t_greedy <= t_single + 1e-9);
+    }
+
+    #[test]
+    fn greedy_close_to_brute_force_on_small_catalogs() {
+        let files = mixed_catalog();
+        let (best, t_best) = brute_force_partition(&files, ENV);
+        let greedy = greedy_partition(&files, ENV);
+        let t_greedy = evaluate_partition(&files, &greedy, ENV);
+        // Greedy should be within 10% of optimal here (it is usually exact).
+        assert!(
+            t_greedy <= t_best * 1.1,
+            "greedy {t_greedy} vs optimal {t_best} ({best:?})"
+        );
+    }
+
+    #[test]
+    fn local_search_improves_or_preserves() {
+        let files = mixed_catalog();
+        // Start from the (bad) everything-in-one-bundle partition.
+        let all: Partition = vec![(0..files.len()).collect()];
+        let t_all = evaluate_partition(&files, &all, ENV);
+        let (refined, t_refined) = local_search(&files, all, ENV, 50);
+        assert!(t_refined <= t_all + 1e-9);
+        validate_partition(&files, &refined);
+    }
+
+    #[test]
+    fn brute_force_agrees_with_evaluate() {
+        let files = vec![
+            CatalogFile { lambda: 0.01, size: 1_000.0 },
+            CatalogFile { lambda: 0.002, size: 1_000.0 },
+        ];
+        let (best, t) = brute_force_partition(&files, ENV);
+        assert!((evaluate_partition(&files, &best, ENV) - t).abs() < 1e-12);
+        // Only two partitions exist; check the better one was chosen.
+        let merged = evaluate_partition(&files, &vec![vec![0, 1]], ENV);
+        let split = evaluate_partition(&files, &vec![vec![0], vec![1]], ENV);
+        assert!((t - merged.min(split)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rare_publisher_prefers_bigger_bundles() {
+        // As the publisher gets rarer, the optimal partition coarsens.
+        let files = mixed_catalog();
+        let frequent = Environment { r: 1.0 / 500.0, ..ENV };
+        let rare = Environment { r: 1.0 / 50_000.0, ..ENV };
+        let bundles_frequent = greedy_partition(&files, frequent).len();
+        let bundles_rare = greedy_partition(&files, rare).len();
+        assert!(
+            bundles_rare <= bundles_frequent,
+            "rare publisher must coarsen: {bundles_rare} vs {bundles_frequent}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two bundles")]
+    fn validate_rejects_overlap() {
+        let files = mixed_catalog();
+        validate_partition(&files, &vec![vec![0, 1], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every file")]
+    fn validate_rejects_missing() {
+        let files = mixed_catalog();
+        validate_partition(&files, &vec![vec![0, 1]]);
+    }
+}

@@ -1,0 +1,195 @@
+//! §3.3.2 — mean download time with patient peers.
+//!
+//! Peers arriving during an idle period now *wait* for a publisher. Their
+//! download time is waiting time plus service time. The idle period is
+//! exponential with mean `1/r` and, by PASTA, a fraction `P` of peers
+//! arrive idle, giving Lemma 3.2 (eq. 11):
+//!
+//! `E[T] = s/μ + P/r`,  with  `P = (1/r)/(1/r + E[B])`.
+//!
+//! The busy period uses the same eq. (9) parameterization as §3.3.1
+//! (`α₂ = θ = u`), neglecting the accumulated group of waiting peers that
+//! is served when a publisher returns (the paper's stated simplification).
+//!
+//! Theorem 3.2 (Download Time Theorem) follows: bundling K files can
+//! increase `E[T]` by at most a factor K (service-dominated regime), and
+//! can *decrease* it by Θ(1/R) (wait-dominated regime, highly unavailable
+//! publishers) — peers obtain more content in less time.
+
+use crate::impatient;
+use crate::params::SwarmParams;
+
+/// Expected availability period `E[B]`; identical parameterization to
+/// [`impatient::busy_period`] (the models differ in peer behavior during
+/// idleness, not in the busy-period law).
+pub fn busy_period(p: &SwarmParams) -> f64 {
+    impatient::busy_period(p)
+}
+
+/// `ln E[B]`.
+pub fn ln_busy_period(p: &SwarmParams) -> f64 {
+    impatient::ln_busy_period(p)
+}
+
+/// Probability a peer arrives while content is unavailable.
+pub fn unavailability(p: &SwarmParams) -> f64 {
+    impatient::unavailability(p)
+}
+
+/// Mean download time — Lemma 3.2, eq. (11): `E[T] = s/μ + P/r`.
+///
+/// ```
+/// use swarm_core::{patient, SwarmParams};
+/// let file = SwarmParams {
+///     lambda: 1.0 / 60.0, size: 4_000.0, mu: 50.0,
+///     r: 1.0 / 900.0, u: 300.0,
+/// };
+/// let t = patient::download_time(&file);
+/// // Download time decomposes into service plus waiting.
+/// assert!((t - (file.service_time() + patient::waiting_time(&file))).abs() < 1e-9);
+/// ```
+pub fn download_time(p: &SwarmParams) -> f64 {
+    p.validate();
+    p.service_time() + unavailability(p) / p.r
+}
+
+/// Mean time spent *waiting* (the `P/r` component of eq. 11).
+pub fn waiting_time(p: &SwarmParams) -> f64 {
+    p.validate();
+    unavailability(p) / p.r
+}
+
+/// Theorem 3.2(a): the worst-case download-time inflation from bundling K
+/// files is the service-time ratio, at most K (bundle service is `Ks/μ`
+/// and waiting cannot exceed the unbundled wait ceiling `1/r`).
+pub fn max_inflation_factor(k: u32) -> f64 {
+    assert!(k >= 1);
+    k as f64
+}
+
+/// Theorem 3.2(b) illustration: the download-time *reduction* factor
+/// achievable by bundling when waits dominate, `E[T]/E[T_bundle]`.
+/// As `r → 0` with the bundle self-sustaining, this grows as Θ(1/r).
+pub fn reduction_factor(single: &SwarmParams, bundle: &SwarmParams) -> f64 {
+    download_time(single) / download_time(bundle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PublisherScaling;
+
+    /// Paper §4.3 parameters: s/μ = 80 s, λ = 1/60, 1/r = 900 s, u = 300 s.
+    fn swarm() -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 60.0,
+            size: 4000.0,
+            mu: 50.0,
+            r: 1.0 / 900.0,
+            u: 300.0,
+        }
+    }
+
+    #[test]
+    fn download_time_decomposes() {
+        let p = swarm();
+        let t = download_time(&p);
+        assert!((t - (p.service_time() + waiting_time(&p))).abs() < 1e-9);
+        assert!(t >= p.service_time());
+        // Waiting can never exceed the mean idle period.
+        assert!(waiting_time(&p) <= 1.0 / p.r);
+    }
+
+    #[test]
+    fn perfectly_available_publisher_removes_waiting() {
+        // r u >> 1: publisher virtually always there, P ≈ 0, T ≈ s/μ.
+        let p = SwarmParams {
+            r: 1.0,
+            u: 100.0,
+            ..swarm()
+        };
+        let t = download_time(&p);
+        assert!((t - p.service_time()).abs() / p.service_time() < 1e-6);
+    }
+
+    #[test]
+    fn theorem_3_2a_inflation_bounded_by_k() {
+        let p = swarm();
+        for k in 2..=8u32 {
+            let b = p.bundle(k, PublisherScaling::Fixed);
+            let ratio = download_time(&b) / download_time(&p);
+            assert!(
+                ratio <= k as f64 + 1e-9,
+                "k={k}: inflation {ratio} exceeds K"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_2b_reduction_grows_as_publishers_vanish() {
+        // As r → 0 the single-file wait 1/r explodes while a self-
+        // sustaining bundle keeps E[T] ≈ Ks/μ: reduction factor ~ Θ(1/r).
+        let base = swarm();
+        let k = 6u32;
+        let mut prev_factor = 0.0;
+        for inv_r in [2_000.0, 8_000.0, 32_000.0] {
+            let p = SwarmParams {
+                r: 1.0 / inv_r,
+                ..base
+            };
+            let b = p.bundle(k, PublisherScaling::Fixed);
+            let f = reduction_factor(&p, &b);
+            assert!(
+                f > prev_factor,
+                "reduction factor must grow as r shrinks: {f} after {prev_factor}"
+            );
+            prev_factor = f;
+        }
+        assert!(prev_factor > 10.0, "waits dominate: bundling wins big, got {prev_factor}");
+    }
+
+    #[test]
+    fn bundling_helps_unavailable_publisher_hurts_available_one() {
+        // The paper's central tradeoff in one test.
+        let k = 4u32;
+
+        // Highly unavailable publisher: bundling reduces download time.
+        let unavailable = SwarmParams {
+            r: 1.0 / 20_000.0,
+            ..swarm()
+        };
+        let b = unavailable.bundle(k, PublisherScaling::Fixed);
+        assert!(
+            download_time(&b) < download_time(&unavailable),
+            "bundle {} vs single {}",
+            download_time(&b),
+            download_time(&unavailable)
+        );
+
+        // Highly available publisher: bundling only adds service time.
+        let available = SwarmParams {
+            r: 0.1,
+            u: 1000.0,
+            ..swarm()
+        };
+        let b = available.bundle(k, PublisherScaling::Fixed);
+        assert!(download_time(&b) > download_time(&available));
+    }
+
+    #[test]
+    fn waiting_time_monotone_decreasing_in_k() {
+        let p = swarm();
+        let mut prev = waiting_time(&p);
+        for k in 2..=8u32 {
+            let w = waiting_time(&p.bundle(k, PublisherScaling::Fixed));
+            assert!(w <= prev + 1e-12, "k={k}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn max_inflation_factor_is_k() {
+        assert_eq!(max_inflation_factor(1), 1.0);
+        assert_eq!(max_inflation_factor(7), 7.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! §3.2 — the simple availability model (paper eqs. 1–8).
+//!
+//! Two nested instances of the same idea:
+//!
+//! 1. **Publishers only** (eqs. 1–6): content is available iff a publisher
+//!    is online. Publisher presence is an M/G/∞ queue with arrival rate
+//!    `r` and residence `u`, so availability intervals are its busy
+//!    periods, `E[B] = (e^{ru} − 1)/r`, and a Poisson (peer) arrival finds
+//!    the content unavailable with probability
+//!    `P = (1/r)/(E[B] + 1/r) = e^{−ru}`.
+//! 2. **Publishers and peers** (eqs. 7–8): peers also hold the content
+//!    while they download; with the simplifying assumption `u = s/μ`,
+//!    everyone is a homogeneous customer and the busy period is
+//!    `(e^{(λ+r)s/μ} − 1)/(λ+r)`.
+//!
+//! Bundling K files multiplies both the arrival rate and the residence
+//! time by K, so the exponent grows as K² — the paper's headline
+//! `e^Θ(K²)` unavailability reduction, in its simplest form.
+
+use crate::params::SwarmParams;
+use swarm_queue::busy::{classical_busy_period, ln_classical_busy_period};
+
+/// Expected availability (busy) period with publishers only — eq. (2):
+/// `E[B] = (e^{r·u} − 1)/r`.
+pub fn publisher_busy_period(p: &SwarmParams) -> f64 {
+    p.validate();
+    classical_busy_period(p.r, p.u)
+}
+
+/// `ln E[B]` of [`publisher_busy_period`] (finite at any load).
+pub fn ln_publisher_busy_period(p: &SwarmParams) -> f64 {
+    p.validate();
+    ln_classical_busy_period(p.r, p.u)
+}
+
+/// Probability a peer arrives during an idle period, publishers only —
+/// eq. (1). Closed form: `P = 1/(1 + r·E[B]) = e^{−r·u}`.
+pub fn publisher_unavailability(p: &SwarmParams) -> f64 {
+    p.validate();
+    (-p.r * p.u).exp()
+}
+
+/// `ln P` of [`publisher_unavailability`]: simply `−r·u`.
+pub fn ln_publisher_unavailability(p: &SwarmParams) -> f64 {
+    p.validate();
+    -p.r * p.u
+}
+
+/// Expected availability period when peers also serve the content and the
+/// publisher stays exactly one service time (`u = s/μ`) — eq. (7):
+/// `E[B] = (e^{(λ+r)s/μ} − 1)/(λ+r)`.
+///
+/// Note: this model *ignores* the configured `u` and uses `s/μ` in its
+/// place, per the paper's simplifying assumption.
+pub fn coverage_busy_period(p: &SwarmParams) -> f64 {
+    p.validate();
+    classical_busy_period(p.lambda + p.r, p.service_time())
+}
+
+/// `ln E[B]` of [`coverage_busy_period`].
+pub fn ln_coverage_busy_period(p: &SwarmParams) -> f64 {
+    p.validate();
+    ln_classical_busy_period(p.lambda + p.r, p.service_time())
+}
+
+/// Unavailability in the peers-and-publishers model: with homogeneous
+/// customers at rate `λ+r` and residence `s/μ`,
+/// `P = 1/(1 + (λ+r)E[B]) = e^{−(λ+r)s/μ}`.
+pub fn coverage_unavailability(p: &SwarmParams) -> f64 {
+    ln_coverage_unavailability(p).exp()
+}
+
+/// `ln P` of [`coverage_unavailability`]: `−(λ+r)·s/μ`.
+pub fn ln_coverage_unavailability(p: &SwarmParams) -> f64 {
+    p.validate();
+    -(p.lambda + p.r) * p.service_time()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PublisherScaling;
+
+    fn swarm() -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 150.0,
+            size: 4000.0,
+            mu: 33.0,
+            r: 1.0 / 1000.0,
+            u: 400.0,
+        }
+    }
+
+    #[test]
+    fn unavailability_is_exp_minus_ru() {
+        let p = swarm();
+        // Closed form e^{-ru} must agree with the ratio definition (eq. 1).
+        let eb = publisher_busy_period(&p);
+        let ratio = (1.0 / p.r) / (eb + 1.0 / p.r);
+        assert!((publisher_unavailability(&p) - ratio).abs() < 1e-12);
+        assert!((publisher_unavailability(&p) - (-0.4f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_forms_agree_with_linear() {
+        let p = swarm();
+        assert!(
+            (ln_publisher_busy_period(&p) - publisher_busy_period(&p).ln()).abs() < 1e-10
+        );
+        assert!(
+            (ln_coverage_busy_period(&p) - coverage_busy_period(&p).ln()).abs() < 1e-10
+        );
+    }
+
+    #[test]
+    fn bundling_k_proportional_gives_k_squared_exponent() {
+        // eq (5)/(6): with R = Kr, U = Ku, ln E[B] ≈ K² r u − ln(Kr).
+        let p = swarm();
+        for k in [2u32, 5, 10] {
+            let b = p.bundle(k, PublisherScaling::Proportional);
+            let ln_eb = ln_publisher_busy_period(&b);
+            let kf = k as f64;
+            let expected = swarm_queue::series::ln_sub_exp(kf * kf * p.r * p.u, 0.0)
+                - (kf * p.r).ln();
+            assert!((ln_eb - expected).abs() < 1e-9, "k={k}");
+            // Unavailability falls exactly as e^{−K²ru}.
+            assert!(
+                (ln_publisher_unavailability(&b) + kf * kf * p.r * p.u).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn unavailability_decreases_with_bundling() {
+        let p = swarm();
+        let mut prev = publisher_unavailability(&p);
+        for k in 2..=8 {
+            let cur = publisher_unavailability(&p.bundle(k, PublisherScaling::Proportional));
+            assert!(cur < prev, "k={k}: {cur} >= {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn coverage_model_uses_peer_demand() {
+        // Even with the same publisher process, more peer demand means
+        // longer availability periods.
+        let p = swarm();
+        let popular = SwarmParams {
+            lambda: 10.0 * p.lambda,
+            ..p
+        };
+        assert!(coverage_busy_period(&popular) > coverage_busy_period(&p));
+    }
+
+    #[test]
+    fn coverage_model_bundling_exponent_with_fixed_publisher() {
+        // §3.2 closing remark: E[B] = e^{Θ(K²)} "even if the bundled
+        // publisher arrival rate is equal to the publisher arrival rate of
+        // the individual swarms".
+        let p = swarm();
+        let ln_1 = ln_coverage_busy_period(&p.bundle(1, PublisherScaling::Fixed));
+        let ln_4 = ln_coverage_busy_period(&p.bundle(4, PublisherScaling::Fixed));
+        let ln_8 = ln_coverage_busy_period(&p.bundle(8, PublisherScaling::Fixed));
+        // Quadratic growth: going 4→8 should add ~4x what going 1→4 added
+        // ... precisely, ln E[B](K) ≈ (Kλ+r)(Ks/μ) ~ K²λs/μ.
+        let g14 = ln_4 - ln_1;
+        let g48 = ln_8 - ln_4;
+        assert!(g48 > 2.5 * g14, "quadratic growth expected: {g14} then {g48}");
+    }
+}

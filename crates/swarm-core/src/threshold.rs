@@ -1,0 +1,204 @@
+//! §3.3.3 — threshold coverage.
+//!
+//! A departing peer can take the last copy of a block with it, so content
+//! may become unavailable while several peers are still online. The model
+//! captures this with a coverage threshold `m`: when no publisher is
+//! online and the peer population drops to `m`, the busy period ends.
+//!
+//! The machinery is the residual busy period `B(n, m)` of Lemma 3.3
+//! (eq. 12) mixed over the steady-state Poisson population (eq. 13),
+//! giving Theorem 3.3:
+//!
+//! `P = exp(−r(u + B(m)))`,  `E[T] = s/μ + P/r`
+//!
+//! and the single-publisher adaptation used to validate against the
+//! PlanetLab experiments (§4.3.1, eq. 16):
+//!
+//! `P = exp(−r·B(m)) / (u·r + 1)`.
+
+use crate::params::SwarmParams;
+use swarm_queue::residual::poisson_mixture_residual;
+
+/// `B(m)` — the expected residual busy period after the last publisher
+/// departs, starting from the steady-state peer population (eq. 13).
+///
+/// This is the paper's measure of how long a swarm stays *self-sustaining*
+/// without any publisher (§4.2, Figure 4).
+pub fn residual_busy_period(p: &SwarmParams, m: u64) -> f64 {
+    p.validate();
+    poisson_mixture_residual(m, p.lambda, p.service_time())
+}
+
+/// Unavailability under coverage threshold `m` — Theorem 3.3, eq. (14):
+/// `P = exp(−r(u + B(m)))`.
+///
+/// The exponent is the expected number of busy periods a publisher
+/// arrival process at rate `r` "misses": each busy period lasts `u + B(m)`
+/// on average (publisher phase plus peer-sustained phase, with the
+/// geometric phase-1/phase-2 cycling folded in).
+pub fn unavailability(p: &SwarmParams, m: u64) -> f64 {
+    p.validate();
+    (-p.r * (p.u + residual_busy_period(p, m))).exp()
+}
+
+/// Mean download time under coverage threshold `m` — Theorem 3.3:
+/// `E[T] = s/μ + P/r` with `P` from [`unavailability`].
+pub fn download_time(p: &SwarmParams, m: u64) -> f64 {
+    p.service_time() + unavailability(p, m) / p.r
+}
+
+/// Unavailability with a *single* intermittent publisher (on/off with mean
+/// on-time `u` and mean off-time `1/r`) — eq. (16):
+/// `P = exp(−r·B(m)) / (u·r + 1)`.
+///
+/// This is the form validated against the §4.3 experiments, where exactly
+/// one publisher alternates between on (300 s) and off (900 s).
+pub fn single_publisher_unavailability(p: &SwarmParams, m: u64) -> f64 {
+    p.validate();
+    (-p.r * residual_busy_period(p, m)).exp() / (p.u * p.r + 1.0)
+}
+
+/// Mean download time with a single intermittent publisher:
+/// `E[T] = s/μ + P/r` with `P` from
+/// [`single_publisher_unavailability`] (§4.3.1).
+///
+/// ```
+/// use swarm_core::{threshold, SwarmParams, PublisherScaling};
+/// // The paper's §4.3 setup: λ=1/60, s/μ=80 s, on 300 s / off 900 s, m=9.
+/// let file = SwarmParams {
+///     lambda: 1.0 / 60.0, size: 4_000.0, mu: 50.0,
+///     r: 1.0 / 900.0, u: 300.0,
+/// };
+/// let t1 = threshold::single_publisher_download_time(&file, 9);
+/// let t4 = threshold::single_publisher_download_time(
+///     &file.bundle(4, PublisherScaling::Fixed), 9);
+/// assert!(t4 < t1); // Figure 6(a): the K=4 bundle wins
+/// ```
+pub fn single_publisher_download_time(p: &SwarmParams, m: u64) -> f64 {
+    p.service_time() + single_publisher_unavailability(p, m) / p.r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PublisherScaling;
+
+    /// §4.2 parameters: μ = 33 kB/s, s = 4 MB, λ = 1/150 peers/s.
+    fn fig4_swarm() -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 150.0,
+            size: 4000.0,
+            mu: 33.0,
+            r: 1.0 / 900.0,
+            u: 300.0,
+        }
+    }
+
+    /// §4.3 parameters: s/μ = 80 s, λ = 1/60, 1/r = 900 s, u = 300 s.
+    fn fig6_swarm() -> SwarmParams {
+        SwarmParams {
+            lambda: 1.0 / 60.0,
+            size: 4000.0,
+            mu: 50.0,
+            r: 1.0 / 900.0,
+            u: 300.0,
+        }
+    }
+
+    #[test]
+    fn residual_busy_period_explodes_with_bundling() {
+        // The §4.2 table: B(m) for m = 9 is ≈0 for K = 1, 2 and crosses
+        // the 1500 s experiment horizon by K ≈ 5-6 (self-sustaining).
+        let p = fig4_swarm();
+        let bm: Vec<f64> = (1..=8u32)
+            .map(|k| residual_busy_period(&p.bundle(k, PublisherScaling::Fixed), 9))
+            .collect();
+        assert!(bm[0] < 1.0, "K=1 must not self-sustain: {}", bm[0]);
+        assert!(bm[1] < 5.0, "K=2 must not self-sustain: {}", bm[1]);
+        assert!(bm.windows(2).all(|w| w[0] <= w[1]), "monotone in K");
+        assert!(
+            bm[5] > 1500.0,
+            "K=6 must outlive the 1500 s experiment: {}",
+            bm[5]
+        );
+    }
+
+    #[test]
+    fn residual_busy_period_decreasing_in_threshold() {
+        let p = fig4_swarm().bundle(5, PublisherScaling::Fixed);
+        let b3 = residual_busy_period(&p, 3);
+        let b9 = residual_busy_period(&p, 9);
+        let b15 = residual_busy_period(&p, 15);
+        assert!(b3 > b9 && b9 > b15, "B(m) must fall with m: {b3}, {b9}, {b15}");
+    }
+
+    #[test]
+    fn unavailability_bounded_and_falls_with_k() {
+        let p = fig6_swarm();
+        let mut prev = 1.0;
+        for k in 1..=8u32 {
+            let b = p.bundle(k, PublisherScaling::Fixed);
+            let pr = unavailability(&b, 9);
+            assert!((0.0..=1.0).contains(&pr), "k={k}: P={pr}");
+            assert!(pr <= prev + 1e-15, "k={k}: P must fall");
+            prev = pr;
+        }
+    }
+
+    #[test]
+    fn theorem_3_3_reduces_toward_patient_model_as_m_grows_small() {
+        // With m = 0 and a modest load the threshold model's P and the
+        // patient model's P agree within modeling slack (they use slightly
+        // different busy-period accounting, so only coarse agreement is
+        // expected).
+        let p = fig6_swarm();
+        let pt = unavailability(&p, 0);
+        let pp = crate::patient::unavailability(&p);
+        assert!(
+            (pt - pp).abs() < 0.3,
+            "threshold P={pt} vs patient P={pp} diverge wildly"
+        );
+    }
+
+    #[test]
+    fn single_publisher_download_time_has_interior_optimum() {
+        // Figure 6(a): E[T](K) first falls (availability gain) then rises
+        // (service cost); the model predicts an optimum near K = 4-5.
+        let p = fig6_swarm();
+        let times: Vec<f64> = (1..=8u32)
+            .map(|k| single_publisher_download_time(&p.bundle(k, PublisherScaling::Fixed), 9))
+            .collect();
+        let (best_k, _) = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let best_k = best_k as u32 + 1;
+        assert!(
+            (3..=6).contains(&best_k),
+            "optimal K should be ~4-5 per §4.3.1, got {best_k} (times {times:?})"
+        );
+        // And beyond the optimum the curve grows roughly linearly in K.
+        assert!(times[7] > times[5]);
+    }
+
+    #[test]
+    fn single_publisher_unavailability_without_self_sustaining_swarm() {
+        // K = 1: B(m) ≈ 0, so P ≈ 1/(ur + 1) — peers can only download
+        // while the publisher is up.
+        let p = fig6_swarm();
+        let pr = single_publisher_unavailability(&p, 9);
+        let expected = 1.0 / (p.u * p.r + 1.0);
+        assert!((pr - expected).abs() < 0.01, "{pr} vs {expected}");
+    }
+
+    #[test]
+    fn download_time_exceeds_service_time() {
+        let p = fig6_swarm();
+        for k in 1..=6u32 {
+            let b = p.bundle(k, PublisherScaling::Fixed);
+            assert!(download_time(&b, 9) >= b.service_time());
+            assert!(single_publisher_download_time(&b, 9) >= b.service_time());
+        }
+    }
+}

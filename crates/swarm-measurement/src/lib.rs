@@ -1,0 +1,49 @@
+//! Synthetic measurement study of swarm populations (paper §2).
+//!
+//! The paper's measurement study monitored 66k+ real Mininova swarms from
+//! 300 PlanetLab vantage points for seven months, plus a 1.09M-swarm
+//! snapshot. Neither data source exists here, so this crate builds the
+//! closest synthetic equivalent and reproduces the full analysis pipeline
+//! on it:
+//!
+//! * [`catalog`] — a Mininova-shaped catalog: nine categories, per-category
+//!   bundle prevalence calibrated to §2.3.1, file-extension mixes, Zipf
+//!   demand, heterogeneous publishers (more committed for bundles), and
+//!   book super-collections;
+//! * [`observe`] — per-swarm seed-presence as an alternating renewal
+//!   process whose ON periods are M/G/∞ busy periods of the seed process
+//!   (publishers + altruistic completers), with demand and publisher
+//!   interest decaying in swarm age; hourly monitoring agents;
+//! * [`bundling`] — the §2.3.1 extension-based bundle classifier and the
+//!   per-category extent table;
+//! * [`availability`] — the Figure 1 pipeline: first-month and
+//!   whole-trace per-swarm availability CDFs;
+//! * [`analysis`] — the §2.3.2 contrasts: books vs collections
+//!   (availability, downloads, super-collection folding) and the
+//!   "Friends" case study;
+//! * [`popularity`] — Figure 7's new-vs-old swarm arrival patterns;
+//! * [`bias`] — observation-bias analysis: how imperfect peer discovery
+//!   (tracker + PEX sampling) shifts the measured availability CDF;
+//! * [`population`] — capture–recapture estimation of swarm sizes from
+//!   incomplete agent samples (Chapman-corrected Lincoln–Petersen).
+//!
+//! Absolute counts are scaled (default 1% of the paper's population); the
+//! reproduced artifacts are *shapes and orderings* — the CDF of Figure 1,
+//! the bundled-vs-unbundled availability gap, the bundling-extent table.
+
+pub mod analysis;
+pub mod availability;
+pub mod bias;
+pub mod bundling;
+pub mod catalog;
+pub mod observe;
+pub mod popularity;
+pub mod population;
+
+pub use analysis::{book_stats, show_case_study, BookStats, ShowCaseStudy};
+pub use bias::{bias_study, BiasStudy, Observer};
+pub use availability::{availability_study, AvailabilityStudy};
+pub use bundling::{bundling_extent, is_bundle, is_collection, BundlingExtent};
+pub use catalog::{generate_catalog, CatalogConfig, Category, FileEntry, Swarm};
+pub use observe::{monitor, seed_process, stationary_availability};
+pub use population::{capture_recapture, sample_and_estimate, PopulationEstimate};

@@ -1,0 +1,212 @@
+//! Seed-presence dynamics and monitoring agents.
+//!
+//! The paper's agents join each swarm and classify seeds from peer
+//! bitmaps, recording roughly hourly whether at least one seed is online.
+//! Here, each swarm's *ground-truth* seed presence is an alternating
+//! renewal process driven by the paper's own model: seeds (the original
+//! publisher plus altruistic completers) form an M/G/∞ queue whose busy
+//! periods are seed-present intervals (eq. 9 parameterization), and idle
+//! periods are exponential with mean `1/r`. Demand and publisher interest
+//! decay with swarm age, which is what separates the paper's first-month
+//! curve from the whole-trace curve in Figure 1.
+
+use crate::catalog::Swarm;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use swarm_queue::busy::TwoPhaseBusyPeriod;
+
+/// Hours per "month" of monitoring (30 days).
+pub const HOURS_PER_MONTH: f64 = 720.0;
+
+/// Age-dependent effective parameters of a swarm's seed process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeedProcessParams {
+    /// Mean seed-present (busy) period length in hours.
+    pub on_mean: f64,
+    /// Mean seedless (idle) period length in hours (`1/r(age)`).
+    pub off_mean: f64,
+}
+
+/// Demand decay with age: a popularity wave that fades over a few weeks
+/// onto a small persistent tail (Figure 7's new-vs-old contrast).
+pub fn demand_decay(age_days: f64) -> f64 {
+    0.05 + 0.95 * (-age_days / 20.0).exp()
+}
+
+/// Publisher-interest decay with age: publishers re-seed new content
+/// often, old content rarely.
+pub fn publisher_decay(age_days: f64) -> f64 {
+    0.008 + 0.992 * (-age_days / 14.0).exp()
+}
+
+/// Effective seed-process parameters of `swarm` at the given age.
+///
+/// The busy period comes from the eq. (9) machinery with seeds as
+/// customers: publishers arrive at `r(age)` and stay `u`; altruistic
+/// completers appear at `ψ(age)` (a fixed fraction of demand) and stay
+/// their lingering time.
+pub fn seed_process(swarm: &Swarm, age_days: f64) -> SeedProcessParams {
+    let r = (swarm.publisher_rate * publisher_decay(age_days)).max(1e-7);
+    let psi = (swarm.altruist_rate * demand_decay(age_days)).max(1e-9);
+    let p = TwoPhaseBusyPeriod {
+        beta: r + psi,
+        theta: swarm.publisher_residence,
+        q1: psi / (r + psi),
+        alpha1: swarm.altruist_residence,
+        alpha2: swarm.publisher_residence,
+    };
+    let on_mean = p.expected().min(24.0 * 365.0 * 10.0); // cap at 10 years
+    SeedProcessParams {
+        on_mean,
+        off_mean: 1.0 / r,
+    }
+}
+
+/// Stationary probability that at least one seed is online at the given
+/// age (the snapshot statistic used in §2.3.2).
+pub fn stationary_availability(swarm: &Swarm, age_days: f64) -> f64 {
+    let p = seed_process(swarm, age_days);
+    p.on_mean / (p.on_mean + p.off_mean)
+}
+
+/// Hourly seed-presence samples over `months` months of monitoring,
+/// starting at the swarm's creation.
+///
+/// The ON/OFF process is simulated with *time-varying hazards*: both
+/// period lengths are exponential with age-dependent means, so each hour
+/// the state toggles with probability `1 − e^{−1/mean(age)}`. This is the
+/// correct generalization of the alternating renewal process to decaying
+/// parameters — a swarm that starts with a month-long busy period still
+/// goes dark once its publisher's interest fades, which is what separates
+/// Figure 1's first-month curve from its whole-trace curve. Parameters
+/// are refreshed weekly (they vary slowly).
+pub fn monitor<R: Rng + ?Sized>(swarm: &Swarm, months: u32, rng: &mut R) -> Vec<bool> {
+    assert!(months >= 1, "must monitor for at least one month");
+    let horizon_hours = (months as f64 * HOURS_PER_MONTH) as usize;
+    let mut samples = Vec::with_capacity(horizon_hours);
+    let p0 = seed_process(swarm, 0.0);
+    let mut on = rng.gen::<f64>() < p0.on_mean / (p0.on_mean + p0.off_mean);
+    let mut params = p0;
+    for hour in 0..horizon_hours {
+        if hour % (24 * 7) == 0 && hour > 0 {
+            params = seed_process(swarm, hour as f64 / 24.0);
+        }
+        let mean = if on { params.on_mean } else { params.off_mean };
+        if rng.gen::<f64>() < 1.0 - (-1.0 / mean).exp() {
+            on = !on;
+        }
+        samples.push(on);
+    }
+    samples
+}
+
+/// Fraction of samples with a seed present.
+pub fn availability_fraction(samples: &[bool]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().filter(|&&s| s).count() as f64 / samples.len() as f64
+}
+
+/// Expected number of completed downloads over a monitoring window: peers
+/// arrive at the (decayed) demand and complete when content is available.
+pub fn expected_downloads(swarm: &Swarm, months: u32) -> f64 {
+    let mut total = 0.0;
+    for m in 0..months {
+        let age_days = m as f64 * 30.0 + 15.0;
+        let demand = swarm.demand * demand_decay(age_days);
+        let avail = stationary_availability(swarm, age_days);
+        total += demand * avail * HOURS_PER_MONTH;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{generate_catalog, CatalogConfig, Category};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn any_swarm() -> Swarm {
+        generate_catalog(&CatalogConfig {
+            scale: 0.002,
+            seed: 3,
+        })
+        .into_iter()
+        .find(|s| s.category == Category::Music)
+        .expect("music swarm exists")
+    }
+
+    #[test]
+    fn decay_functions_monotone() {
+        assert!(demand_decay(0.0) > demand_decay(10.0));
+        assert!(demand_decay(10.0) > demand_decay(100.0));
+        assert!(demand_decay(1e6) >= 0.05 - 1e-12);
+        assert!(publisher_decay(0.0) > publisher_decay(365.0));
+    }
+
+    #[test]
+    fn seed_process_degrades_with_age() {
+        let s = any_swarm();
+        let young = seed_process(&s, 0.0);
+        let old = seed_process(&s, 365.0);
+        assert!(young.on_mean >= old.on_mean);
+        assert!(young.off_mean <= old.off_mean);
+        assert!(
+            stationary_availability(&s, 0.0) >= stationary_availability(&s, 365.0)
+        );
+    }
+
+    #[test]
+    fn monitor_matches_stationary_availability() {
+        let s = any_swarm();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Average over many independent month-long traces.
+        let mut frac_sum = 0.0;
+        let reps = 200;
+        for _ in 0..reps {
+            let samples = monitor(&s, 1, &mut rng);
+            assert_eq!(samples.len(), 720);
+            frac_sum += availability_fraction(&samples);
+        }
+        let measured = frac_sum / reps as f64;
+        // With decaying parameters the occupancy lags the stationary
+        // curve (the process remembers its more-available past), so the
+        // measured month-average must lie between the end-of-month and
+        // start-of-month stationary availabilities.
+        let lo = stationary_availability(&s, 30.0);
+        let hi = stationary_availability(&s, 0.0);
+        assert!(
+            measured >= lo - 0.05 && measured <= hi + 0.05,
+            "measured {measured} outside stationary envelope [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn availability_fraction_edge_cases() {
+        assert!(availability_fraction(&[]).is_nan());
+        assert_eq!(availability_fraction(&[true, true]), 1.0);
+        assert_eq!(availability_fraction(&[true, false, false, false]), 0.25);
+    }
+
+    #[test]
+    fn expected_downloads_positive_and_decaying() {
+        let s = any_swarm();
+        let one = expected_downloads(&s, 1);
+        let seven = expected_downloads(&s, 7);
+        assert!(one > 0.0);
+        assert!(seven > one);
+        // Month 7 adds less than month 1 did (decay).
+        let six = expected_downloads(&s, 6);
+        assert!(seven - six < one);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one month")]
+    fn monitor_rejects_zero_months() {
+        let s = any_swarm();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        monitor(&s, 0, &mut rng);
+    }
+}

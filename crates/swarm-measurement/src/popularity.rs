@@ -1,0 +1,115 @@
+//! Arrival patterns of new and old swarms (§4.3.4, Figure 7).
+//!
+//! The paper contrasts a typical *new* swarm — a popularity wave whose
+//! arrival rate decays rapidly over the first month — with a typical
+//! *old* swarm whose rate has settled onto a low, steady plateau. The
+//! model's Poisson assumption is justified for the latter.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use swarm_queue::arrivals::nonhomogeneous_poisson;
+use swarm_stats::Histogram;
+
+/// A binned arrival trace: `(day, arrivals)` pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// Daily arrival counts.
+    pub daily: Vec<(f64, u64)>,
+    /// Total arrivals.
+    pub total: u64,
+}
+
+/// Intensity (arrivals/day) of a new swarm of age `t` days: a fast
+/// popularity wave on a persistent tail.
+pub fn new_swarm_rate(peak: f64, t_days: f64) -> f64 {
+    peak * (0.05 + 0.95 * (-t_days / 5.0).exp())
+}
+
+/// Intensity of an old swarm: steady.
+pub fn old_swarm_rate(level: f64, _t_days: f64) -> f64 {
+    level
+}
+
+/// Sample an arrival trace over `days` days from intensity `rate(t)`
+/// (arrivals/day), binned daily.
+pub fn sample_trace<R: Rng + ?Sized>(
+    rate: impl Fn(f64) -> f64,
+    rate_max: f64,
+    days: u32,
+    rng: &mut R,
+) -> ArrivalTrace {
+    assert!(days >= 1);
+    let horizon = days as f64;
+    let events = nonhomogeneous_poisson(rate, rate_max, horizon, rng);
+    let mut hist = Histogram::new(0.0, horizon, days as usize);
+    for &e in &events {
+        hist.add(e);
+    }
+    ArrivalTrace {
+        daily: hist
+            .series()
+            .into_iter()
+            .map(|(center, c)| (center - 0.5, c))
+            .collect(),
+        total: events.len() as u64,
+    }
+}
+
+/// Coefficient of variation of the daily arrival counts — the paper's
+/// "old swarms show much less variation" statistic.
+pub fn daily_cv(trace: &ArrivalTrace) -> f64 {
+    let counts: Vec<f64> = trace.daily.iter().map(|d| d.1 as f64).collect();
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return f64::NAN;
+    }
+    let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn new_swarm_front_loads_arrivals() {
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let peak = 200.0;
+        let trace = sample_trace(|t| new_swarm_rate(peak, t), peak, 30, &mut rng);
+        let first_week: u64 = trace.daily[..7].iter().map(|d| d.1).sum();
+        let last_week: u64 = trace.daily[23..].iter().map(|d| d.1).sum();
+        assert!(
+            first_week > 5 * last_week.max(1),
+            "first week {first_week} vs last {last_week}"
+        );
+    }
+
+    #[test]
+    fn old_swarm_is_steady() {
+        let mut rng = ChaCha8Rng::seed_from_u64(67);
+        let trace = sample_trace(|t| old_swarm_rate(40.0, t), 40.0, 30, &mut rng);
+        // Poisson(40)/day: CV ≈ 1/√40 ≈ 0.16.
+        let cv = daily_cv(&trace);
+        assert!(cv < 0.35, "old swarm CV {cv} too high");
+    }
+
+    #[test]
+    fn new_swarm_cv_exceeds_old_swarm_cv() {
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let new = sample_trace(|t| new_swarm_rate(200.0, t), 200.0, 30, &mut rng);
+        let old = sample_trace(|t| old_swarm_rate(40.0, t), 40.0, 30, &mut rng);
+        assert!(daily_cv(&new) > 2.0 * daily_cv(&old));
+    }
+
+    #[test]
+    fn trace_totals_match_bins() {
+        let mut rng = ChaCha8Rng::seed_from_u64(73);
+        let trace = sample_trace(|_| 10.0, 10.0, 10, &mut rng);
+        let binned: u64 = trace.daily.iter().map(|d| d.1).sum();
+        assert_eq!(binned, trace.total);
+        assert_eq!(trace.daily.len(), 10);
+    }
+}

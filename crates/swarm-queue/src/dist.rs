@@ -1,0 +1,370 @@
+//! Residence-time distributions.
+//!
+//! Customers of the availability queue are peers and publishers; their
+//! "service time" is the time they stay online. The paper's derivations
+//! need each distribution's mean, Laplace transform (eq. 18 evaluates
+//! `1 − h(i/α)` for the initiator's transform `h`) and — for the
+//! Monte-Carlo validator — a sampler.
+
+use rand::Rng;
+use rand_distr::Distribution as _;
+use serde::{Deserialize, Serialize};
+
+/// A nonnegative residence-time distribution with the three facets the
+/// model needs: mean, Laplace transform and sampling.
+pub trait ResidenceTime {
+    /// Expected value `E[X]`.
+    fn mean(&self) -> f64;
+
+    /// Laplace transform `E[e^{-sX}]` for `s >= 0`.
+    fn laplace(&self, s: f64) -> f64;
+
+    /// Draw one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+}
+
+/// Exponential distribution with the given mean (the paper's default for
+/// peer inter-arrival times, publisher residence times and download times).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exp {
+    mean: f64,
+}
+
+impl Exp {
+    /// Exponential with mean `mean > 0`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "Exp mean must be positive and finite, got {mean}");
+        Exp { mean }
+    }
+
+    /// The rate `1/mean`.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.mean
+    }
+}
+
+impl ResidenceTime for Exp {
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn laplace(&self, s: f64) -> f64 {
+        debug_assert!(s >= 0.0);
+        // E[e^{-sX}] = (1/θ) / (1/θ + s) = 1 / (1 + sθ)
+        1.0 / (1.0 + s * self.mean)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        rand_distr::Exp::new(self.rate())
+            .expect("positive rate")
+            .sample(&mut RngAdapter(rng))
+    }
+}
+
+/// Deterministic (point-mass) residence time; used in ablations to probe
+/// sensitivity to the exponential assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Point mass at `value >= 0`.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0 && value.is_finite(), "Deterministic value must be nonnegative, got {value}");
+        Deterministic { value }
+    }
+}
+
+impl ResidenceTime for Deterministic {
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn laplace(&self, s: f64) -> f64 {
+        (-s * self.value).exp()
+    }
+
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.value
+    }
+}
+
+/// Two-phase mixture: `X = X₁` (mean `α₁`) with probability `q₁`, else
+/// `X₂` (mean `α₂`), both exponential.
+///
+/// This is the residence time of a random customer in §3.3.1: with
+/// probability `λ/(λ+r)` the arrival is a peer (stays `s/μ` on average),
+/// otherwise a publisher (stays `u`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mixture2 {
+    /// Probability of drawing from the first component.
+    pub q1: f64,
+    /// First exponential component.
+    pub x1: Exp,
+    /// Second exponential component.
+    pub x2: Exp,
+}
+
+impl Mixture2 {
+    /// Mixture with weight `q1 ∈ [0, 1]` on `x1`.
+    pub fn new(q1: f64, x1: Exp, x2: Exp) -> Self {
+        assert!((0.0..=1.0).contains(&q1), "mixture weight must be in [0,1], got {q1}");
+        Mixture2 { q1, x1, x2 }
+    }
+}
+
+impl ResidenceTime for Mixture2 {
+    fn mean(&self) -> f64 {
+        self.q1 * self.x1.mean() + (1.0 - self.q1) * self.x2.mean()
+    }
+
+    fn laplace(&self, s: f64) -> f64 {
+        self.q1 * self.x1.laplace(s) + (1.0 - self.q1) * self.x2.laplace(s)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = RngAdapter(rng).gen();
+        if u < self.q1 {
+            self.x1.sample(rng)
+        } else {
+            self.x2.sample(rng)
+        }
+    }
+}
+
+/// Hypoexponential: a sum of independent exponential stages with the given
+/// means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypoexponential {
+    stage_means: Vec<f64>,
+}
+
+impl Hypoexponential {
+    /// Sum of independent exponentials with means `stage_means` (all > 0).
+    pub fn new(stage_means: Vec<f64>) -> Self {
+        assert!(!stage_means.is_empty(), "need at least one stage");
+        assert!(
+            stage_means.iter().all(|&m| m > 0.0 && m.is_finite()),
+            "stage means must be positive and finite"
+        );
+        Hypoexponential { stage_means }
+    }
+
+    /// The stage means.
+    pub fn stage_means(&self) -> &[f64] {
+        &self.stage_means
+    }
+}
+
+impl ResidenceTime for Hypoexponential {
+    fn mean(&self) -> f64 {
+        self.stage_means.iter().sum()
+    }
+
+    fn laplace(&self, s: f64) -> f64 {
+        // Product of stage transforms: Π 1/(1 + s·mᵢ)
+        self.stage_means.iter().map(|&m| 1.0 / (1.0 + s * m)).product()
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.stage_means
+            .iter()
+            .map(|&m| Exp::new(m).sample(rng))
+            .sum()
+    }
+}
+
+/// `max(X₁, …, Xₙ)` of n i.i.d. exponentials with mean `α`.
+///
+/// Lemma 3.3 of the paper: by memorylessness, the residual busy period
+/// started by `n` extant leechers is initiated by a virtual customer whose
+/// residence is this maximum, which is hypoexponential with stage means
+/// `(α, α/2, …, α/n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxOfExponentials {
+    n: u64,
+    alpha: f64,
+}
+
+impl MaxOfExponentials {
+    /// Maximum of `n >= 1` exponentials with common mean `alpha > 0`.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n >= 1, "need at least one exponential");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+        MaxOfExponentials { n, alpha }
+    }
+
+    /// Equivalent hypoexponential representation with stage means `α/i`.
+    pub fn as_hypoexponential(&self) -> Hypoexponential {
+        Hypoexponential::new((1..=self.n).map(|i| self.alpha / i as f64).collect())
+    }
+}
+
+impl ResidenceTime for MaxOfExponentials {
+    fn mean(&self) -> f64 {
+        // E[max] = α Σ_{i=1}^{n} 1/i
+        self.alpha * (1..=self.n).map(|i| 1.0 / i as f64).sum::<f64>()
+    }
+
+    fn laplace(&self, s: f64) -> f64 {
+        // Π_{i=1}^{n} (i/α) / (i/α + s)  — paper, proof of Lemma 3.3.
+        (1..=self.n)
+            .map(|i| {
+                let rate = i as f64 / self.alpha;
+                rate / (rate + s)
+            })
+            .product()
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let e = Exp::new(self.alpha);
+        (0..self.n).map(|_| e.sample(rng)).fold(0.0, f64::max)
+    }
+}
+
+/// Adapter so `rand_distr` samplers (generic over `Rng`) can run on a
+/// `&mut dyn RngCore`.
+struct RngAdapter<'a>(&'a mut dyn rand::RngCore);
+
+impl rand::RngCore for RngAdapter<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_mean<D: ResidenceTime>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_moments_and_laplace() {
+        let e = Exp::new(4.0);
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.rate(), 0.25);
+        assert_eq!(e.laplace(0.0), 1.0);
+        assert!((e.laplace(0.25) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_sample_mean_converges() {
+        let e = Exp::new(3.0);
+        let m = sample_mean(&e, 200_000, 1);
+        assert!((m - 3.0).abs() < 0.05, "sample mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn exp_rejects_zero_mean() {
+        Exp::new(0.0);
+    }
+
+    #[test]
+    fn deterministic_is_point_mass() {
+        let d = Deterministic::new(7.0);
+        assert_eq!(d.mean(), 7.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(d.sample(&mut rng), 7.0);
+        assert!((d.laplace(0.1) - (-0.7f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_mean_is_weighted() {
+        let m = Mixture2::new(0.25, Exp::new(2.0), Exp::new(10.0));
+        assert!((m.mean() - (0.25 * 2.0 + 0.75 * 10.0)).abs() < 1e-12);
+        assert_eq!(m.laplace(0.0), 1.0);
+    }
+
+    #[test]
+    fn mixture_sample_mean_converges() {
+        let m = Mixture2::new(0.7, Exp::new(1.0), Exp::new(5.0));
+        let s = sample_mean(&m, 200_000, 2);
+        assert!((s - m.mean()).abs() < 0.05, "sample mean {s} vs {}", m.mean());
+    }
+
+    #[test]
+    fn mixture_degenerate_weights() {
+        let m1 = Mixture2::new(1.0, Exp::new(2.0), Exp::new(100.0));
+        assert_eq!(m1.mean(), 2.0);
+        let m0 = Mixture2::new(0.0, Exp::new(2.0), Exp::new(100.0));
+        assert_eq!(m0.mean(), 100.0);
+    }
+
+    #[test]
+    fn hypoexponential_mean_is_sum() {
+        let h = Hypoexponential::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(h.mean(), 6.0);
+        // transform at 0 is 1
+        assert!((h.laplace(0.0) - 1.0).abs() < 1e-12);
+        // product structure: single stage == exponential
+        let h1 = Hypoexponential::new(vec![4.0]);
+        assert_eq!(h1.laplace(0.5), Exp::new(4.0).laplace(0.5));
+    }
+
+    #[test]
+    fn max_of_exponentials_mean_is_harmonic() {
+        let m = MaxOfExponentials::new(3, 2.0);
+        let expected = 2.0 * (1.0 + 0.5 + 1.0 / 3.0);
+        assert!((m.mean() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_exponentials_matches_hypoexponential() {
+        let m = MaxOfExponentials::new(5, 1.5);
+        let h = m.as_hypoexponential();
+        assert!((m.mean() - h.mean()).abs() < 1e-12);
+        for &s in &[0.0, 0.1, 1.0, 10.0] {
+            assert!((m.laplace(s) - h.laplace(s)).abs() < 1e-12, "s={s}");
+        }
+    }
+
+    #[test]
+    fn max_of_exponentials_sample_mean_converges() {
+        let m = MaxOfExponentials::new(4, 1.0);
+        let s = sample_mean(&m, 100_000, 3);
+        assert!((s - m.mean()).abs() < 0.05, "sample mean {s} vs {}", m.mean());
+    }
+
+    #[test]
+    fn max_of_one_is_exponential() {
+        let m = MaxOfExponentials::new(1, 3.0);
+        let e = Exp::new(3.0);
+        assert_eq!(m.mean(), e.mean());
+        assert!((m.laplace(0.7) - e.laplace(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_is_decreasing_in_s() {
+        let dists: Vec<Box<dyn ResidenceTime>> = vec![
+            Box::new(Exp::new(2.0)),
+            Box::new(Deterministic::new(2.0)),
+            Box::new(Mixture2::new(0.5, Exp::new(1.0), Exp::new(3.0))),
+            Box::new(Hypoexponential::new(vec![1.0, 1.0])),
+            Box::new(MaxOfExponentials::new(3, 1.0)),
+        ];
+        for d in &dists {
+            let mut prev = d.laplace(0.0);
+            for &s in &[0.01, 0.1, 1.0, 10.0] {
+                let v = d.laplace(s);
+                assert!(v < prev, "laplace not decreasing");
+                prev = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Generalized exceptional-initiator busy period for residence times whose
+//! integrated tail is a signed mixture of exponentials.
+//!
+//! The paper's technical report parameterizes "a general version of
+//! eq. (9)" to handle *altruistic lingering* (§3.3.4), where a peer's
+//! residence is download time **plus** an exponential lingering time — a
+//! hypoexponential, which is not one of eq. (9)'s two exponential phases.
+//!
+//! We reconstruct that generalization from Browne & Steele's eq. (17):
+//!
+//! `E[B] = θ + Σ_{i≥1} (βⁱ/i!) ∫₀^∞ (1−H(x)) [∫ₓ^∞ (1−G(u)) du]ⁱ dx`
+//!
+//! If the integrated tail of `G` is `∫ₓ^∞ (1−G) du = Σ_j c_j e^{−d_j x}`
+//! (true for any phase-type-ish mixture, with possibly *negative* `c_j`)
+//! and the initiator is exponential with mean `θ`, the bracket expands
+//! multinomially and each term integrates in closed form:
+//!
+//! `E[B] = θ + Σ_{i≥1} (βⁱ/i!) Σ_{|k|=i} (i; k) Π_j c_j^{k_j} · θ/(1 + θ·k·d)`
+//!
+//! Because the `c_j` may be signed, this is evaluated in the *linear*
+//! domain with compensated summation and an absolute-convergence stopping
+//! rule — fine for the moderate loads where lingering analysis operates,
+//! and asserted against overflow.
+
+use crate::series::Kahan;
+use serde::{Deserialize, Serialize};
+
+/// One exponential component `c · e^{−d x}` of an integrated tail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailComponent {
+    /// Coefficient (may be negative for hypoexponential residences).
+    pub c: f64,
+    /// Decay rate (must be positive).
+    pub d: f64,
+}
+
+/// Integrated tail `∫ₓ^∞ (1−G(u)) du` of a residence-time distribution,
+/// represented as a signed mixture of exponentials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntegratedTail {
+    components: Vec<TailComponent>,
+}
+
+impl IntegratedTail {
+    /// Build from components. The value at `x = 0` must equal the mean of
+    /// `G` and the function must be nonnegative; both are spot-checked.
+    pub fn new(components: Vec<TailComponent>) -> Self {
+        assert!(!components.is_empty(), "need at least one component");
+        for c in &components {
+            assert!(
+                c.d > 0.0 && c.d.is_finite() && c.c.is_finite(),
+                "bad tail component {c:?}"
+            );
+        }
+        let tail = IntegratedTail { components };
+        // The integrated tail is nonincreasing from mean to 0; sample a few
+        // points to catch sign errors in caller-supplied coefficients.
+        let mean = tail.eval(0.0);
+        assert!(mean > 0.0, "integrated tail at 0 must be the (positive) mean");
+        for i in 1..=8 {
+            let x = mean * i as f64;
+            let v = tail.eval(x);
+            assert!(
+                v >= -1e-9 * mean,
+                "integrated tail negative at x={x}: {v}"
+            );
+        }
+        tail
+    }
+
+    /// Integrated tail of an exponential residence with the given mean:
+    /// `m e^{−x/m}`.
+    pub fn exponential(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite());
+        IntegratedTail {
+            components: vec![TailComponent { c: mean, d: 1.0 / mean }],
+        }
+    }
+
+    /// Integrated tail of a hypoexponential (sum of two independent
+    /// exponentials with distinct rates `a ≠ b`):
+    /// survival `S(t) = (b e^{−at} − a e^{−bt})/(b−a)`, so
+    /// `∫ₓ^∞ S = (b/a · e^{−ax} − a/b · e^{−bx})/(b−a)`.
+    ///
+    /// # Panics
+    /// If the rates are equal (degenerate representation); perturb one of
+    /// them by a relative epsilon in that case.
+    pub fn hypoexp2(mean1: f64, mean2: f64) -> Self {
+        assert!(mean1 > 0.0 && mean2 > 0.0, "means must be positive");
+        let (a, b) = (1.0 / mean1, 1.0 / mean2);
+        assert!(
+            (a - b).abs() > 1e-9 * a.max(b),
+            "hypoexp2 requires distinct rates; perturb one mean slightly"
+        );
+        IntegratedTail {
+            components: vec![
+                TailComponent { c: b / (a * (b - a)), d: a },
+                TailComponent { c: -a / (b * (b - a)), d: b },
+            ],
+        }
+    }
+
+    /// Mixture of two integrated tails with weight `q1` on the first
+    /// (mixtures of distributions mix their integrated tails linearly).
+    pub fn mix(q1: f64, t1: &IntegratedTail, t2: &IntegratedTail) -> Self {
+        assert!((0.0..=1.0).contains(&q1), "mixture weight in [0,1]");
+        let mut components = Vec::new();
+        for c in &t1.components {
+            if q1 > 0.0 {
+                components.push(TailComponent { c: q1 * c.c, d: c.d });
+            }
+        }
+        for c in &t2.components {
+            if q1 < 1.0 {
+                components.push(TailComponent { c: (1.0 - q1) * c.c, d: c.d });
+            }
+        }
+        IntegratedTail { components }
+    }
+
+    /// Evaluate `Σ_j c_j e^{−d_j x}`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.components.iter().map(|t| t.c * (-t.d * x).exp()).sum()
+    }
+
+    /// Mean of the underlying distribution (`eval(0)`).
+    pub fn mean(&self) -> f64 {
+        self.components.iter().map(|t| t.c).sum()
+    }
+}
+
+/// Expected busy period with exponential initiator (mean `theta`), Poisson
+/// arrivals at rate `beta`, and subsequent residences described by `tail`.
+///
+/// Linear-domain evaluation; panics (rather than silently saturating) if the
+/// series fails to converge within `max_terms` — use the specialized
+/// log-domain forms in [`crate::busy`] for extreme (bundled) loads.
+pub fn general_busy_period(beta: f64, theta: f64, tail: &IntegratedTail) -> f64 {
+    assert!(beta > 0.0 && beta.is_finite(), "beta must be positive");
+    assert!(theta > 0.0 && theta.is_finite(), "theta must be positive");
+
+    let comps = &tail.components;
+    let j_count = comps.len();
+    let mut total = Kahan::new();
+    total.add(theta);
+
+    // Absolute-value bound on the bracket drives the convergence check.
+    let abs_at_zero: f64 = comps.iter().map(|c| c.c.abs()).sum();
+    let max_terms = 2_000usize;
+
+    let mut beta_pow_over_fact = 1.0; // β^i / i!
+    let mut abs_tail_bound_prev = f64::INFINITY;
+    for i in 1..=max_terms {
+        beta_pow_over_fact *= beta / i as f64;
+
+        // Enumerate compositions k of i over the J components.
+        let mut inner = Kahan::new();
+        let mut k = vec![0usize; j_count];
+        compositions(i, 0, &mut k, &mut |k| {
+            // multinomial coefficient i! / Π k_j!
+            let mut coef = 1.0f64;
+            {
+                // Compute i!/(k1!..kJ!) incrementally via ln to avoid
+                // overflow for large i.
+                let mut ln = crate::series::ln_factorial(i as u64);
+                for &kj in k.iter() {
+                    ln -= crate::series::ln_factorial(kj as u64);
+                }
+                coef *= ln.exp();
+            }
+            let mut prod = 1.0f64;
+            let mut kd = 0.0f64;
+            for (j, &kj) in k.iter().enumerate() {
+                if kj > 0 {
+                    prod *= comps[j].c.powi(kj as i32);
+                    kd += kj as f64 * comps[j].d;
+                }
+            }
+            inner.add(coef * prod * theta / (1.0 + theta * kd));
+        });
+
+        let term = beta_pow_over_fact * inner.sum();
+        total.add(term);
+
+        // Absolute convergence: |term_i| ≤ (β·Σ|c|)^i / i! · θ, which
+        // eventually decays factorially. Stop once the bound is tiny
+        // relative to the accumulated sum and decreasing.
+        let abs_bound = beta_pow_over_fact * abs_at_zero.powi(i as i32) * theta;
+        if abs_bound < abs_tail_bound_prev && abs_bound < 1e-13 * total.sum().abs() {
+            return total.sum();
+        }
+        abs_tail_bound_prev = abs_bound;
+    }
+    panic!("general_busy_period did not converge within {max_terms} terms (βΣ|c| = {:.2})",
+        beta * abs_at_zero);
+}
+
+/// Enumerate all compositions of `n` into `k.len() - start` parts, writing
+/// into `k[start..]` and invoking `f` for each complete composition.
+fn compositions(n: usize, start: usize, k: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    if start == k.len() - 1 {
+        k[start] = n;
+        f(k);
+        return;
+    }
+    for v in 0..=n {
+        k[start] = v;
+        compositions(n - v, start + 1, k, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::busy::{classical_busy_period, TwoPhaseBusyPeriod};
+
+    #[test]
+    fn integrated_tail_exponential_mean() {
+        let t = IntegratedTail::exponential(3.0);
+        assert!((t.mean() - 3.0).abs() < 1e-12);
+        assert!((t.eval(3.0) - 3.0 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrated_tail_hypoexp_mean_is_sum() {
+        let t = IntegratedTail::hypoexp2(2.0, 5.0);
+        assert!((t.mean() - 7.0).abs() < 1e-9);
+        // Nonnegative and decreasing.
+        let mut prev = t.eval(0.0);
+        for i in 1..20 {
+            let v = t.eval(i as f64);
+            assert!(v >= -1e-12 && v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rates")]
+    fn hypoexp_rejects_equal_rates() {
+        IntegratedTail::hypoexp2(2.0, 2.0);
+    }
+
+    #[test]
+    fn mix_means_combine_linearly() {
+        let a = IntegratedTail::exponential(2.0);
+        let b = IntegratedTail::exponential(10.0);
+        let m = IntegratedTail::mix(0.25, &a, &b);
+        assert!((m.mean() - (0.25 * 2.0 + 0.75 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_reduces_to_classical() {
+        // All-exponential residences with θ = α: eq (20).
+        let (beta, alpha) = (0.3, 4.0);
+        let tail = IntegratedTail::exponential(alpha);
+        let b = general_busy_period(beta, alpha, &tail);
+        let expect = classical_busy_period(beta, alpha);
+        assert!(((b - expect) / expect).abs() < 1e-9, "{b} vs {expect}");
+    }
+
+    #[test]
+    fn general_reduces_to_eq9_two_phase() {
+        let p = TwoPhaseBusyPeriod {
+            beta: 0.25,
+            theta: 6.0,
+            q1: 0.6,
+            alpha1: 3.0,
+            alpha2: 6.0,
+        };
+        let tail = IntegratedTail::mix(
+            p.q1,
+            &IntegratedTail::exponential(p.alpha1),
+            &IntegratedTail::exponential(p.alpha2),
+        );
+        let b = general_busy_period(p.beta, p.theta, &tail);
+        let expect = p.expected();
+        assert!(((b - expect) / expect).abs() < 1e-9, "{b} vs {expect}");
+    }
+
+    #[test]
+    fn lingering_extends_busy_period() {
+        // Peers that linger (residence = download + lingering) hold the
+        // swarm open longer than peers that leave immediately.
+        let beta = 0.3;
+        let theta = 5.0;
+        let no_linger = IntegratedTail::mix(
+            0.8,
+            &IntegratedTail::exponential(3.0),
+            &IntegratedTail::exponential(theta),
+        );
+        let linger = IntegratedTail::mix(
+            0.8,
+            &IntegratedTail::hypoexp2(3.0, 2.0),
+            &IntegratedTail::exponential(theta),
+        );
+        let b0 = general_busy_period(beta, theta, &no_linger);
+        let b1 = general_busy_period(beta, theta, &linger);
+        assert!(b1 > b0, "lingering must lengthen the busy period: {b1} vs {b0}");
+    }
+
+    #[test]
+    fn general_matches_monte_carlo_for_hypoexp_service() {
+        use crate::dist::{Exp, ResidenceTime};
+        use crate::mc::{mean_busy_period, McConfig};
+        use rand::SeedableRng;
+
+        // Residences: hypoexp(2,1) w.p. 0.7, else Exp(4); initiator Exp(4).
+        struct HypoMix;
+        impl ResidenceTime for HypoMix {
+            fn mean(&self) -> f64 {
+                0.7 * 3.0 + 0.3 * 4.0
+            }
+            fn laplace(&self, _s: f64) -> f64 {
+                unimplemented!("not needed for sampling")
+            }
+            fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+                let mut r = rand_chacha::ChaCha8Rng::seed_from_u64(rng.next_u64());
+                use rand::Rng as _;
+                if r.gen::<f64>() < 0.7 {
+                    let e1 = Exp::new(2.0);
+                    let e2 = Exp::new(1.0);
+                    e1.sample(&mut r) + e2.sample(&mut r)
+                } else {
+                    Exp::new(4.0).sample(&mut r)
+                }
+            }
+        }
+
+        let beta = 0.3;
+        let theta = 4.0;
+        let tail = IntegratedTail::mix(
+            0.7,
+            &IntegratedTail::hypoexp2(2.0, 1.0),
+            &IntegratedTail::exponential(4.0),
+        );
+        let analytic = general_busy_period(beta, theta, &tail);
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let service = HypoMix;
+        let initiator = Exp::new(theta);
+        let cfg = McConfig {
+            beta,
+            service: &service,
+            initial: vec![],
+            threshold: 0,
+            max_time: 1e7,
+        };
+        let (mc, _) = mean_busy_period(
+            &cfg,
+            30_000,
+            |rng| vec![initiator.sample(rng)],
+            &mut rng,
+        );
+        assert!(
+            ((mc - analytic) / analytic).abs() < 0.04,
+            "MC {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn compositions_enumerate_all() {
+        let mut seen = Vec::new();
+        let mut k = vec![0usize; 3];
+        compositions(4, 0, &mut k, &mut |k| seen.push(k.to_vec()));
+        // C(4+2, 2) = 15 compositions of 4 into 3 parts.
+        assert_eq!(seen.len(), 15);
+        assert!(seen.iter().all(|k| k.iter().sum::<usize>() == 4));
+        // all distinct
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+    }
+}

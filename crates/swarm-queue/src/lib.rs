@@ -1,0 +1,52 @@
+//! M/G/∞ queueing theory substrate for swarmsys.
+//!
+//! The paper's central insight is that *content availability* in a swarming
+//! system is the busy period of an M/G/∞ queue: each peer or publisher is a
+//! "customer" whose residence time is the time it stays online, and the
+//! content is available exactly while the queue is non-empty (or above a
+//! coverage threshold). This crate implements the queueing theory the model
+//! needs:
+//!
+//! * [`dist`] — residence-time distributions with means, Laplace transforms
+//!   and samplers: exponential, deterministic, two-phase mixtures (the
+//!   peer-or-publisher residence time of §3.3.1) and hypoexponentials (the
+//!   max-of-exponentials initiator of Lemma 3.3),
+//! * [`arrivals`] — homogeneous and nonhomogeneous Poisson arrival
+//!   processes,
+//! * [`busy`] — expected busy periods: the classical
+//!   `(e^{βα} − 1)/β` form (paper eq. 20), the exceptional-first-customer
+//!   forms of Browne & Steele (eqs. 18, 19) and the two-phase mixture form
+//!   the paper derives as eq. (9), each with a log-domain variant that
+//!   stays finite when `βα` is in the hundreds (bundled swarms),
+//! * [`residual`] — residual busy periods `B(n, m)` started by `n` extant
+//!   customers and truncated at population `m` (paper eq. 12), and the
+//!   steady-state Poisson mixture `B(m)` (paper eq. 13),
+//! * [`mc`] — a Monte-Carlo M/G/∞ simulator used throughout the test
+//!   suites to validate every closed form against brute-force simulation,
+//! * [`transient`] — busy-period *distributions* (variance, tail
+//!   quantiles, served counts) estimated by batched Monte-Carlo,
+//! * [`series`] — the numerical kernel: log-sum-exp series summation,
+//!   ln-factorials, Kahan compensation.
+//!
+//! Everything is pure computation: no I/O, no global state, deterministic
+//! given an RNG.
+
+pub mod arrivals;
+pub mod busy;
+pub mod dist;
+pub mod general;
+pub mod mc;
+pub mod residual;
+pub mod series;
+pub mod transient;
+
+pub use arrivals::{nonhomogeneous_poisson, poisson_process};
+pub use busy::{
+    classical_busy_period, exceptional_busy_period, ln_classical_busy_period,
+    ln_two_phase_busy_period, two_phase_busy_period, TwoPhaseBusyPeriod,
+};
+pub use dist::{Deterministic, Exp, Hypoexponential, MaxOfExponentials, Mixture2, ResidenceTime};
+pub use general::{general_busy_period, IntegratedTail, TailComponent};
+pub use mc::{McBusyPeriod, McConfig};
+pub use residual::{poisson_mixture_residual, residual_busy_period, residual_busy_period_above};
+pub use transient::{sample_busy_periods, BusyPeriodDistribution};

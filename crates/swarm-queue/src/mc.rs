@@ -1,0 +1,350 @@
+//! Monte-Carlo M/G/∞ busy periods.
+//!
+//! Every closed form in [`crate::busy`] and [`crate::residual`] is validated
+//! against this brute-force simulator: customers arrive Poisson(β), each
+//! stays for an independently sampled residence time, and the busy period
+//! ends when the population first drops to the configured threshold.
+
+use crate::dist::ResidenceTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total order on f64 departure times for the event heap. Residence times
+/// are finite by construction, so `partial_cmp` cannot fail.
+#[derive(PartialEq, PartialOrd)]
+struct Departure(f64);
+
+impl Eq for Departure {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Departure {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("finite departure times")
+    }
+}
+
+/// Configuration of one simulated busy period.
+pub struct McConfig<'a> {
+    /// Poisson arrival rate of customers during the busy period.
+    pub beta: f64,
+    /// Residence-time distribution of arriving customers.
+    pub service: &'a dyn ResidenceTime,
+    /// Residence times of the customers present at time zero (the busy
+    /// period "initiators"). One entry per initial customer; each is a
+    /// *remaining* residence time.
+    pub initial: Vec<f64>,
+    /// The busy period ends when the population first drops to this value.
+    pub threshold: usize,
+    /// Safety cap: abort (panic) if the busy period outlives this many
+    /// simulated time units. Busy periods at bundle loads are `e^{Θ(K²)}`,
+    /// so callers must bound the regime they simulate.
+    pub max_time: f64,
+}
+
+/// Result of one simulated busy period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McBusyPeriod {
+    /// Length of the busy period.
+    pub length: f64,
+    /// Number of customers served (arrived and departed) during it,
+    /// including the initial customers.
+    pub served: u64,
+}
+
+/// Simulate one busy period.
+///
+/// # Panics
+/// If `initial.len() <= threshold` (the busy period would be over before it
+/// starts) or the simulation exceeds `max_time`.
+pub fn simulate_busy_period<R: rand::Rng>(cfg: &McConfig, rng: &mut R) -> McBusyPeriod {
+    assert!(
+        cfg.initial.len() > cfg.threshold,
+        "initial population {} must exceed threshold {}",
+        cfg.initial.len(),
+        cfg.threshold
+    );
+    assert!(cfg.beta >= 0.0 && cfg.beta.is_finite(), "beta must be nonnegative");
+
+    let mut departures: BinaryHeap<Reverse<Departure>> = cfg
+        .initial
+        .iter()
+        .map(|&t| {
+            assert!(t >= 0.0 && t.is_finite(), "initial residence must be finite");
+            Reverse(Departure(t))
+        })
+        .collect();
+    let mut now = 0.0_f64;
+    let mut served = 0u64;
+    let mut next_arrival = if cfg.beta > 0.0 {
+        now + sample_exp(cfg.beta, rng)
+    } else {
+        f64::INFINITY
+    };
+
+    loop {
+        let next_departure = departures
+            .peek()
+            .map(|d| d.0 .0)
+            .expect("population above threshold implies pending departures");
+        if next_arrival < next_departure {
+            now = next_arrival;
+            departures.push(Reverse(Departure(now + cfg.service.sample(rng))));
+            next_arrival = now + sample_exp(cfg.beta, rng);
+        } else {
+            now = next_departure;
+            departures.pop();
+            served += 1;
+            if departures.len() <= cfg.threshold {
+                return McBusyPeriod {
+                    length: now,
+                    served,
+                };
+            }
+        }
+        assert!(
+            now <= cfg.max_time,
+            "busy period exceeded max_time={} (load too high to brute-force)",
+            cfg.max_time
+        );
+    }
+}
+
+/// Mean busy period and mean customers served over `reps` replications.
+pub fn mean_busy_period<R: rand::Rng>(
+    cfg: &McConfig,
+    reps: usize,
+    mut resample_initial: impl FnMut(&mut R) -> Vec<f64>,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!(reps > 0, "need at least one replication");
+    let mut sum_len = 0.0;
+    let mut sum_served = 0.0;
+    for _ in 0..reps {
+        let initial = resample_initial(rng);
+        let one = McConfig {
+            beta: cfg.beta,
+            service: cfg.service,
+            initial,
+            threshold: cfg.threshold,
+            max_time: cfg.max_time,
+        };
+        let r = simulate_busy_period(&one, rng);
+        sum_len += r.length;
+        sum_served += r.served as f64;
+    }
+    (sum_len / reps as f64, sum_served / reps as f64)
+}
+
+fn sample_exp<R: rand::Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    -(1.0 - rng.gen::<f64>()).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::busy::{classical_busy_period, exceptional_busy_period, TwoPhaseBusyPeriod};
+    use crate::dist::{Exp, Mixture2, ResidenceTime};
+    use crate::residual::{residual_busy_period, residual_busy_period_above};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const REPS: usize = 40_000;
+
+    fn close(mc: f64, analytic: f64, rel: f64) {
+        assert!(
+            ((mc - analytic) / analytic).abs() < rel,
+            "MC {mc} vs analytic {analytic} (rel err {:.4})",
+            ((mc - analytic) / analytic).abs()
+        );
+    }
+
+    #[test]
+    fn mc_matches_classical_busy_period() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let (beta, alpha) = (0.4, 2.0);
+        let service = Exp::new(alpha);
+        let cfg = McConfig {
+            beta,
+            service: &service,
+            initial: vec![],
+            threshold: 0,
+            max_time: 1e7,
+        };
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |rng| vec![service.sample(rng)],
+            &mut rng,
+        );
+        close(mean, classical_busy_period(beta, alpha), 0.03);
+    }
+
+    #[test]
+    fn mc_matches_exceptional_initiator() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (beta, theta, alpha) = (0.3, 6.0, 2.0);
+        let service = Exp::new(alpha);
+        let initiator = Exp::new(theta);
+        let cfg = McConfig {
+            beta,
+            service: &service,
+            initial: vec![],
+            threshold: 0,
+            max_time: 1e7,
+        };
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |rng| vec![initiator.sample(rng)],
+            &mut rng,
+        );
+        close(mean, exceptional_busy_period(beta, &initiator, alpha), 0.03);
+    }
+
+    #[test]
+    fn mc_matches_two_phase_mixture() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let p = TwoPhaseBusyPeriod {
+            beta: 0.35,
+            theta: 5.0,
+            q1: 0.7,
+            alpha1: 3.0,
+            alpha2: 5.0,
+        };
+        let service = Mixture2::new(p.q1, Exp::new(p.alpha1), Exp::new(p.alpha2));
+        let initiator = Exp::new(p.theta);
+        let cfg = McConfig {
+            beta: p.beta,
+            service: &service,
+            initial: vec![],
+            threshold: 0,
+            max_time: 1e7,
+        };
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |rng| vec![initiator.sample(rng)],
+            &mut rng,
+        );
+        close(mean, p.expected(), 0.03);
+    }
+
+    #[test]
+    fn mc_matches_residual_busy_period() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let (lambda, alpha, n) = (0.3, 2.0, 4u64);
+        let service = Exp::new(alpha);
+        let cfg = McConfig {
+            beta: lambda,
+            service: &service,
+            initial: vec![],
+            threshold: 0,
+            max_time: 1e7,
+        };
+        // Memorylessness: remaining residences of the n extant customers
+        // are fresh exponentials.
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |rng| (0..n).map(|_| service.sample(rng)).collect(),
+            &mut rng,
+        );
+        close(mean, residual_busy_period(n, lambda, alpha), 0.03);
+    }
+
+    #[test]
+    fn mc_matches_residual_with_threshold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let (lambda, alpha, n, m) = (0.25, 2.0, 7u64, 3usize);
+        let service = Exp::new(alpha);
+        let cfg = McConfig {
+            beta: lambda,
+            service: &service,
+            initial: vec![],
+            threshold: m,
+            max_time: 1e7,
+        };
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |rng| (0..n).map(|_| service.sample(rng)).collect(),
+            &mut rng,
+        );
+        close(
+            mean,
+            residual_busy_period_above(n, m as u64, lambda, alpha),
+            0.03,
+        );
+    }
+
+    #[test]
+    fn served_count_tracks_lambda_times_busy_period() {
+        // E[N] = E[number served] ≈ 1 + β·E[B] for the classical case
+        // (initiator plus Poisson arrivals over the busy period).
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let (beta, alpha) = (0.5, 1.5);
+        let service = Exp::new(alpha);
+        let cfg = McConfig {
+            beta,
+            service: &service,
+            initial: vec![],
+            threshold: 0,
+            max_time: 1e7,
+        };
+        let (mean_len, mean_served) = mean_busy_period(
+            &cfg,
+            REPS,
+            |rng| vec![service.sample(rng)],
+            &mut rng,
+        );
+        let expected_served = 1.0 + beta * mean_len;
+        close(mean_served, expected_served, 0.03);
+    }
+
+    #[test]
+    fn zero_beta_busy_period_is_initiator_residence() {
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let service = Exp::new(2.0);
+        let cfg = McConfig {
+            beta: 0.0,
+            service: &service,
+            initial: vec![3.25],
+            threshold: 0,
+            max_time: 1e6,
+        };
+        let r = simulate_busy_period(&cfg, &mut rng);
+        assert_eq!(r.length, 3.25);
+        assert_eq!(r.served, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed threshold")]
+    fn rejects_starting_below_threshold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let service = Exp::new(1.0);
+        let cfg = McConfig {
+            beta: 0.1,
+            service: &service,
+            initial: vec![1.0],
+            threshold: 1,
+            max_time: 1e6,
+        };
+        simulate_busy_period(&cfg, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded max_time")]
+    fn detects_runaway_busy_period() {
+        let mut rng = ChaCha8Rng::seed_from_u64(18);
+        // Load βα = 40: busy period e^40/β, far beyond max_time.
+        let service = Exp::new(4.0);
+        let cfg = McConfig {
+            beta: 10.0,
+            service: &service,
+            initial: vec![4.0],
+            threshold: 0,
+            max_time: 1e4,
+        };
+        simulate_busy_period(&cfg, &mut rng);
+    }
+}

@@ -1,0 +1,250 @@
+//! Residual busy periods with a coverage threshold (paper §3.3.3).
+//!
+//! When the last publisher leaves, the swarm keeps the content alive as
+//! long as enough peers remain online. Lemma 3.3 models the remaining
+//! lifetime as a *residual* busy period of the M/G/∞ queue: it starts with
+//! `n` extant customers and ends when the population drops to `m`.
+//!
+//! By memorylessness the `n` extant exponential customers are equivalent to
+//! a single virtual initiator whose residence is `max(X₁, …, Xₙ)` — a
+//! hypoexponential with stage means `(α, α/2, …, α/n)` — so `B(n, 0)`
+//! follows from the exceptional-initiator formula (eq. 18), giving eq. (12):
+//!
+//! `B(n,0) = Σ_{i=1}^{n} α/i + α Σ_{i≥1} x^i [(n+i)! − n!·i!] / (i!·(n+i)!·i)`
+//!
+//! with `x = λα`. For `m < n`, `B(n,m) = B(n,0) − B(m,0)` (Lemma 3.3), and
+//! the steady-state mixture over the Poisson(λα) population gives eq. (13).
+
+use crate::series::{ln_factorial, ln_sub_exp, ln_sum_series, LogSumExp, SeriesControl};
+
+fn check_rate(name: &str, v: f64) {
+    assert!(
+        v > 0.0 && v.is_finite(),
+        "{name} must be positive and finite, got {v}"
+    );
+}
+
+/// `ln B(n, 0)` — log of the expected residual busy period started by `n`
+/// extant customers, ending at population 0 (paper eq. 12).
+///
+/// `lambda` is the Poisson arrival rate and `alpha` the mean (exponential)
+/// residence time of every customer. `B(0,0) = 0` (log = `-inf`).
+pub fn ln_residual_busy_period(n: u64, lambda: f64, alpha: f64) -> f64 {
+    check_rate("lambda", lambda);
+    check_rate("alpha", alpha);
+    if n == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let x = lambda * alpha;
+    // Harmonic head: α Σ_{i=1}^{n} 1/i = E[max of n exponentials].
+    let head = alpha * (1..=n).map(|i| 1.0 / i as f64).sum::<f64>();
+
+    // Series tail: α Σ_{i≥1} x^i [1/(i!·i) − n!/((n+i)!·i)].
+    // Both parts are positive and the bracket is in (0, 1/(i!·i)); compute
+    // it as ln-difference to stay exact for large x.
+    let ln_n_fact = ln_factorial(n);
+    let ln_x = x.ln();
+    let ln_tail = ln_sum_series(
+        |i| {
+            let a = i as f64 * ln_x - ln_factorial(i) - (i as f64).ln();
+            let b = i as f64 * ln_x + ln_n_fact - ln_factorial(n + i) - (i as f64).ln();
+            // a >= b because (n+i)! >= n!·i!.
+            alpha.ln() + ln_sub_exp(a, b)
+        },
+        SeriesControl::default(),
+    );
+    crate::series::ln_add_exp(head.ln(), ln_tail)
+}
+
+/// `B(n, 0)` in the linear domain (may be `+inf` at extreme loads).
+pub fn residual_busy_period(n: u64, lambda: f64, alpha: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    ln_residual_busy_period(n, lambda, alpha).exp()
+}
+
+/// `B(n, m)` — expected time for a residual busy period starting at
+/// population `n` to first reach population `m < n` (Lemma 3.3 recursion
+/// `B(n,m) = B(n,0) − B(m,0)`). Returns 0 when `n <= m`.
+pub fn residual_busy_period_above(n: u64, m: u64, lambda: f64, alpha: f64) -> f64 {
+    if n <= m {
+        return 0.0;
+    }
+    let ln_n = ln_residual_busy_period(n, lambda, alpha);
+    if m == 0 {
+        return ln_n.exp();
+    }
+    let ln_m = ln_residual_busy_period(m, lambda, alpha);
+    // B(n,0) > B(m,0) for n > m; guard against rounding inversion anyway.
+    if ln_n <= ln_m {
+        return 0.0;
+    }
+    ln_sub_exp(ln_n, ln_m).exp()
+}
+
+/// `B(m)` — paper eq. (13): the expected residual busy period when Phase 2
+/// begins with the peer population in steady state (Poisson with mean
+/// `λα`), truncated at coverage threshold `m`:
+///
+/// `B(m) = Σ_{i≥0} e^{−λα} (λα)^i / i! · B(i, m)`
+pub fn poisson_mixture_residual(m: u64, lambda: f64, alpha: f64) -> f64 {
+    check_rate("lambda", lambda);
+    check_rate("alpha", alpha);
+    let x = lambda * alpha;
+    // Truncate the Poisson mixture once the remaining tail mass cannot
+    // matter: B(i,m) grows only logarithmically in i (harmonic head) while
+    // the pmf decays super-exponentially past its mean.
+    let i_max = (x + 12.0 * x.sqrt() + 60.0).ceil() as u64;
+    let mut acc = LogSumExp::new();
+    for i in (m + 1)..=i_max {
+        let ln_b = {
+            let ln_i = ln_residual_busy_period(i, lambda, alpha);
+            if m == 0 {
+                ln_i
+            } else {
+                let ln_m = ln_residual_busy_period(m, lambda, alpha);
+                if ln_i <= ln_m {
+                    continue;
+                }
+                ln_sub_exp(ln_i, ln_m)
+            }
+        };
+        acc.add_ln(crate::series::ln_poisson_pmf(x, i) + ln_b);
+    }
+    acc.ln_sum().exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::busy::classical_busy_period;
+    use crate::dist::MaxOfExponentials;
+
+    #[test]
+    fn b_zero_is_zero() {
+        assert_eq!(residual_busy_period(0, 0.1, 2.0), 0.0);
+    }
+
+    #[test]
+    fn b_one_matches_classical_busy_period() {
+        // A residual busy period started by a single fresh exponential
+        // customer is the ordinary busy period: (e^{λα} − 1)/λ.
+        for &(lambda, alpha) in &[(0.1, 2.0), (0.5, 1.0), (0.05, 10.0)] {
+            let b = residual_busy_period(1, lambda, alpha);
+            let classical = classical_busy_period(lambda, alpha);
+            assert!(
+                ((b - classical) / classical).abs() < 1e-10,
+                "λ={lambda} α={alpha}: {b} vs {classical}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq12_matches_eq18_with_max_initiator() {
+        // Lemma 3.3's derivation: eq (12) is eq (18) with the
+        // max-of-exponentials initiator. The two routes must agree.
+        let (lambda, alpha) = (0.2, 3.0);
+        for n in 1..=8u64 {
+            let via_eq12 = residual_busy_period(n, lambda, alpha);
+            let via_eq18 = crate::busy::exceptional_busy_period(
+                lambda,
+                &MaxOfExponentials::new(n, alpha),
+                alpha,
+            );
+            assert!(
+                ((via_eq12 - via_eq18) / via_eq18).abs() < 1e-9,
+                "n={n}: eq12={via_eq12} eq18={via_eq18}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_is_increasing_in_n() {
+        let (lambda, alpha) = (0.3, 2.0);
+        let mut prev = 0.0;
+        for n in 1..=10 {
+            let b = residual_busy_period(n, lambda, alpha);
+            assert!(b > prev, "B({n},0)={b} <= B({},0)={prev}", n - 1);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn above_threshold_is_difference() {
+        let (lambda, alpha) = (0.2, 2.5);
+        let b52 = residual_busy_period_above(5, 2, lambda, alpha);
+        let b50 = residual_busy_period(5, lambda, alpha);
+        let b20 = residual_busy_period(2, lambda, alpha);
+        assert!(((b52 - (b50 - b20)) / b52).abs() < 1e-9);
+    }
+
+    #[test]
+    fn above_threshold_zero_when_n_below_m() {
+        assert_eq!(residual_busy_period_above(3, 5, 0.1, 1.0), 0.0);
+        assert_eq!(residual_busy_period_above(5, 5, 0.1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn chain_rule_of_thresholds() {
+        // T(n→l) = T(n→k) + T(k→l) for n > k > l (proof of Lemma 3.3).
+        let (lambda, alpha) = (0.15, 3.0);
+        let direct = residual_busy_period_above(8, 2, lambda, alpha);
+        let chained = residual_busy_period_above(8, 5, lambda, alpha)
+            + residual_busy_period_above(5, 2, lambda, alpha);
+        assert!(((direct - chained) / direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_mixture_zero_when_population_below_threshold() {
+        // Load so small the steady-state population almost never exceeds m:
+        // B(m) ≈ 0.
+        let b = poisson_mixture_residual(9, 1.0 / 150.0, 121.2);
+        assert!(b < 1.0, "B(9) = {b} should be negligible at load 0.8");
+    }
+
+    #[test]
+    fn poisson_mixture_grows_with_load() {
+        // This is the self-sustaining transition of Figure 4: increasing K
+        // multiplies λ by K and α by K, so the load x = K²λα explodes and
+        // so must B(m).
+        let (lambda, alpha) = (1.0 / 150.0, 121.2);
+        let mut prev = 0.0;
+        for k in 1..=8u64 {
+            let kf = k as f64;
+            let b = poisson_mixture_residual(9, kf * lambda, kf * alpha);
+            assert!(
+                b >= prev,
+                "B(m) must be nondecreasing in K: K={k} gives {b} < {prev}"
+            );
+            prev = b;
+        }
+        assert!(prev > 1500.0, "K=8 swarm must be self-sustaining, B(m)={prev}");
+    }
+
+    #[test]
+    fn poisson_mixture_decreasing_in_threshold() {
+        let (lambda, alpha) = (0.05, 100.0); // load 5
+        let b1 = poisson_mixture_residual(1, lambda, alpha);
+        let b3 = poisson_mixture_residual(3, lambda, alpha);
+        let b6 = poisson_mixture_residual(6, lambda, alpha);
+        assert!(b1 > b3 && b3 > b6, "B(m) must fall as m rises: {b1}, {b3}, {b6}");
+    }
+
+    #[test]
+    fn ln_variant_consistent() {
+        let (lambda, alpha) = (0.2, 4.0);
+        for n in 1..=6 {
+            let lin = residual_busy_period(n, lambda, alpha);
+            let ln = ln_residual_busy_period(n, lambda, alpha);
+            assert!((ln - lin.ln()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn survives_bundle_scale_loads() {
+        // K = 10 bundle in the Fig. 4 setting: x = 100 · 0.808 ≈ 81.
+        let b = ln_residual_busy_period(50, 10.0 / 150.0, 1212.0);
+        assert!(b.is_finite() && b > 0.0);
+    }
+}

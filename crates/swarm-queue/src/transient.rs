@@ -1,0 +1,139 @@
+//! Busy-period distributions beyond the mean.
+//!
+//! The closed forms of [`crate::busy`] give expectations; the experiments
+//! in the paper also reason about *variance* ("The large variance is due
+//! to the variance in the downtime of the publisher", §4.3). This module
+//! estimates full busy-period and customers-served distributions by
+//! batched Monte-Carlo, with summary statistics and tail quantiles.
+
+use crate::dist::ResidenceTime;
+use crate::mc::{simulate_busy_period, McConfig};
+use swarm_stats::{Samples, Summary};
+
+/// Monte-Carlo estimate of the busy-period distribution.
+#[derive(Debug, Clone)]
+pub struct BusyPeriodDistribution {
+    /// Sampled busy-period lengths.
+    pub lengths: Samples,
+    /// Sampled customers-served counts.
+    pub served: Samples,
+}
+
+impl BusyPeriodDistribution {
+    /// Summary of the lengths.
+    pub fn length_summary(&self) -> Summary {
+        self.lengths.summary()
+    }
+
+    /// Squared coefficient of variation of the busy period — the paper's
+    /// variance story in one number (exponential ≈ 1, heavy-tailed ≫ 1).
+    pub fn length_scv(&self) -> f64 {
+        let s = self.lengths.summary();
+        s.sample_variance() / (s.mean() * s.mean())
+    }
+
+    /// Tail quantile of the busy period.
+    pub fn length_quantile(&mut self, q: f64) -> f64 {
+        self.lengths.quantile(q)
+    }
+}
+
+/// Sample `reps` busy periods, each initiated by one customer drawn from
+/// `initiator`, with Poisson(β) arrivals served from `service`.
+///
+/// `max_time` guards against brute-forcing a regime whose busy periods
+/// are effectively infinite (bundled swarms) — pick it a few orders above
+/// the analytic mean.
+pub fn sample_busy_periods<R: rand::Rng>(
+    beta: f64,
+    initiator: &dyn ResidenceTime,
+    service: &dyn ResidenceTime,
+    reps: usize,
+    max_time: f64,
+    rng: &mut R,
+) -> BusyPeriodDistribution {
+    assert!(reps > 0, "need at least one sample");
+    let mut lengths = Samples::new();
+    let mut served = Samples::new();
+    for _ in 0..reps {
+        let cfg = McConfig {
+            beta,
+            service,
+            initial: vec![initiator.sample(rng)],
+            threshold: 0,
+            max_time,
+        };
+        let r = simulate_busy_period(&cfg, rng);
+        lengths.add(r.length);
+        served.add(r.served as f64);
+    }
+    BusyPeriodDistribution { lengths, served }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::busy::classical_busy_period;
+    use crate::dist::Exp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sampled_mean_matches_closed_form() {
+        let (beta, alpha) = (0.3, 2.0);
+        let e = Exp::new(alpha);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let dist = sample_busy_periods(beta, &e, &e, 30_000, 1e7, &mut rng);
+        let analytic = classical_busy_period(beta, alpha);
+        let mc = dist.length_summary().mean();
+        assert!(
+            ((mc - analytic) / analytic).abs() < 0.05,
+            "MC {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn busy_periods_are_heavier_than_exponential() {
+        // Busy periods at moderate load are more variable than an
+        // exponential of the same mean (SCV > 1): the long ones snowball.
+        let (beta, alpha) = (0.4, 2.0);
+        let e = Exp::new(alpha);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let dist = sample_busy_periods(beta, &e, &e, 30_000, 1e7, &mut rng);
+        assert!(
+            dist.length_scv() > 1.0,
+            "busy periods should be over-dispersed, SCV = {}",
+            dist.length_scv()
+        );
+    }
+
+    #[test]
+    fn served_counts_track_lengths() {
+        // E[N] = 1 + β·E[B]: served counts and lengths must co-move.
+        let (beta, alpha) = (0.35, 1.5);
+        let e = Exp::new(alpha);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let dist = sample_busy_periods(beta, &e, &e, 30_000, 1e7, &mut rng);
+        let mean_len = dist.lengths.summary().mean();
+        let mean_served = dist.served.summary().mean();
+        let expected = 1.0 + beta * mean_len;
+        assert!(
+            ((mean_served - expected) / expected).abs() < 0.02,
+            "served {mean_served} vs 1 + beta*E[B] = {expected}"
+        );
+    }
+
+    #[test]
+    fn tail_quantiles_ordered() {
+        let (beta, alpha) = (0.2, 1.0);
+        let e = Exp::new(alpha);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut dist = sample_busy_periods(beta, &e, &e, 5_000, 1e7, &mut rng);
+        let p50 = dist.length_quantile(0.5);
+        let p90 = dist.length_quantile(0.9);
+        let p99 = dist.length_quantile(0.99);
+        assert!(p50 < p90 && p90 < p99);
+        // Median below mean for a right-skewed distribution.
+        assert!(p50 < dist.length_summary().mean());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the M/G/∞ machinery: the closed forms must
+//! satisfy their structural identities for *any* parameters in range, not
+//! just the paper's.
+
+use proptest::prelude::*;
+use swarm_queue::busy::{
+    classical_busy_period, exceptional_busy_period, ln_classical_busy_period,
+    TwoPhaseBusyPeriod,
+};
+use swarm_queue::dist::{Exp, MaxOfExponentials, ResidenceTime};
+use swarm_queue::general::{general_busy_period, IntegratedTail};
+use swarm_queue::residual::{poisson_mixture_residual, residual_busy_period};
+use swarm_queue::series::{ln_add_exp, ln_factorial, ln_sub_exp, LogSumExp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ln_factorial_recurrence(n in 1u64..5000) {
+        let direct = ln_factorial(n);
+        let recur = (n as f64).ln() + ln_factorial(n - 1);
+        prop_assert!((direct - recur).abs() < 1e-8, "n={n}: {direct} vs {recur}");
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct(terms in prop::collection::vec(-30.0..30.0f64, 1..50)) {
+        let mut acc = LogSumExp::new();
+        for &t in &terms {
+            acc.add_ln(t);
+        }
+        let direct: f64 = terms.iter().map(|t| t.exp()).sum();
+        prop_assert!((acc.ln_sum() - direct.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_add_sub_are_inverses(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+        // When |a - b| approaches the f64 mantissa width (~36 nats) the
+        // smaller term is absorbed and cannot be recovered — inherent to
+        // floating point, not to the log-domain helpers.
+        prop_assume!((a - b).abs() < 30.0);
+        let sum = ln_add_exp(a, b);
+        // (e^a + e^b) - e^b == e^a. Cancellation costs ~eps·e^{|a-b|} of
+        // log precision, so the tolerance scales with the gap.
+        let back = ln_sub_exp(sum, b);
+        let tol = 1e-12 * (a - b).abs().exp() + 1e-9;
+        prop_assert!((back - a).abs() < tol, "{back} vs {a} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_busy_period_matches_linear(beta in 0.01..0.5f64, alpha in 0.5..50f64) {
+        prop_assume!(beta * alpha < 30.0);
+        let lin = classical_busy_period(beta, alpha);
+        let ln = ln_classical_busy_period(beta, alpha);
+        prop_assert!((ln - lin.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq9_reduces_to_classical_at_equal_means(
+        beta in 0.01..0.3f64,
+        alpha in 0.5..30f64,
+        q1 in 0.0..1.0f64,
+    ) {
+        prop_assume!(beta * alpha < 25.0);
+        let p = TwoPhaseBusyPeriod { beta, theta: alpha, q1, alpha1: alpha, alpha2: alpha };
+        let b9 = p.expected();
+        let b20 = classical_busy_period(beta, alpha);
+        prop_assert!(((b9 - b20) / b20).abs() < 1e-8, "{b9} vs {b20}");
+    }
+
+    #[test]
+    fn eq9_monotone_in_component_means(
+        beta in 0.01..0.2f64,
+        theta in 1.0..20f64,
+        q1 in 0.05..0.95f64,
+        alpha1 in 1.0..20f64,
+        alpha2 in 1.0..20f64,
+    ) {
+        prop_assume!(beta * alpha1.max(alpha2).max(theta) < 20.0);
+        let base = TwoPhaseBusyPeriod { beta, theta, q1, alpha1, alpha2 };
+        let bigger1 = TwoPhaseBusyPeriod { alpha1: alpha1 * 1.3, ..base };
+        let bigger2 = TwoPhaseBusyPeriod { alpha2: alpha2 * 1.3, ..base };
+        prop_assert!(bigger1.expected() > base.expected());
+        prop_assert!(bigger2.expected() > base.expected());
+    }
+
+    #[test]
+    fn eq18_with_exp_initiator_matches_eq9_corner(
+        beta in 0.01..0.2f64,
+        theta in 1.0..30f64,
+        alpha in 1.0..20f64,
+    ) {
+        prop_assume!(beta * alpha.max(theta) < 20.0);
+        let via18 = exceptional_busy_period(beta, &Exp::new(theta), alpha);
+        let via9 = TwoPhaseBusyPeriod { beta, theta, q1: 1.0, alpha1: alpha, alpha2: alpha }
+            .expected();
+        prop_assert!(((via18 - via9) / via9).abs() < 1e-8);
+    }
+
+    #[test]
+    fn residual_equals_exceptional_with_max_initiator(
+        n in 1u64..10,
+        lambda in 0.02..0.4f64,
+        alpha in 0.5..8f64,
+    ) {
+        prop_assume!(lambda * alpha < 6.0);
+        let via12 = residual_busy_period(n, lambda, alpha);
+        let via18 = exceptional_busy_period(lambda, &MaxOfExponentials::new(n, alpha), alpha);
+        prop_assert!(((via12 - via18) / via18).abs() < 1e-7);
+    }
+
+    #[test]
+    fn residual_monotone_in_population(
+        n in 1u64..12,
+        lambda in 0.02..0.4f64,
+        alpha in 0.5..8f64,
+    ) {
+        prop_assume!(lambda * alpha < 6.0);
+        prop_assert!(residual_busy_period(n + 1, lambda, alpha) > residual_busy_period(n, lambda, alpha));
+        // At least as long as the longest initial residence (E[max]).
+        let e_max: f64 = (1..=n).map(|i| alpha / i as f64).sum();
+        prop_assert!(residual_busy_period(n, lambda, alpha) >= e_max - 1e-9);
+    }
+
+    #[test]
+    fn poisson_mixture_bounded_by_tail_population(
+        m in 0u64..8,
+        lambda in 0.02..0.3f64,
+        alpha in 0.5..8f64,
+    ) {
+        prop_assume!(lambda * alpha < 5.0);
+        let bm = poisson_mixture_residual(m, lambda, alpha);
+        prop_assert!(bm >= 0.0);
+        // Mixture over i > m of B(i,m), each bounded by B(i_max, 0): use a
+        // generous structural bound.
+        let cap = residual_busy_period(((lambda * alpha) as u64 + 12 * ((lambda*alpha).sqrt() as u64) + 60).max(m + 1), lambda, alpha);
+        prop_assert!(bm <= cap + 1e-6, "B(m) {bm} exceeds cap {cap}");
+    }
+
+    #[test]
+    fn laplace_transforms_bounded_and_at_one_at_zero(
+        mean in 0.1..100f64,
+        s in 0.0..10f64,
+        n in 1u64..8,
+    ) {
+        let dists: Vec<Box<dyn ResidenceTime>> = vec![
+            Box::new(Exp::new(mean)),
+            Box::new(MaxOfExponentials::new(n, mean)),
+        ];
+        for d in &dists {
+            let h = d.laplace(s);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+            prop_assert!((d.laplace(0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn general_busy_period_matches_two_phase(
+        beta in 0.02..0.2f64,
+        theta in 1.0..15f64,
+        q1 in 0.05..0.95f64,
+        alpha1 in 1.0..12f64,
+        alpha2 in 1.0..12f64,
+    ) {
+        prop_assume!(beta * alpha1.max(alpha2).max(theta) < 10.0);
+        let tail = IntegratedTail::mix(
+            q1,
+            &IntegratedTail::exponential(alpha1),
+            &IntegratedTail::exponential(alpha2),
+        );
+        let general = general_busy_period(beta, theta, &tail);
+        let two_phase = TwoPhaseBusyPeriod { beta, theta, q1, alpha1, alpha2 }.expected();
+        prop_assert!(((general - two_phase) / two_phase).abs() < 1e-7);
+    }
+
+    #[test]
+    fn integrated_tail_hypoexp_is_valid(m1 in 0.5..20f64, ratio in 1.1..10f64) {
+        let m2 = m1 * ratio;
+        let t = IntegratedTail::hypoexp2(m1, m2);
+        prop_assert!((t.mean() - (m1 + m2)).abs() / (m1 + m2) < 1e-9);
+        // Nonincreasing and nonnegative over a broad range.
+        let mut prev = t.eval(0.0);
+        for i in 1..30 {
+            let v = t.eval((m1 + m2) * i as f64 / 10.0);
+            prop_assert!(v >= -1e-9);
+            prop_assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How peer downloads progress during availability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServiceModel {
+    /// Each peer's download takes an independent exponential time with the
+    /// given mean (`s/μ`). This matches the analytic model exactly: peers
+    /// are M/G/∞ customers whose service ticks only while content is
+    /// available.
+    Exponential {
+        /// Mean download time `s/μ`.
+        mean: f64,
+    },
+    /// Capacity-shared fluid: online peers (leechers and lingering seeds)
+    /// contribute `peer_upload` each, an online publisher contributes
+    /// `publisher_upload`, and the pooled capacity is split evenly among
+    /// leechers (capped per leecher at `download_cap`).
+    Fluid {
+        /// Content size `s` (same units as rates per time).
+        size: f64,
+        /// Per-peer upload capacity.
+        peer_upload: f64,
+        /// Publisher upload capacity while online.
+        publisher_upload: f64,
+        /// Per-leecher download cap.
+        download_cap: f64,
+    },
+}
+
+/// The publisher-side process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PublisherProcess {
+    /// Publishers arrive Poisson(`rate`) and each stays an exponential
+    /// time with mean `residence`; several may overlap. This is the
+    /// model's default (§3.3).
+    Poisson {
+        /// Publisher arrival rate `r`.
+        rate: f64,
+        /// Mean residence time `u`.
+        residence: f64,
+    },
+    /// A single publisher alternating exponential on (mean `on_mean`) and
+    /// off (mean `off_mean`) periods — the §4.3 experimental setup
+    /// (on 300 s, off 900 s).
+    SingleOnOff {
+        /// Mean on-period (`u`).
+        on_mean: f64,
+        /// Mean off-period (`1/r`).
+        off_mean: f64,
+        /// Whether the publisher starts online at t = 0.
+        initially_on: bool,
+    },
+    /// A publisher that stays exactly until the first peer completes a
+    /// full download, then leaves forever — the §4.2 seedless-swarm
+    /// experiment (Figure 4).
+    UntilFirstCompletion,
+}
+
+/// What peers do when they arrive during an idle period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Patience {
+    /// Leave immediately without being served (§3.3.1).
+    Impatient,
+    /// Wait for a publisher and then download (§3.3.2).
+    Patient,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Peer arrival rate λ.
+    pub lambda: f64,
+    /// Download progress model.
+    pub service: ServiceModel,
+    /// Publisher process.
+    pub publisher: PublisherProcess,
+    /// Idle-period peer behavior.
+    pub patience: Patience,
+    /// Mean altruistic lingering time after completion (`1/γ`), or `None`
+    /// for selfish peers that leave immediately (§3.3.4).
+    pub linger_mean: Option<f64>,
+    /// Coverage threshold `m`: with no publisher online, content becomes
+    /// unavailable when the number of online content-holders drops to `m`.
+    pub coverage_threshold: usize,
+    /// Simulated horizon (events past this time are not processed).
+    pub horizon: f64,
+    /// Metrics are only collected for peers arriving at or after this
+    /// time (lets the swarm reach steady state first).
+    pub warmup: f64,
+    /// RNG seed; identical configs with identical seeds reproduce exactly.
+    pub seed: u64,
+    /// Whether to record timeline segments for figure rendering (adds
+    /// memory proportional to the number of entities).
+    pub record_timeline: bool,
+}
+
+impl SimConfig {
+    /// Panic unless the configuration is self-consistent.
+    pub fn validate(&self) {
+        assert!(self.lambda > 0.0 && self.lambda.is_finite(), "lambda must be positive");
+        assert!(self.horizon > 0.0 && self.horizon.is_finite(), "horizon must be positive");
+        assert!(
+            (0.0..self.horizon).contains(&self.warmup),
+            "warmup must lie within [0, horizon)"
+        );
+        match self.service {
+            ServiceModel::Exponential { mean } => {
+                assert!(mean > 0.0 && mean.is_finite(), "service mean must be positive");
+            }
+            ServiceModel::Fluid {
+                size,
+                peer_upload,
+                publisher_upload,
+                download_cap,
+            } => {
+                assert!(size > 0.0 && size.is_finite());
+                assert!(peer_upload >= 0.0 && peer_upload.is_finite());
+                assert!(publisher_upload >= 0.0 && publisher_upload.is_finite());
+                assert!(download_cap > 0.0, "download cap must be positive");
+                assert!(
+                    peer_upload > 0.0 || publisher_upload > 0.0,
+                    "someone must be able to upload"
+                );
+            }
+        }
+        match self.publisher {
+            PublisherProcess::Poisson { rate, residence } => {
+                assert!(rate > 0.0 && rate.is_finite(), "publisher rate must be positive");
+                assert!(residence > 0.0 && residence.is_finite(), "residence must be positive");
+            }
+            PublisherProcess::SingleOnOff { on_mean, off_mean, .. } => {
+                assert!(on_mean > 0.0 && on_mean.is_finite());
+                assert!(off_mean > 0.0 && off_mean.is_finite());
+            }
+            PublisherProcess::UntilFirstCompletion => {}
+        }
+        if let Some(l) = self.linger_mean {
+            assert!(l > 0.0 && l.is_finite(), "linger mean must be positive");
+        }
+    }
+
+    /// Convenience: configuration mirroring the analytic model for a
+    /// [`swarm_core::SwarmParams`], with exponential service and Poisson
+    /// publishers.
+    pub fn from_params(
+        p: &swarm_core::SwarmParams,
+        patience: Patience,
+        coverage_threshold: usize,
+        horizon: f64,
+        seed: u64,
+    ) -> SimConfig {
+        p.validate();
+        SimConfig {
+            lambda: p.lambda,
+            service: ServiceModel::Exponential {
+                mean: p.service_time(),
+            },
+            publisher: PublisherProcess::Poisson {
+                rate: p.r,
+                residence: p.u,
+            },
+            patience,
+            linger_mean: None,
+            coverage_threshold,
+            horizon,
+            warmup: 0.0,
+            seed,
+            record_timeline: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            lambda: 0.01,
+            service: ServiceModel::Exponential { mean: 80.0 },
+            publisher: PublisherProcess::Poisson {
+                rate: 0.001,
+                residence: 300.0,
+            },
+            patience: Patience::Patient,
+            linger_mean: None,
+            coverage_threshold: 0,
+            horizon: 10_000.0,
+            warmup: 0.0,
+            seed: 1,
+            record_timeline: false,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        base().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_zero_lambda() {
+        SimConfig { lambda: 0.0, ..base() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must lie")]
+    fn rejects_warmup_beyond_horizon() {
+        SimConfig { warmup: 20_000.0, ..base() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "someone must be able to upload")]
+    fn rejects_fluid_with_no_capacity() {
+        SimConfig {
+            service: ServiceModel::Fluid {
+                size: 100.0,
+                peer_upload: 0.0,
+                publisher_upload: 0.0,
+                download_cap: 10.0,
+            },
+            ..base()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn from_params_mirrors_model() {
+        let p = swarm_core::SwarmParams {
+            lambda: 1.0 / 60.0,
+            size: 4000.0,
+            mu: 50.0,
+            r: 1.0 / 900.0,
+            u: 300.0,
+        };
+        let c = SimConfig::from_params(&p, Patience::Patient, 0, 1e5, 7);
+        c.validate();
+        match c.service {
+            ServiceModel::Exponential { mean } => assert!((mean - 80.0).abs() < 1e-12),
+            _ => panic!("expected exponential service"),
+        }
+        match c.publisher {
+            PublisherProcess::Poisson { rate, residence } => {
+                assert!((rate - p.r).abs() < 1e-15);
+                assert!((residence - 300.0).abs() < 1e-12);
+            }
+            _ => panic!("expected poisson publishers"),
+        }
+    }
+}

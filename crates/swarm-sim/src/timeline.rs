@@ -1,0 +1,148 @@
+//! Timeline capture for Figures 2 and 5.
+//!
+//! The paper illustrates swarm dynamics as rows of horizontal line
+//! segments: thick for publishers, thin for actively downloading peers,
+//! dotted for peers stuck waiting. The engine records these transitions
+//! when `record_timeline` is set; rendering goes through
+//! [`swarm_stats::ascii::timeline`].
+
+use serde::{Deserialize, Serialize};
+use swarm_stats::ascii::{Segment, SegmentKind};
+
+/// The state an entity occupies over an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntityState {
+    /// Publisher online.
+    Publishing,
+    /// Peer actively downloading (or lingering as a seed).
+    Active,
+    /// Peer waiting for content to become available.
+    Waiting,
+}
+
+/// One recorded interval of one entity's life.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Entity identifier (unique per run; peers and publishers share the
+    /// id space).
+    pub entity: u64,
+    /// Interval start.
+    pub start: f64,
+    /// Interval end.
+    pub end: f64,
+    /// State held over the interval.
+    pub state: EntityState,
+}
+
+/// Collected timeline of a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    intervals: Vec<Interval>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one interval. Zero-length intervals are dropped.
+    pub fn push(&mut self, entity: u64, start: f64, end: f64, state: EntityState) {
+        debug_assert!(end >= start, "interval must not be reversed: {start}..{end}");
+        if end > start {
+            self.intervals.push(Interval {
+                entity,
+                start,
+                end,
+                state,
+            });
+        }
+    }
+
+    /// All recorded intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Group intervals into per-entity rows ordered by first appearance,
+    /// converted to ASCII-renderer segments.
+    pub fn rows(&self) -> Vec<(String, Vec<Segment>)> {
+        let mut order: Vec<u64> = Vec::new();
+        for iv in &self.intervals {
+            if !order.contains(&iv.entity) {
+                order.push(iv.entity);
+            }
+        }
+        order
+            .into_iter()
+            .map(|e| {
+                let segs: Vec<Segment> = self
+                    .intervals
+                    .iter()
+                    .filter(|iv| iv.entity == e)
+                    .map(|iv| Segment {
+                        start: iv.start,
+                        end: iv.end,
+                        kind: match iv.state {
+                            EntityState::Publishing => SegmentKind::Publisher,
+                            EntityState::Active => SegmentKind::Peer,
+                            EntityState::Waiting => SegmentKind::Waiting,
+                        },
+                    })
+                    .collect();
+                let label = if segs.iter().any(|s| s.kind == SegmentKind::Publisher) {
+                    format!("pub#{e}")
+                } else {
+                    format!("peer#{e}")
+                };
+                (label, segs)
+            })
+            .collect()
+    }
+
+    /// Number of distinct entities recorded.
+    pub fn entity_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.intervals.iter().map(|iv| iv.entity).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_group() {
+        let mut t = Timeline::new();
+        t.push(1, 0.0, 5.0, EntityState::Publishing);
+        t.push(2, 1.0, 3.0, EntityState::Active);
+        t.push(2, 3.0, 4.0, EntityState::Waiting);
+        let rows = t.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "pub#1");
+        assert_eq!(rows[1].0, "peer#2");
+        assert_eq!(rows[1].1.len(), 2);
+        assert_eq!(t.entity_count(), 2);
+    }
+
+    #[test]
+    fn zero_length_intervals_dropped() {
+        let mut t = Timeline::new();
+        t.push(1, 2.0, 2.0, EntityState::Active);
+        assert!(t.intervals().is_empty());
+    }
+
+    #[test]
+    fn rows_preserve_first_appearance_order() {
+        let mut t = Timeline::new();
+        t.push(5, 0.0, 1.0, EntityState::Active);
+        t.push(3, 0.5, 1.5, EntityState::Active);
+        t.push(5, 2.0, 3.0, EntityState::Active);
+        let rows = t.rows();
+        assert_eq!(rows[0].0, "peer#5");
+        assert_eq!(rows[0].1.len(), 2);
+        assert_eq!(rows[1].0, "peer#3");
+    }
+}

@@ -1,0 +1,196 @@
+//! Trace-driven arrivals (paper §4.3.4).
+//!
+//! The model assumes Poisson arrivals; the paper checks robustness by
+//! repeating the experiments with "scaled versions of real arrival
+//! patterns observed in our measurement traces" and finds the conclusions
+//! unchanged. This module replays an explicit list of arrival times
+//! through the simulator and provides the bootstrap utilities used to
+//! generate replications from one trace.
+
+use crate::config::SimConfig;
+use crate::engine;
+use crate::metrics::SimResult;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Run one simulation with peer arrivals taken from `times` (seconds,
+/// ascending) instead of the configured Poisson process. Arrivals beyond
+/// the horizon are ignored; everything else in `config` applies
+/// unchanged (`config.lambda` is ignored).
+///
+/// # Panics
+/// If `times` is unsorted or contains non-finite/negative entries.
+pub fn run_trace(config: &SimConfig, times: &[f64]) -> SimResult {
+    config.validate();
+    validate_trace(times);
+    engine::run_with_arrivals(config, Some(times))
+}
+
+/// Validate a trace: nonnegative, finite, ascending.
+pub fn validate_trace(times: &[f64]) {
+    let mut prev = 0.0;
+    for &t in times {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "arrival times must be finite and nonnegative, got {t}"
+        );
+        assert!(t >= prev, "arrival times must be ascending ({t} after {prev})");
+        prev = t;
+    }
+}
+
+/// Bootstrap a new trace from an observed one by resampling its
+/// inter-arrival times with replacement — preserves the inter-arrival
+/// *distribution* (burstiness included) while producing an independent
+/// replication, which is how the paper turns one measured pattern into
+/// many experiment runs.
+pub fn resample_interarrivals<R: Rng + ?Sized>(times: &[f64], rng: &mut R) -> Vec<f64> {
+    validate_trace(times);
+    if times.len() < 2 {
+        return times.to_vec();
+    }
+    let gaps: Vec<f64> = std::iter::once(times[0])
+        .chain(times.windows(2).map(|w| w[1] - w[0]))
+        .collect();
+    let mut t = 0.0;
+    (0..times.len())
+        .map(|_| {
+            t += *gaps.choose(rng).expect("nonempty gaps");
+            t
+        })
+        .collect()
+}
+
+/// Scale a trace's *rate* by `factor` (the paper's "scaled versions"):
+/// arrival times are divided by `factor`, so `factor = 2` doubles the
+/// arrival rate over the same pattern shape.
+pub fn scale_rate(times: &[f64], factor: f64) -> Vec<f64> {
+    assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+    validate_trace(times);
+    times.iter().map(|&t| t / factor).collect()
+}
+
+/// Empirical mean arrival rate of a trace over `[0, horizon]`.
+pub fn mean_rate(times: &[f64], horizon: f64) -> f64 {
+    assert!(horizon > 0.0);
+    times.iter().filter(|&&t| t <= horizon).count() as f64 / horizon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Patience, PublisherProcess, ServiceModel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(horizon: f64) -> SimConfig {
+        SimConfig {
+            lambda: 1.0 / 60.0, // ignored under trace-driven arrivals
+            service: ServiceModel::Exponential { mean: 80.0 },
+            publisher: PublisherProcess::SingleOnOff {
+                on_mean: 300.0,
+                off_mean: 900.0,
+                initially_on: true,
+            },
+            patience: Patience::Patient,
+            linger_mean: None,
+            coverage_threshold: 0,
+            horizon,
+            warmup: 0.0,
+            seed: 5,
+            record_timeline: false,
+        }
+    }
+
+    #[test]
+    fn trace_arrivals_are_replayed_exactly() {
+        let times = vec![10.0, 15.0, 100.0, 2_000.0, 9_000.0];
+        let r = run_trace(&cfg(10_000.0), &times);
+        assert_eq!(r.arrivals, 5);
+    }
+
+    #[test]
+    fn arrivals_beyond_horizon_ignored() {
+        let times = vec![10.0, 20.0, 30.0, 20_000.0];
+        let r = run_trace(&cfg(10_000.0), &times);
+        assert_eq!(r.arrivals, 3);
+    }
+
+    #[test]
+    fn empty_trace_means_no_peers() {
+        let r = run_trace(&cfg(5_000.0), &[]);
+        assert_eq!(r.arrivals, 0);
+        assert_eq!(r.completions, 0);
+    }
+
+    #[test]
+    fn poisson_trace_reproduces_poisson_behavior() {
+        // A trace generated from the Poisson process must give the same
+        // statistics as the built-in Poisson arrivals. Single runs are
+        // dominated by publisher on/off luck, so average several seeds.
+        let horizon = 200_000.0;
+        let reps = 6;
+        let mut traced_sum = 0.0;
+        let mut poisson_sum = 0.0;
+        for seed in 0..reps {
+            let mut rng = ChaCha8Rng::seed_from_u64(900 + seed);
+            let times =
+                swarm_queue::arrivals::poisson_process(1.0 / 60.0, horizon, &mut rng);
+            let c = SimConfig {
+                seed: 40 + seed,
+                ..cfg(horizon)
+            };
+            traced_sum += run_trace(&c, &times).mean_download_time();
+            poisson_sum += engine::run(&c).mean_download_time();
+        }
+        let (t1, t2) = (traced_sum / reps as f64, poisson_sum / reps as f64);
+        assert!(
+            (t1 - t2).abs() / t2 < 0.15,
+            "trace-driven {t1} vs poisson {t2}"
+        );
+    }
+
+    #[test]
+    fn bursty_trace_changes_availability_but_not_conclusions() {
+        // A decaying (new-swarm) pattern front-loads arrivals: early
+        // availability is peer-rich, late availability publisher-bound.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let horizon = 50_000.0;
+        let bursty = swarm_queue::arrivals::nonhomogeneous_poisson(
+            |t| 0.2 * (0.02 + 0.98 * (-t / 3_000.0).exp()),
+            0.2,
+            horizon,
+            &mut rng,
+        );
+        let r = run_trace(&cfg(horizon), &bursty);
+        assert!(r.arrivals > 100);
+        assert!(r.completions > 0);
+        assert!(r.availability > 0.0 && r.availability < 1.0);
+    }
+
+    #[test]
+    fn resampled_trace_preserves_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let times: Vec<f64> = (1..=500).map(|i| i as f64 * 7.0).collect();
+        let resampled = resample_interarrivals(&times, &mut rng);
+        assert_eq!(resampled.len(), times.len());
+        validate_trace(&resampled);
+        let r1 = mean_rate(&times, 3_500.0);
+        let r2 = mean_rate(&resampled, 3_500.0);
+        assert!((r1 - r2).abs() / r1 < 0.15, "{r1} vs {r2}");
+    }
+
+    #[test]
+    fn scale_rate_doubles_arrivals() {
+        let times = vec![100.0, 200.0, 300.0];
+        let scaled = scale_rate(&times, 2.0);
+        assert_eq!(scaled, vec![50.0, 100.0, 150.0]);
+        assert!((mean_rate(&scaled, 150.0) - 2.0 * mean_rate(&times, 300.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_trace() {
+        run_trace(&cfg(1_000.0), &[5.0, 3.0]);
+    }
+}

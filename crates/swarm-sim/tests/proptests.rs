@@ -1,0 +1,101 @@
+//! Property-based tests for the flow-level simulator: structural
+//! invariants that must hold for any configuration in range.
+
+use proptest::prelude::*;
+use swarm_sim::{run, Patience, PublisherProcess, ServiceModel, SimConfig};
+
+fn config_strategy() -> impl Strategy<Value = SimConfig> {
+    (
+        0.002..0.05f64,   // lambda
+        20.0..300f64,     // service mean
+        100.0..2_000f64,  // publisher residence
+        500.0..20_000f64, // publisher inter-arrival
+        0usize..6,        // coverage threshold
+        prop::bool::ANY,  // patient?
+        0u64..1_000,      // seed
+    )
+        .prop_map(|(lambda, mean, u, inv_r, m, patient, seed)| SimConfig {
+            lambda,
+            service: ServiceModel::Exponential { mean },
+            publisher: PublisherProcess::Poisson {
+                rate: 1.0 / inv_r,
+                residence: u,
+            },
+            patience: if patient {
+                Patience::Patient
+            } else {
+                Patience::Impatient
+            },
+            linger_mean: None,
+            coverage_threshold: m,
+            horizon: 30_000.0,
+            warmup: 1_000.0,
+            seed,
+            record_timeline: true,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn accounting_conserves_peers(cfg in config_strategy()) {
+        let r = run(&cfg);
+        // Every counted arrival is blocked, completed, or still in flight
+        // (in-flight includes pre-warmup peers, so use an inequality).
+        prop_assert!(r.completions + r.blocked <= r.arrivals + r.in_flight_at_horizon);
+        prop_assert!((0.0..=1.0).contains(&r.availability));
+        if cfg.patience == Patience::Patient {
+            prop_assert_eq!(r.blocked, 0);
+        }
+    }
+
+    #[test]
+    fn download_times_bounded_below_by_zero_and_decompose(cfg in config_strategy()) {
+        let r = run(&cfg);
+        for (&t, &w) in r.download_times.values().iter().zip(r.waiting_times.values()) {
+            prop_assert!(t > 0.0);
+            prop_assert!(w >= 0.0);
+            prop_assert!(w <= t + 1e-9, "waiting {w} exceeds download {t}");
+        }
+    }
+
+    #[test]
+    fn availability_intervals_disjoint_and_ordered(cfg in config_strategy()) {
+        let r = run(&cfg);
+        for w in r.availability_intervals.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0 + 1e-9, "overlapping intervals");
+        }
+        for &(a, b) in &r.availability_intervals {
+            prop_assert!(b >= a);
+            prop_assert!(b <= cfg.horizon + 1e-9);
+        }
+        // Interval mass roughly matches the reported availability over
+        // the post-warmup window (intervals cover the whole run, so only
+        // a loose consistency check applies).
+        let mass: f64 = r
+            .availability_intervals
+            .iter()
+            .map(|&(a, b)| (b.min(cfg.horizon) - a.max(cfg.warmup)).max(0.0))
+            .sum();
+        let frac = mass / (cfg.horizon - cfg.warmup);
+        prop_assert!((frac - r.availability).abs() < 0.02, "{frac} vs {}", r.availability);
+    }
+
+    #[test]
+    fn same_seed_same_result(cfg in config_strategy()) {
+        let a = run(&cfg);
+        let b = run(&cfg);
+        prop_assert_eq!(a.arrivals, b.arrivals);
+        prop_assert_eq!(a.completions, b.completions);
+        prop_assert_eq!(a.download_times.values(), b.download_times.values());
+    }
+
+    #[test]
+    fn busy_periods_positive(cfg in config_strategy()) {
+        let r = run(&cfg);
+        for &b in r.busy_periods.values() {
+            prop_assert!(b > 0.0);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Terminal rendering for the reproduction harness.
+//!
+//! The `repro` binary regenerates every figure of the paper; these helpers
+//! draw them directly in the terminal (and the same strings are written to
+//! the experiment output files), so no plotting stack is needed.
+
+/// A named series of `(x, y)` points for [`line_chart`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in ascending-x order (not enforced; rendering is pointwise).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'];
+
+fn finite_bounds(values: impl Iterator<Item = f64>) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values.filter(|v| v.is_finite()) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo.is_finite() && hi.is_finite() {
+        if lo == hi {
+            // widen degenerate range so a flat series still renders
+            Some((lo - 0.5, hi + 0.5))
+        } else {
+            Some((lo, hi))
+        }
+    } else {
+        None
+    }
+}
+
+/// Render one or more series as a fixed-size ASCII scatter/line chart with
+/// axis labels and a legend. Returns the multi-line string.
+pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to be legible");
+    let xs = series.iter().flat_map(|s| s.points.iter().map(|p| p.0));
+    let ys = series.iter().flat_map(|s| s.points.iter().map(|p| p.1));
+    let Some((x_lo, x_hi)) = finite_bounds(xs) else {
+        return format!("{title}\n  (no finite data)\n");
+    };
+    let Some((y_lo, y_hi)) = finite_bounds(ys) else {
+        return format!("{title}\n  (no finite data)\n");
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_val = y_hi - (y_hi - y_lo) * i as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{y_val:>12.4} |{line}\n"));
+    }
+    out.push_str(&format!("{:>12} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>12}  {:<width$}\n",
+        "",
+        format!("{x_lo:.4}{}{x_hi:.4}", " ".repeat(width.saturating_sub(24))),
+        width = width
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+/// Render a horizontal box plot row scaled to `[lo, hi]`.
+///
+/// Shows `5%  [ Q1 | median | Q3 ]  95%` positions using `-[|]-` glyphs,
+/// matching the presentation of Figure 6(c).
+pub fn box_plot_row(
+    label: &str,
+    b: &crate::BoxPlot,
+    lo: f64,
+    hi: f64,
+    width: usize,
+) -> String {
+    assert!(width >= 16, "box plot row too narrow");
+    assert!(hi > lo, "hi must exceed lo");
+    let pos = |v: f64| -> usize {
+        (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
+    };
+    let mut row = vec![' '; width];
+    let (p5, q1, med, q3, p95) = (pos(b.p05), pos(b.q1), pos(b.median), pos(b.q3), pos(b.p95));
+    for cell in row.iter_mut().take(q1).skip(p5) {
+        *cell = '-';
+    }
+    for cell in row.iter_mut().take(p95 + 1).skip(q3) {
+        *cell = '-';
+    }
+    for cell in row.iter_mut().take(q3 + 1).skip(q1) {
+        *cell = '=';
+    }
+    row[p5] = '|';
+    row[p95] = '|';
+    row[q1] = '[';
+    row[q3] = ']';
+    row[med] = '#';
+    let bar: String = row.into_iter().collect();
+    format!("{label:>14} {bar} mean={:.1}\n", b.mean)
+}
+
+/// Render labelled horizontal bars scaled to the largest value.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    assert!(width >= 8, "bar chart too narrow");
+    let max = rows
+        .iter()
+        .map(|r| r.1)
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, v) in rows {
+        let len = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>20} |{} {v:.4}\n",
+            "#".repeat(len.min(width))
+        ));
+    }
+    out
+}
+
+/// One entity's presence interval for [`timeline`]: `(start, end, kind)`.
+/// `kind` selects the glyph: publishers render thick (`=`), peers thin
+/// (`-`), and waiting/blocked intervals dotted (`.`), following Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A publisher/seed interval (thick line in the paper's figures).
+    Publisher,
+    /// An actively downloading peer (thin line).
+    Peer,
+    /// A peer waiting for content to become available (dotted line).
+    Waiting,
+}
+
+/// An interval on a timeline row.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Interval start time.
+    pub start: f64,
+    /// Interval end time (>= start).
+    pub end: f64,
+    /// Rendering style.
+    pub kind: SegmentKind,
+}
+
+/// Render rows of presence intervals as an ASCII timeline (Figures 2 and 5).
+/// Each row is one entity; time runs left to right across `[t_lo, t_hi]`.
+pub fn timeline(
+    title: &str,
+    rows: &[(String, Vec<Segment>)],
+    t_lo: f64,
+    t_hi: f64,
+    width: usize,
+) -> String {
+    assert!(width >= 16, "timeline too narrow");
+    assert!(t_hi > t_lo, "t_hi must exceed t_lo");
+    let pos = |t: f64| -> usize {
+        (((t - t_lo) / (t_hi - t_lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
+    };
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, segs) in rows {
+        let mut row = vec![' '; width];
+        for seg in segs {
+            let glyph = match seg.kind {
+                SegmentKind::Publisher => '=',
+                SegmentKind::Peer => '-',
+                SegmentKind::Waiting => '.',
+            };
+            let (a, b) = (pos(seg.start), pos(seg.end));
+            for cell in row.iter_mut().take(b + 1).skip(a) {
+                *cell = glyph;
+            }
+        }
+        let bar: String = row.into_iter().collect();
+        out.push_str(&format!("{label:>12} {bar}\n"));
+    }
+    out.push_str(&format!(
+        "{:>12} {}\n{:>12} t={t_lo:.0} .. t={t_hi:.0}\n",
+        "",
+        "-".repeat(width),
+        ""
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Samples;
+
+    #[test]
+    fn line_chart_contains_points_and_legend() {
+        let s = Series::new("demo", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        let chart = line_chart("t", &[s], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("demo"));
+        assert!(chart.lines().count() > 10);
+    }
+
+    #[test]
+    fn line_chart_empty_series() {
+        let chart = line_chart("t", &[Series::new("e", vec![])], 40, 10);
+        assert!(chart.contains("no finite data"));
+    }
+
+    #[test]
+    fn line_chart_flat_series_renders() {
+        let s = Series::new("flat", vec![(0.0, 1.0), (1.0, 1.0)]);
+        let chart = line_chart("t", &[s], 40, 8);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 0.0)]);
+        let b = Series::new("b", vec![(1.0, 1.0)]);
+        let chart = line_chart("t", &[a, b], 40, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+    }
+
+    #[test]
+    fn box_plot_row_renders_markers() {
+        let mut s = Samples::from_iter((0..100).map(|i| i as f64));
+        let b = s.box_plot();
+        let row = box_plot_row("label", &b, 0.0, 100.0, 60);
+        assert!(row.contains('['));
+        assert!(row.contains(']'));
+        assert!(row.contains('#'));
+        assert!(row.contains("label"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)];
+        let chart = bar_chart("t", &rows, 10);
+        // The larger bar should render exactly `width` hashes.
+        let b_line = chart.lines().find(|l| l.contains(" b ") || l.trim_start().starts_with('b')).unwrap();
+        assert_eq!(b_line.matches('#').count(), 10);
+    }
+
+    #[test]
+    fn timeline_draws_segment_kinds() {
+        let rows = vec![
+            (
+                "pub".to_string(),
+                vec![Segment { start: 0.0, end: 5.0, kind: SegmentKind::Publisher }],
+            ),
+            (
+                "peer".to_string(),
+                vec![
+                    Segment { start: 2.0, end: 6.0, kind: SegmentKind::Peer },
+                    Segment { start: 6.0, end: 9.0, kind: SegmentKind::Waiting },
+                ],
+            ),
+        ];
+        let t = timeline("t", &rows, 0.0, 10.0, 40);
+        assert!(t.contains('='));
+        assert!(t.contains('-'));
+        assert!(t.contains('.'));
+    }
+}

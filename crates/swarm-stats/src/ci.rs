@@ -1,0 +1,185 @@
+//! Confidence intervals for replicated experiments.
+//!
+//! The experimental sections of the paper report means over 10+ runs; the
+//! reproduction harness attaches normal-approximation confidence intervals
+//! so shape comparisons ("who wins, by roughly what factor") are grounded.
+
+use crate::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used, e.g. 0.95.
+    pub level: f64,
+    /// Number of observations behind the estimate.
+    pub n: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Does this interval contain `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// Do two intervals overlap? (A coarse "statistically indistinguishable"
+    /// check used when comparing simulated and analytic curves.)
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+/// Normal-approximation CI for the mean of the observations in `summary`.
+///
+/// Uses the z-quantile of the standard normal; for the small replica counts
+/// (n >= 10) used in the experiments this is within a few percent of the
+/// t-interval and avoids shipping a t-table. Returns a zero-width interval
+/// when `n < 2`.
+pub fn mean_ci(summary: &Summary, level: f64) -> ConfidenceInterval {
+    assert!((0.0..1.0).contains(&level), "level must be in (0,1)");
+    let n = summary.count();
+    let half_width = if n < 2 {
+        0.0
+    } else {
+        z_quantile(0.5 + level / 2.0) * summary.std_error()
+    };
+    ConfidenceInterval {
+        mean: summary.mean(),
+        half_width,
+        level,
+        n,
+    }
+}
+
+/// Quantile function of the standard normal distribution.
+///
+/// Acklam's rational approximation; absolute error below 1.15e-9 over the
+/// full open interval, far more precision than replicated-run CIs need.
+pub fn z_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "z_quantile requires p in (0,1), got {p}");
+
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_quantile_known_values() {
+        assert!(z_quantile(0.5).abs() < 1e-8);
+        assert!((z_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((z_quantile(0.995) - 2.575829).abs() < 1e-4);
+        assert!((z_quantile(0.025) + 1.959964).abs() < 1e-4);
+        // deep tail
+        assert!((z_quantile(1e-6) + 4.753424).abs() < 1e-3);
+    }
+
+    #[test]
+    fn z_quantile_is_antisymmetric() {
+        for &p in &[0.01, 0.1, 0.3, 0.45] {
+            assert!((z_quantile(p) + z_quantile(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn z_quantile_rejects_zero() {
+        z_quantile(0.0);
+    }
+
+    #[test]
+    fn mean_ci_covers_mean() {
+        let s = Summary::from_slice(&[9.0, 10.0, 11.0, 10.0, 10.0, 9.5, 10.5]);
+        let ci = mean_ci(&s, 0.95);
+        assert!(ci.contains(s.mean()));
+        assert!(ci.half_width > 0.0);
+        assert_eq!(ci.n, 7);
+    }
+
+    #[test]
+    fn mean_ci_single_observation_is_point() {
+        let s = Summary::from_slice(&[5.0]);
+        let ci = mean_ci(&s, 0.95);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.lo(), 5.0);
+        assert_eq!(ci.hi(), 5.0);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let narrow = mean_ci(&s, 0.90);
+        let wide = mean_ci(&s, 0.99);
+        assert!(wide.half_width > narrow.half_width);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ConfidenceInterval { mean: 0.0, half_width: 1.0, level: 0.95, n: 10 };
+        let b = ConfidenceInterval { mean: 1.5, half_width: 1.0, level: 0.95, n: 10 };
+        let c = ConfidenceInterval { mean: 5.0, half_width: 1.0, level: 0.95, n: 10 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+}

@@ -1,0 +1,160 @@
+//! Fixed-width histograms and time-binned counters.
+//!
+//! Figure 4 plots cumulative peers served over time and Figure 7 plots
+//! arrivals per day; both reduce to binning event timestamps.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width histogram over `[lo, hi)` with values outside the range
+/// accumulated into underflow/overflow counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// If `bins == 0` or `hi <= lo` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "hi must exceed lo");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Counts per bin, in order.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// `(bin_center, count)` pairs, the series a rate-over-time figure plots.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.bins.len())
+            .map(|i| (self.bin_center(i), self.bins[i]))
+            .collect()
+    }
+
+    /// Cumulative counts: entry `i` is the number of in-range observations
+    /// in bins `0..=i` (Figure 4 plots cumulative completions over time).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.bins
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_observations_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.99);
+        h.add(5.5);
+        h.add(9.999);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn underflow_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.1);
+        h.add(1.0); // hi is exclusive
+        h.add(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.add(0.5);
+        h.add(1.5);
+        h.add(1.6);
+        h.add(2.5);
+        assert_eq!(h.cumulative(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn inverted_bounds_panic() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn boundary_value_on_edge_goes_to_correct_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.5);
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+}

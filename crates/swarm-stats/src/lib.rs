@@ -1,0 +1,37 @@
+//! Statistics substrate for the swarmsys workspace.
+//!
+//! The measurement study (Section 2 of the paper), the simulators
+//! (Sections 3–4) and the reproduction harness all need the same small set
+//! of statistical primitives:
+//!
+//! * [`Summary`] — streaming mean / variance / extrema (Welford),
+//! * [`Samples`] — a batch of observations with quantiles and
+//!   [`BoxPlot`] five-number summaries (Figure 6(c) reports quartiles and
+//!   5th/95th percentiles),
+//! * [`Ecdf`] — empirical CDFs (Figure 1 is a CDF of seed availability),
+//! * [`Histogram`] — fixed-width binning (Figures 4 and 7 bin events over
+//!   time),
+//! * [`ci`] — normal-approximation confidence intervals for replicated
+//!   experiments,
+//! * [`TimeWeighted`] — time-in-state averages for availability fractions,
+//! * [`ascii`] — terminal rendering of lines, CDFs and boxplots so the
+//!   `repro` binary can show every figure without a plotting stack.
+//!
+//! Everything here is deliberately dependency-free (only `serde` for
+//! serializable results) and exact: no sketching, no approximation beyond
+//! floating point.
+
+pub mod ascii;
+pub mod ci;
+pub mod ecdf;
+pub mod histogram;
+pub mod quantile;
+pub mod summary;
+pub mod timeweighted;
+
+pub use ci::ConfidenceInterval;
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use quantile::{BoxPlot, Samples};
+pub use summary::Summary;
+pub use timeweighted::{TimeWeighted, UptimeFraction};

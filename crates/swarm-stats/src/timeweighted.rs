@@ -1,0 +1,171 @@
+//! Time-weighted averages over piecewise-constant signals.
+//!
+//! Availability is a *time* fraction — "40% of the swarms have no publishers
+//! available more than 50% of the time" — so the measurement and simulation
+//! crates need averages weighted by how long a state was held, not by how
+//! many samples were taken.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulator for the time-weighted average of a piecewise-constant signal.
+///
+/// Feed it `(time, new_value)` transitions in nondecreasing time order;
+/// between transitions the signal holds its previous value.
+///
+/// ```
+/// use swarm_stats::TimeWeighted;
+/// let mut tw = TimeWeighted::new(0.0, 0.0); // starts at value 0 at t=0
+/// tw.set(10.0, 1.0);                         // value becomes 1 at t=10
+/// tw.set(30.0, 0.0);                         // value becomes 0 at t=30
+/// assert!((tw.average_until(40.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: f64,
+    last_t: f64,
+    last_v: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at time `t0` with initial value `v0`.
+    pub fn new(t0: f64, v0: f64) -> Self {
+        TimeWeighted {
+            start: t0,
+            last_t: t0,
+            last_v: v0,
+            integral: 0.0,
+        }
+    }
+
+    /// Record that the signal changes to `v` at time `t`.
+    ///
+    /// # Panics
+    /// If `t` precedes the previous transition (signals move forward in
+    /// time).
+    pub fn set(&mut self, t: f64, v: f64) {
+        assert!(
+            t >= self.last_t,
+            "transitions must be in nondecreasing time order: {t} < {}",
+            self.last_t
+        );
+        self.integral += (t - self.last_t) * self.last_v;
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Integral of the signal from the start time until `t >= last
+    /// transition`.
+    pub fn integral_until(&self, t: f64) -> f64 {
+        assert!(t >= self.last_t, "cannot evaluate in the past");
+        self.integral + (t - self.last_t) * self.last_v
+    }
+
+    /// Time-weighted average over `[t0, t]`. `NaN` if `t == t0`.
+    pub fn average_until(&self, t: f64) -> f64 {
+        let span = t - self.start;
+        if span <= 0.0 {
+            f64::NAN
+        } else {
+            self.integral_until(t) / span
+        }
+    }
+}
+
+/// Fraction of `[t0, t]` during which a boolean signal was true.
+///
+/// Thin wrapper over [`TimeWeighted`] with values 0/1; this is exactly the
+/// "seed availability" metric of Figure 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UptimeFraction {
+    inner: TimeWeighted,
+}
+
+impl UptimeFraction {
+    /// Start tracking at `t0`, initially `up`.
+    pub fn new(t0: f64, up: bool) -> Self {
+        UptimeFraction {
+            inner: TimeWeighted::new(t0, if up { 1.0 } else { 0.0 }),
+        }
+    }
+
+    /// Record that the signal becomes `up` at time `t`.
+    pub fn set(&mut self, t: f64, up: bool) {
+        self.inner.set(t, if up { 1.0 } else { 0.0 });
+    }
+
+    /// Is the signal currently up?
+    pub fn is_up(&self) -> bool {
+        self.inner.current() > 0.5
+    }
+
+    /// Fraction of time spent up over `[t0, t]`.
+    pub fn fraction_until(&self, t: f64) -> f64 {
+        self.inner.average_until(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_average() {
+        let tw = TimeWeighted::new(0.0, 3.0);
+        assert!((tw.average_until(10.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_wave() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.set(1.0, 0.0);
+        tw.set(2.0, 1.0);
+        tw.set(3.0, 0.0);
+        assert!((tw.average_until(4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_at_start_is_nan() {
+        let tw = TimeWeighted::new(5.0, 1.0);
+        assert!(tw.average_until(5.0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn rejects_time_travel() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.set(10.0, 1.0);
+        tw.set(5.0, 0.0);
+    }
+
+    #[test]
+    fn repeated_transitions_at_same_instant() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.set(1.0, 5.0);
+        tw.set(1.0, 2.0); // instantaneous re-set contributes zero weight
+        assert!((tw.average_until(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uptime_fraction_tracks_boolean_signal() {
+        let mut up = UptimeFraction::new(0.0, true);
+        assert!(up.is_up());
+        up.set(30.0, false);
+        assert!(!up.is_up());
+        up.set(90.0, true);
+        // up for 30 + 10 of 100
+        assert!((up.fraction_until(100.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonzero_start_time() {
+        let mut tw = TimeWeighted::new(100.0, 2.0);
+        tw.set(110.0, 0.0);
+        assert!((tw.average_until(120.0) - 1.0).abs() < 1e-12);
+    }
+}

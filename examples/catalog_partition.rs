@@ -1,0 +1,64 @@
+//! Catalog partitioning: the paper's §5 open question — "how should a
+//! content provider optimally bundle files?" — answered with the greedy
+//! optimizer over a synthetic back-catalog.
+//!
+//! ```text
+//! cargo run --release --example catalog_partition
+//! ```
+
+use swarmsys::model::partition::{
+    evaluate_partition, greedy_partition, local_search, CatalogFile, Environment,
+};
+
+fn main() {
+    // A back-catalog: two hits, a mid-tier, and a long tail of niche
+    // titles (4 MB files; λ in peers/s; kB/s capacity).
+    let files: Vec<CatalogFile> = vec![
+        CatalogFile { lambda: 1.0 / 8.0, size: 4_000.0 },
+        CatalogFile { lambda: 1.0 / 12.0, size: 4_000.0 },
+        CatalogFile { lambda: 1.0 / 40.0, size: 4_000.0 },
+        CatalogFile { lambda: 1.0 / 90.0, size: 4_000.0 },
+        CatalogFile { lambda: 1.0 / 150.0, size: 4_000.0 },
+        CatalogFile { lambda: 1.0 / 300.0, size: 2_000.0 },
+        CatalogFile { lambda: 1.0 / 600.0, size: 2_000.0 },
+        CatalogFile { lambda: 1.0 / 900.0, size: 2_000.0 },
+    ];
+    let env = Environment {
+        mu: 50.0,
+        r: 1.0 / 20_000.0, // publisher reseeds every ~5.5 hours
+        u: 300.0,
+    };
+
+    let singletons: Vec<Vec<usize>> = (0..files.len()).map(|i| vec![i]).collect();
+    let everything: Vec<Vec<usize>> = vec![(0..files.len()).collect()];
+    let t_single = evaluate_partition(&files, &singletons, env);
+    let t_everything = evaluate_partition(&files, &everything, env);
+
+    let greedy = greedy_partition(&files, env);
+    let t_greedy = evaluate_partition(&files, &greedy, env);
+    let (refined, t_refined) = local_search(&files, greedy.clone(), env, 100);
+
+    println!("demand-weighted mean download time (s):");
+    println!("  every file alone      : {t_single:>8.0}");
+    println!("  one giant bundle      : {t_everything:>8.0}");
+    println!("  greedy partition      : {t_greedy:>8.0}");
+    println!("  + local search        : {t_refined:>8.0}");
+    println!();
+    println!("recommended release plan:");
+    for (i, bundle) in refined.iter().enumerate() {
+        let lambda: f64 = bundle.iter().map(|&i| files[i].lambda).sum();
+        let size: f64 = bundle.iter().map(|&i| files[i].size).sum();
+        let mut ids: Vec<usize> = bundle.clone();
+        ids.sort_unstable();
+        println!(
+            "  torrent {}: files {ids:?}  (aggregate demand {lambda:.4}/s, {:.0} MB)",
+            i + 1,
+            size / 1_000.0
+        );
+    }
+    println!();
+    println!(
+        "the optimizer keeps self-sustaining hits lean and packs the long \
+         tail into bundles big enough to stay alive between reseedings."
+    );
+}

@@ -1,0 +1,81 @@
+//! Publisher provisioning: a content publisher wants a target
+//! availability at minimum seeding cost. Compare the three levers the
+//! model exposes — return more often (r), stay longer (u), or bundle (K) —
+//! and find the cheapest mix, where "cost" is the expected fraction of
+//! time the publisher must keep a seed online (r·u).
+//!
+//! ```text
+//! cargo run --release --example publisher_provisioning
+//! ```
+
+use swarmsys::model::impatient;
+use swarmsys::model::params::{PublisherScaling, SwarmParams};
+
+/// Seeding duty cycle: the long-run fraction of time the publisher's own
+/// machine is online (cost proxy).
+fn duty_cycle(p: &SwarmParams) -> f64 {
+    (p.r * p.u).min(1.0)
+}
+
+fn main() {
+    let target = 0.99; // want content available for 99% of arrivals
+    let base = SwarmParams {
+        lambda: 1.0 / 300.0, // a peer every 5 minutes
+        size: 4_000.0,
+        mu: 50.0,
+        r: 1.0 / 7_200.0, // currently: reappears every 2 h...
+        u: 300.0,         // ...for 5 minutes
+    };
+    println!(
+        "baseline: availability {:.3}, duty cycle {:.2}%",
+        1.0 - impatient::unavailability(&base),
+        duty_cycle(&base) * 100.0
+    );
+    println!("target:   availability {target}");
+    println!();
+
+    // Lever 1: return more often.
+    let mut by_rate = base;
+    while 1.0 - impatient::unavailability(&by_rate) < target {
+        by_rate.r *= 1.1;
+    }
+    println!(
+        "lever 1 - return more often : every {:>6.0} s -> duty cycle {:>6.2}%",
+        1.0 / by_rate.r,
+        duty_cycle(&by_rate) * 100.0
+    );
+
+    // Lever 2: stay longer per visit.
+    let mut by_stay = base;
+    while 1.0 - impatient::unavailability(&by_stay) < target {
+        by_stay.u *= 1.1;
+    }
+    println!(
+        "lever 2 - stay longer       : {:>8.0} s per visit -> duty cycle {:>6.2}%",
+        by_stay.u,
+        duty_cycle(&by_stay) * 100.0
+    );
+
+    // Lever 3: bundle — demand does the seeding for you.
+    let mut chosen = None;
+    for k in 2..=12u32 {
+        let b = base.bundle(k, PublisherScaling::Fixed);
+        if 1.0 - impatient::unavailability(&b) >= target {
+            chosen = Some((k, b));
+            break;
+        }
+    }
+    match chosen {
+        Some((k, b)) => println!(
+            "lever 3 - bundle            : K = {k:>2} files -> duty cycle {:>6.2}% (unchanged)",
+            duty_cycle(&b) * 100.0
+        ),
+        None => println!("lever 3 - bundle            : not reachable with K <= 12"),
+    }
+
+    println!();
+    println!(
+        "the paper's point: the availability a publisher buys with uptime, \
+         bundling buys with e^Theta(K^2) busy-period growth - for free."
+    );
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the block-level engine and the flow-level
+//! simulator must agree qualitatively — they are two substrates for the
+//! same phenomena.
+
+use swarmsys::bt::{run as bt_run, BtConfig, BtPublisher};
+use swarmsys::sim::{run as flow_run, Patience, PublisherProcess, ServiceModel, SimConfig};
+
+#[test]
+fn service_times_agree_under_abundant_availability() {
+    // With an always-on publisher both engines should deliver downloads
+    // at roughly s/μ.
+    let k = 2u32;
+    let bt = bt_run(&BtConfig {
+        publisher: BtPublisher::AlwaysOn,
+        horizon: 3_000,
+        drain_ticks: 1_200,
+        warmup: 500,
+        ..BtConfig::paper_section_4_3(k, 11)
+    });
+    let flow = flow_run(&SimConfig {
+        lambda: k as f64 / 60.0,
+        service: ServiceModel::Exponential { mean: 160.0 },
+        publisher: PublisherProcess::SingleOnOff {
+            on_mean: 1e9,
+            off_mean: 1.0,
+            initially_on: true,
+        },
+        patience: Patience::Patient,
+        linger_mean: None,
+        coverage_threshold: 0,
+        horizon: 50_000.0,
+        warmup: 1_000.0,
+        seed: 12,
+        record_timeline: false,
+    });
+    let t_bt = bt.mean_download_time();
+    let t_flow = flow.mean_download_time();
+    assert!(
+        (t_bt - t_flow).abs() / t_flow < 0.35,
+        "block {t_bt} vs flow {t_flow}"
+    );
+}
+
+#[test]
+fn both_engines_show_the_self_sustaining_transition() {
+    // Seedless swarms: K=1 dies early, K=8 sustains — in both engines.
+    // Block level: §4.2 configuration.
+    let small_bt = bt_run(&BtConfig::paper_section_4_2(1, 21));
+    let large_bt = bt_run(&BtConfig::paper_section_4_2(8, 21));
+    assert!(
+        large_bt.last_available_tick.unwrap_or(0) > small_bt.last_available_tick.unwrap_or(0),
+        "block-level: K=8 must stay available longer"
+    );
+
+    // Flow level: same parameters, coverage threshold 9.
+    let flow_cfg = |k: u32, seed: u64| SimConfig {
+        lambda: k as f64 / 150.0,
+        service: ServiceModel::Exponential {
+            mean: k as f64 * 121.2,
+        },
+        publisher: PublisherProcess::SingleOnOff {
+            // Publisher long gone after an initial seeding window (drawn
+            // exponential with a 3000 s mean — long enough for the K=8
+            // population to reach steady state before departure).
+            on_mean: 3_000.0,
+            off_mean: 1e12,
+            initially_on: true,
+        },
+        patience: Patience::Patient,
+        linger_mean: None,
+        coverage_threshold: 9,
+        horizon: 30_000.0,
+        warmup: 0.0,
+        seed,
+        record_timeline: false,
+    };
+    let small_flow = flow_run(&flow_cfg(1, 22));
+    let large_flow = flow_run(&flow_cfg(8, 22));
+    assert!(
+        large_flow.availability > small_flow.availability,
+        "flow-level: K=8 avail {} must exceed K=1 avail {}",
+        large_flow.availability,
+        small_flow.availability
+    );
+}
+
+#[test]
+fn both_engines_show_waiting_under_intermittent_publisher() {
+    // K=1 with the §4.3 on/off publisher: both engines must report
+    // download times well above the pure service time.
+    let bt = bt_run(&BtConfig {
+        horizon: 2_400,
+        drain_ticks: 2_400,
+        ..BtConfig::paper_section_4_3(1, 31)
+    });
+    assert!(
+        bt.mean_download_time() > 160.0,
+        "block-level waits missing: {}",
+        bt.mean_download_time()
+    );
+
+    let flow = flow_run(&SimConfig {
+        lambda: 1.0 / 60.0,
+        service: ServiceModel::Exponential { mean: 80.0 },
+        publisher: PublisherProcess::SingleOnOff {
+            on_mean: 300.0,
+            off_mean: 900.0,
+            initially_on: true,
+        },
+        patience: Patience::Patient,
+        linger_mean: None,
+        coverage_threshold: 9,
+        horizon: 100_000.0,
+        warmup: 2_000.0,
+        seed: 32,
+        record_timeline: false,
+    });
+    assert!(
+        flow.mean_download_time() > 2.0 * 80.0,
+        "flow-level waits missing: {}",
+        flow.mean_download_time()
+    );
+}
+
+#[test]
+fn flash_departures_are_a_block_level_phenomenon() {
+    // The flow simulator with threshold m also releases waiting peers in
+    // bursts when a publisher returns, but the block engine's bursts are
+    // sharper (whole cohorts complete within seconds). Check the block
+    // engine reports a meaningful burst statistic at K=2.
+    let bt = bt_run(&BtConfig {
+        horizon: 2_400,
+        drain_ticks: 1_200,
+        ..BtConfig::paper_section_4_3(2, 41)
+    });
+    assert!(bt.max_flash_departures >= 2, "no flash departures at K=2");
+}

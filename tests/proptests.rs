@@ -1,0 +1,154 @@
+//! Property-based tests on the public API: invariants that must hold for
+//! *any* valid parameterization, not just the paper's.
+
+use proptest::prelude::*;
+use swarmsys::model::params::{PublisherScaling, SwarmParams};
+use swarmsys::model::{impatient, patient, simple, threshold};
+use swarmsys::queue::busy::{classical_busy_period, TwoPhaseBusyPeriod};
+use swarmsys::queue::residual::{residual_busy_period, residual_busy_period_above};
+
+/// Swarm parameters across four orders of magnitude, kept in the regime
+/// where the linear-domain formulas stay finite.
+fn swarm_params() -> impl Strategy<Value = SwarmParams> {
+    (
+        1e-4..0.05f64,    // lambda
+        100.0..50_000f64, // size
+        10.0..500f64,     // mu
+        1e-5..0.01f64,    // r
+        10.0..2_000f64,   // u
+    )
+        .prop_map(|(lambda, size, mu, r, u)| SwarmParams {
+            lambda,
+            size,
+            mu,
+            r,
+            u,
+        })
+        .prop_filter("bounded load keeps E[B] finite", |p| {
+            (p.lambda + p.r) * (p.service_time().max(p.u)) < 50.0
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unavailability_is_a_probability(p in swarm_params()) {
+        for v in [
+            impatient::unavailability(&p),
+            patient::unavailability(&p),
+            simple::publisher_unavailability(&p),
+            simple::coverage_unavailability(&p),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "P = {v}");
+        }
+    }
+
+    #[test]
+    fn download_time_at_least_service_time(p in swarm_params()) {
+        prop_assert!(patient::download_time(&p) >= p.service_time());
+        // ... and at most service + a full idle period.
+        prop_assert!(patient::download_time(&p) <= p.service_time() + 1.0 / p.r + 1e-9);
+    }
+
+    #[test]
+    fn bundling_never_hurts_availability(p in swarm_params(), k in 2u32..6) {
+        let single = impatient::ln_unavailability(&p);
+        let bundle = impatient::ln_unavailability(&p.bundle(k, PublisherScaling::Fixed));
+        prop_assert!(bundle <= single + 1e-6, "K={k}: {bundle} > {single}");
+    }
+
+    #[test]
+    fn theorem_3_2a_inflation_bounded_by_k(p in swarm_params(), k in 2u32..6) {
+        let t1 = patient::download_time(&p);
+        let tk = patient::download_time(&p.bundle(k, PublisherScaling::Fixed));
+        prop_assert!(tk <= k as f64 * t1 + 1e-6, "K={k}: {tk} vs {t1}");
+    }
+
+    #[test]
+    fn busy_period_monotone_in_rates(
+        beta in 0.001..0.2f64,
+        alpha in 1.0..100f64,
+    ) {
+        prop_assume!(beta * alpha < 40.0);
+        let b = classical_busy_period(beta, alpha);
+        let b_more_arrivals = classical_busy_period(beta * 1.5, alpha);
+        let b_longer_stays = classical_busy_period(beta, alpha * 1.5);
+        prop_assert!(b_more_arrivals > b);
+        prop_assert!(b_longer_stays > b);
+        // A busy period is at least one residence.
+        prop_assert!(b >= alpha);
+    }
+
+    #[test]
+    fn eq9_at_least_initiator_residence(
+        beta in 0.001..0.1f64,
+        theta in 1.0..500f64,
+        q1 in 0.0..1.0f64,
+        alpha1 in 1.0..200f64,
+        alpha2 in 1.0..200f64,
+    ) {
+        prop_assume!(beta * alpha1.max(alpha2).max(theta) < 40.0);
+        let p = TwoPhaseBusyPeriod { beta, theta, q1, alpha1, alpha2 };
+        let b = p.expected();
+        prop_assert!(b >= theta, "E[B] = {b} < theta = {theta}");
+    }
+
+    #[test]
+    fn residual_busy_periods_chain(
+        n in 2u64..12,
+        m in 0u64..6,
+        lambda in 0.01..0.3f64,
+        alpha in 0.5..10f64,
+    ) {
+        prop_assume!(m < n);
+        prop_assume!(lambda * alpha < 8.0);
+        let whole = residual_busy_period(n, lambda, alpha);
+        let above = residual_busy_period_above(n, m, lambda, alpha);
+        let below = residual_busy_period(m, lambda, alpha);
+        // B(n,0) = B(n,m) + B(m,0)
+        prop_assert!(((above + below - whole) / whole).abs() < 1e-9);
+        prop_assert!(above >= 0.0);
+    }
+
+    #[test]
+    fn threshold_unavailability_monotone_in_m(
+        p in swarm_params(),
+        m in 1u64..8,
+    ) {
+        prop_assume!(p.peer_load() < 30.0);
+        let low = threshold::unavailability(&p, m);
+        let high = threshold::unavailability(&p, m + 3);
+        prop_assert!((0.0..=1.0).contains(&low));
+        // Larger threshold = easier to lose coverage = more unavailable.
+        prop_assert!(high >= low - 1e-12);
+    }
+
+    #[test]
+    fn bundle_construction_scales_linearly(p in swarm_params(), k in 1u32..8) {
+        let b = p.bundle(k, PublisherScaling::Proportional);
+        let kf = k as f64;
+        prop_assert!((b.lambda - kf * p.lambda).abs() < 1e-12);
+        prop_assert!((b.size - kf * p.size).abs() < 1e-6);
+        prop_assert!((b.r - kf * p.r).abs() < 1e-12);
+        prop_assert!((b.u - kf * p.u).abs() < 1e-6);
+        prop_assert!((b.peer_load() - kf * kf * p.peer_load()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serde_roundtrip_swarm_params(p in swarm_params()) {
+        // JSON text roundtrips may lose the final ULP; require agreement
+        // to relative 1e-12, which is all downstream consumers need.
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SwarmParams = serde_json::from_str(&json).unwrap();
+        for (a, b) in [
+            (p.lambda, back.lambda),
+            (p.size, back.size),
+            (p.mu, back.mu),
+            (p.r, back.r),
+            (p.u, back.u),
+        ] {
+            prop_assert!(((a - b) / a).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}
