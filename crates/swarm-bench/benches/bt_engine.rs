@@ -34,6 +34,27 @@ fn bench_bt(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    group.bench_function("bt_K16_1200s", |b| {
+        b.iter_batched(
+            || BtConfig {
+                drain_ticks: 600,
+                ..BtConfig::paper_section_4_3(16, 7)
+            },
+            |cfg| run(&cfg),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bt_K16_timeline_1200s", |b| {
+        b.iter_batched(
+            || BtConfig {
+                drain_ticks: 600,
+                record_timeline: true,
+                ..BtConfig::paper_section_4_3(16, 7)
+            },
+            |cfg| run(&cfg),
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

@@ -37,11 +37,7 @@ fn bench_busy(c: &mut Criterion) {
     c.bench_function("eq18_exceptional_initiator", |b| {
         let initiator = Exp::new(300.0);
         b.iter(|| {
-            swarm_queue::busy::exceptional_busy_period(
-                black_box(0.02),
-                &initiator,
-                black_box(80.0),
-            )
+            swarm_queue::busy::exceptional_busy_period(black_box(0.02), &initiator, black_box(80.0))
         })
     });
 

@@ -87,7 +87,11 @@ pub fn bm_table(_quick: bool) -> Report {
         let bm = threshold::residual_busy_period(&b, 9);
         rows.push((
             format!("K={k}"),
-            format!("B(9) = {:>12.0} s   (paper: {:>7.0})", bm, paper[k as usize - 1]),
+            format!(
+                "B(9) = {:>12.0} s   (paper: {:>7.0})",
+                bm,
+                paper[k as usize - 1]
+            ),
         ));
         values.push(bm);
     }
@@ -110,15 +114,19 @@ mod tests {
         let r = run(true);
         let curves = r.data["curves"].as_array().unwrap();
         let total = |idx: usize| -> f64 {
-            let c: Vec<(f64, f64)> =
-                serde_json::from_value(curves[idx]["curve"].clone()).unwrap();
+            let c: Vec<(f64, f64)> = serde_json::from_value(curves[idx]["curve"].clone()).unwrap();
             c.last().unwrap().1
         };
         // K=8 (index 4) must both serve more peers and stay available
         // longer than K=1 (index 0).
         assert!(total(4) > total(0), "K=8 {} vs K=1 {}", total(4), total(0));
         let la = |idx: usize| curves[idx]["last_available"].as_f64().unwrap();
-        assert!(la(4) > la(0) + 300.0, "availability: {} vs {}", la(4), la(0));
+        assert!(
+            la(4) > la(0) + 300.0,
+            "availability: {} vs {}",
+            la(4),
+            la(0)
+        );
     }
 
     #[test]
@@ -127,7 +135,11 @@ mod tests {
         let bm: Vec<f64> = serde_json::from_value(r.data["bm"].clone()).unwrap();
         // Paper: B(9) ≈ 0 for K=1,2; crosses the 1500 s experiment horizon
         // by K ≈ 5-6 (self-sustaining swarms).
-        assert!(bm[0] < 1.0 && bm[1] < 5.0, "K=1,2 must be ~0: {:?}", &bm[..2]);
+        assert!(
+            bm[0] < 1.0 && bm[1] < 5.0,
+            "K=1,2 must be ~0: {:?}",
+            &bm[..2]
+        );
         assert!(bm[5] > 1_500.0, "K=6 must exceed the horizon: {}", bm[5]);
         // Monotone in K (the paper's non-monotone K=7/8 values are flagged
         // as an artifact).

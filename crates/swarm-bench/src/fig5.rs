@@ -17,7 +17,12 @@ pub fn run(quick: bool) -> Report {
         "Arrival/departure timelines with an intermittent publisher (paper Figure 5)",
     );
     let mut data = Vec::new();
-    let flash_seeds: u64 = if quick { 4 } else { 10 };
+    // A single run's max flash burst is very noisy (it is a maximum over
+    // bursts, normalised by a small completion count); at 4 or even 10
+    // seeds the K=2 > K=4 ordering stays inside the Monte-Carlo noise.
+    // 30 seeds separates the means cleanly, and the incremental engine
+    // makes the 90 extra runs cost well under a second.
+    let flash_seeds: u64 = 30;
     for k in [2u32, 3, 4] {
         let cfg = BtConfig {
             record_timeline: true,
@@ -105,8 +110,7 @@ mod tests {
         // exceed the K=4 share (Figure 5's visual claim).
         let r = run(true);
         let runs = r.data["runs"].as_array().unwrap();
-        let share =
-            |i: usize| runs[i]["flash_share"].as_f64().unwrap();
+        let share = |i: usize| runs[i]["flash_share"].as_f64().unwrap();
         assert!(
             share(0) > share(2),
             "K=2 share {} must exceed K=4 share {}",

@@ -60,11 +60,16 @@ fn flow_sim_stats(k: u32, mu: f64, reps: usize, seed: u64) -> swarm_stats::BoxPl
         seed,
         record_timeline: false,
     };
-    replicate(&cfg, reps, threads()).pooled.download_times.box_plot()
+    replicate(&cfg, reps, threads())
+        .pooled
+        .download_times
+        .box_plot()
 }
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// E8 — Figure 6(a).
@@ -151,8 +156,15 @@ pub fn fig6b(quick: bool) -> Report {
     let mut model = Vec::new();
     let mut block = Vec::new();
     for &k in &ks {
-        flow.push((k as f64, flow_sim_download_time(k, mu_eff, reps, 6200 + k as u64)));
-        let b = SwarmParams { mu: mu_eff, ..fig6_params() }.bundle(k, PublisherScaling::Fixed);
+        flow.push((
+            k as f64,
+            flow_sim_download_time(k, mu_eff, reps, 6200 + k as u64),
+        ));
+        let b = SwarmParams {
+            mu: mu_eff,
+            ..fig6_params()
+        }
+        .bundle(k, PublisherScaling::Fixed);
         model.push((k as f64, threshold::single_publisher_download_time(&b, 9)));
         let cfg = BtConfig {
             peer_capacity: CapacityDistribution::BitTyrant,
@@ -259,9 +271,7 @@ pub fn fig6c(quick: bool) -> Report {
     for r in rows {
         report.block(r);
     }
-    report.line(
-        "paper: bundle mean 405 s — above file 1 alone (329 s) but below files 2-4 alone.",
-    );
+    report.line("paper: bundle mean 405 s — above file 1 alone (329 s) but below files 2-4 alone.");
     report.block(table2(
         ("experiment", "mean download time (s)"),
         &all_boxes
@@ -317,11 +327,21 @@ mod tests {
         let exps = r.data["experiments"].as_array().unwrap();
         let mean = |i: usize| exps[i]["mean"].as_f64().unwrap();
         // The popular file sees times far below the unpopular ones.
-        assert!(mean(3) > 1.5 * mean(0), "file4 {} vs file1 {}", mean(3), mean(0));
+        assert!(
+            mean(3) > 1.5 * mean(0),
+            "file4 {} vs file1 {}",
+            mean(3),
+            mean(0)
+        );
         // The bundle beats every unpopular file alone...
         let bundle = mean(4);
         for i in 1..=3 {
-            assert!(bundle < mean(i), "bundle {bundle} vs file{} {}", i + 1, mean(i));
+            assert!(
+                bundle < mean(i),
+                "bundle {bundle} vs file{} {}",
+                i + 1,
+                mean(i)
+            );
         }
         // ...while being roughly neutral for the most popular file (the
         // paper reports a slight loss, 405 vs 329 s; our flow-level runs

@@ -95,8 +95,7 @@ mod tests {
         r.save(&dir).unwrap();
         assert!(dir.join("demo.txt").exists());
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(dir.join("demo.json")).unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string(dir.join("demo.json")).unwrap()).unwrap();
         assert_eq!(json["k"], 1);
         let _ = std::fs::remove_dir_all(&dir);
     }

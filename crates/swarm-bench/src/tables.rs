@@ -148,7 +148,9 @@ mod tests {
         let r = books_table(true);
         let all = r.data["unavailable_all"].as_f64().unwrap();
         let coll = r.data["unavailable_collections"].as_f64().unwrap();
-        let eff = r.data["unavailable_collections_effective"].as_f64().unwrap();
+        let eff = r.data["unavailable_collections_effective"]
+            .as_f64()
+            .unwrap();
         assert!(all > coll, "collections more available: {all} vs {coll}");
         assert!(eff <= coll);
         assert!(

@@ -46,7 +46,11 @@ impl Bitfield {
 
     #[inline]
     fn index(&self, piece: usize) -> (usize, u64) {
-        assert!(piece < self.len, "piece {piece} out of range 0..{}", self.len);
+        assert!(
+            piece < self.len,
+            "piece {piece} out of range 0..{}",
+            self.len
+        );
         (piece / 64, 1u64 << (piece % 64))
     }
 
@@ -85,11 +89,45 @@ impl Bitfield {
         }
     }
 
+    /// Iterate over held pieces in ascending order. Word-at-a-time: cost
+    /// is O(words + set bits), not O(len).
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
     /// Iterate over pieces that `other` holds and `self` lacks (the pieces
-    /// `self` is *interested* in when talking to `other`).
+    /// `self` is *interested* in when talking to `other`), ascending.
+    /// Word-at-a-time over `other & !self`; tail bits past `len` are zero
+    /// in both operands by construction, so no masking is needed.
     pub fn missing_from<'a>(&'a self, other: &'a Bitfield) -> impl Iterator<Item = usize> + 'a {
         assert_eq!(self.len, other.len, "bitfield length mismatch");
-        (0..self.len).filter(move |&i| other.has(i) && !self.has(i))
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .enumerate()
+            .flat_map(|(wi, (&mine, &theirs))| {
+                let mut w = theirs & !mine;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
+            })
     }
 
     /// Is `self` interested in `other` (does `other` hold any piece `self`
@@ -150,6 +188,18 @@ mod tests {
         a.union_with(&b);
         assert!(a.has(1) && a.has(7));
         assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn ones_lists_set_pieces_ascending() {
+        let mut b = Bitfield::new(130);
+        for p in [0, 5, 63, 64, 100, 129] {
+            b.set(p);
+        }
+        let got: Vec<usize> = b.ones().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 100, 129]);
+        assert_eq!(Bitfield::new(7).ones().count(), 0);
+        assert_eq!(Bitfield::full(70).ones().count(), 70);
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
         // Uncapped mean ≈ 280; a 250 kB/s downlink clips it to ~112.
         let eff = d.mean_capped(250.0);
         assert!(eff < d.mean() / 2.0, "capped mean {eff}");
-        assert!((eff - 112.0).abs() < 10.0, "capped mean {eff} should be ~112");
+        assert!(
+            (eff - 112.0).abs() < 10.0,
+            "capped mean {eff} should be ~112"
+        );
         // A huge cap changes nothing; uniform clips trivially.
         assert!((d.mean_capped(1e9) - d.mean()).abs() < 1e-9);
         assert_eq!(CapacityDistribution::Uniform(50.0).mean_capped(30.0), 30.0);
@@ -172,9 +175,7 @@ mod tests {
         let d = CapacityDistribution::Empirical(vec![(0.5, 10.0), (1.0, 30.0)]);
         assert!((d.mean() - 20.0).abs() < 1e-12);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let n_fast = (0..10_000)
-            .filter(|_| d.sample(&mut rng) == 30.0)
-            .count();
+        let n_fast = (0..10_000).filter(|_| d.sample(&mut rng) == 30.0).count();
         assert!((n_fast as f64 / 10_000.0 - 0.5).abs() < 0.02);
     }
 

@@ -183,8 +183,14 @@ impl BtConfig {
         assert!(self.arrival_rate > 0.0 && self.arrival_rate.is_finite());
         assert!(self.download_cap > 0.0);
         assert!(self.publisher_capacity > 0.0 && self.publisher_capacity.is_finite());
-        assert!(self.unchoke_slots + self.optimistic_slots >= 1, "need at least one slot");
-        assert!(self.rechoke_interval >= 1, "rechoke interval must be at least one tick");
+        assert!(
+            self.unchoke_slots + self.optimistic_slots >= 1,
+            "need at least one slot"
+        );
+        assert!(
+            self.rechoke_interval >= 1,
+            "rechoke interval must be at least one tick"
+        );
         assert!(self.max_neighbors >= 1);
         assert!(self.tracker_response >= 1);
         assert!(self.horizon > 0);
@@ -193,7 +199,9 @@ impl BtConfig {
             assert!(l > 0.0 && l.is_finite());
         }
         match self.publisher {
-            BtPublisher::OnOff { on_mean, off_mean, .. } => {
+            BtPublisher::OnOff {
+                on_mean, off_mean, ..
+            } => {
                 assert!(on_mean > 0.0 && on_mean.is_finite());
                 assert!(off_mean > 0.0 && off_mean.is_finite());
             }

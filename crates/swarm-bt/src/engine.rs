@@ -12,7 +12,16 @@
 //! from them on the previous tick), unchoke the top `unchoke_slots` plus
 //! `optimistic_slots` random ones, and split capacity evenly; downloaders
 //! pick pieces by strict priority (finish partial pieces first) then
-//! rarest-first among their neighborhood.
+//! rarest-first by global replication count.
+//!
+//! Piece replication is tracked *incrementally* by [`ReplicationIndex`]:
+//! instead of recomputing a bitfield union (plus, under timelines, an
+//! O(peers × pieces) holder scan) every tick, the engine updates per-piece
+//! holder counts on the only events that change them — piece completions
+//! and peer departures. The availability check, the rarest-first policy
+//! and every timeline curve read the index in O(1) per value. Hot loops
+//! reuse scratch buffers owned by the engine, so steady-state ticks do
+//! not allocate.
 //!
 //! This is the repo's stand-in for the paper's PlanetLab testbed: it
 //! reproduces the protocol-level phenomena of §4 — blocked leechers,
@@ -25,7 +34,6 @@ use crate::metrics::{BtResult, PeerSpan};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
 
 const PUBLISHER: usize = 0;
 /// Peers below this many neighbors re-query the tracker on re-announce.
@@ -41,10 +49,103 @@ const FLASH_WINDOW: u64 = 5;
 /// before it times out and the piece becomes fetchable elsewhere.
 const REQUEST_TIMEOUT: u64 = 60;
 
+/// Incrementally maintained per-piece replication state over *online,
+/// non-publisher* peers — the population whose bitfield union defines
+/// peer-side availability (the paper's §2.2 monitors classify exactly
+/// these bitmaps).
+///
+/// Only two events change replication: an online peer completes a piece
+/// (`gain`), and an online peer goes offline (`drop_holder` — completion
+/// without linger, or linger expiry). Arrivals hold nothing, departed
+/// peers never return, and publisher transitions are tracked separately,
+/// so none of them touch the index. Coverage, the minimum replication
+/// level and the sorted-count histogram all fall out of the same
+/// bookkeeping, amortized O(1) per event.
+struct ReplicationIndex {
+    /// Per piece: number of online non-publisher holders.
+    counts: Vec<u32>,
+    /// `hist[c]` = number of pieces replicated exactly `c` times.
+    hist: Vec<u32>,
+    /// Pieces with count > 0 (peer-side coverage).
+    covered: usize,
+    /// Cached minimum of `counts` — the lowest nonzero histogram bucket.
+    min_count: u32,
+}
+
+impl ReplicationIndex {
+    fn new(num_pieces: usize) -> Self {
+        ReplicationIndex {
+            counts: vec![0; num_pieces],
+            hist: vec![num_pieces as u32],
+            covered: 0,
+            min_count: 0,
+        }
+    }
+
+    /// An online peer completed `piece`.
+    fn gain(&mut self, piece: usize) {
+        let c = self.counts[piece] as usize;
+        self.counts[piece] = (c + 1) as u32;
+        self.hist[c] -= 1;
+        if self.hist.len() == c + 1 {
+            self.hist.push(0);
+        }
+        self.hist[c + 1] += 1;
+        if c == 0 {
+            self.covered += 1;
+        }
+        // The minimum only rises when its bucket empties; the scan work
+        // is bounded by the total number of increments (amortized O(1)).
+        while self.hist[self.min_count as usize] == 0 {
+            self.min_count += 1;
+        }
+    }
+
+    /// An online holder of `piece` went offline.
+    fn lose(&mut self, piece: usize) {
+        let c = self.counts[piece] as usize;
+        debug_assert!(c > 0, "losing a holder of an unheld piece");
+        self.counts[piece] = (c - 1) as u32;
+        self.hist[c] -= 1;
+        self.hist[c - 1] += 1;
+        if c == 1 {
+            self.covered -= 1;
+        }
+        if ((c - 1) as u32) < self.min_count {
+            self.min_count = (c - 1) as u32;
+        }
+    }
+
+    /// A peer went offline: release every piece it held.
+    fn drop_holder(&mut self, held: &Bitfield) {
+        for p in held.ones() {
+            self.lose(p);
+        }
+    }
+
+    fn min_replication(&self) -> usize {
+        self.min_count as usize
+    }
+
+    /// Sorted per-piece holder counts, reconstructed from the histogram
+    /// in O(pieces + max count) — the `replication_snapshots` payload.
+    fn sorted_counts(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (c, &n) in self.hist.iter().enumerate() {
+            for _ in 0..n {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
 struct Node {
     online: bool,
     is_publisher: bool,
     bitfield: Bitfield,
+    /// Cached `bitfield.count()`: piece completions are the only writes.
+    num_held: usize,
     /// Partial bytes per piece (peers only).
     progress: Vec<f64>,
     upload: f64,
@@ -54,18 +155,25 @@ struct Node {
     departed: Option<u64>,
     linger_until: Option<u64>,
     counted: bool,
-    /// Bytes received per uploader on the previous tick (reciprocity).
-    recv_prev: HashMap<usize, f64>,
-    recv_cur: HashMap<usize, f64>,
+    /// Bytes received per uploader over the previous rechoke window
+    /// (reciprocity), as a small association list: entries are bounded by
+    /// the number of uploaders unchoking this peer, so linear scans beat
+    /// hashing and iteration order is insertion order (deterministic).
+    recv_prev: Vec<(usize, f64)>,
+    recv_cur: Vec<(usize, f64)>,
+    /// Tick that `received_this_tick` refers to. Reset is lazy: a stale
+    /// stamp means "nothing received this tick yet", which avoids a
+    /// per-tick sweep over every node that ever arrived.
+    recv_tick: u64,
     received_this_tick: f64,
-    /// Piece currently being fetched from each uploader, with the tick it
-    /// last received data. Each connection works on its own piece
+    /// `(uploader, piece, last-data tick)` — the piece currently being
+    /// fetched on each connection. Each connection works on its own piece
     /// (request pipelining): without this, every connection piles onto
     /// the same partial piece and the publisher's capacity re-sends
     /// content leechers already serve, starving the swarm of *new*
     /// pieces. Entries idle beyond [`REQUEST_TIMEOUT`] expire, releasing
     /// the piece to other connections (mainline's request timeout).
-    assigned: HashMap<usize, (usize, u64)>,
+    assigned: Vec<(usize, usize, u64)>,
 }
 
 impl Node {
@@ -74,7 +182,7 @@ impl Node {
     }
 
     fn is_seed(&self) -> bool {
-        self.bitfield.is_complete()
+        self.num_held == self.bitfield.len()
     }
 }
 
@@ -123,7 +231,7 @@ pub fn run_with_inspector(
                 .iter()
                 .skip(1)
                 .filter(|n| n.online)
-                .map(|n| (tick - n.arrived, n.bitfield.count(), n.upload, n.online))
+                .map(|n| (tick - n.arrived, n.num_held, n.upload, n.online))
                 .collect();
             inspect(tick, &snapshot);
         }
@@ -144,13 +252,45 @@ struct BtEngine<'c> {
     completions_total: u64,
     completions_per_tick: Vec<u64>,
     available_ticks: u64,
-    /// Persistent unchoke sets: uploader -> unchoked downloaders. Rebuilt
-    /// every `rechoke_interval` ticks (and when the publisher returns).
-    unchoked: HashMap<usize, Vec<usize>>,
+    /// Persistent unchoke sets in CSR layout: uploader `unchoked_from[i]`
+    /// unchokes `unchoked_flat[unchoked_off[i]..unchoked_off[i + 1]]`.
+    /// Rebuilt every `rechoke_interval` ticks (and when the publisher
+    /// returns) with uploaders in ascending id order, so iteration is
+    /// deterministic without any per-tick key sort.
+    unchoked_from: Vec<usize>,
+    unchoked_off: Vec<usize>,
+    unchoked_flat: Vec<usize>,
     force_rechoke: bool,
     /// Super-seeding bookkeeping: how many times the publisher has begun
     /// serving each piece.
     injected: Vec<u64>,
+    /// Incremental per-piece replication over online non-publisher peers.
+    rep: ReplicationIndex,
+    // --- reusable scratch (cleared before use; steady-state ticks do not
+    //     allocate once these are warm) ----------------------------------
+    /// Online node ids, ascending.
+    scratch_online: Vec<usize>,
+    /// Tracker candidates / PEX share lists.
+    scratch_ids: Vec<usize>,
+    /// PEX online-neighbor lists / re-announce lonely lists.
+    scratch_nb: Vec<usize>,
+    /// Interested downloaders of the uploader being rechoked.
+    scratch_interested: Vec<usize>,
+    /// Planned `(uploader, downloader, rate)` transfers for the tick.
+    scratch_alloc: Vec<(usize, usize, f64)>,
+    /// Free (not already requested) candidate pieces in `pick_piece`.
+    scratch_free: Vec<usize>,
+    /// Peers whose download finished this tick.
+    scratch_complete: Vec<usize>,
+    /// Per-piece "requested on another connection" stamps: a slot equal
+    /// to `taken_gen` means taken. Bumping the generation clears the
+    /// whole set in O(1).
+    taken_stamp: Vec<u64>,
+    taken_gen: u64,
+    /// Per-node reciprocity scores for the rechoke sort, stamp-cleared.
+    score: Vec<f64>,
+    score_stamp: Vec<u64>,
+    score_gen: u64,
 }
 
 impl<'c> BtEngine<'c> {
@@ -165,6 +305,7 @@ impl<'c> BtEngine<'c> {
             online: initially_on,
             is_publisher: true,
             bitfield: Bitfield::full(num_pieces),
+            num_held: num_pieces,
             progress: Vec::new(),
             upload: cfg.publisher_capacity,
             neighbors: Vec::new(),
@@ -173,10 +314,11 @@ impl<'c> BtEngine<'c> {
             departed: None,
             linger_until: None,
             counted: false,
-            recv_prev: HashMap::new(),
-            recv_cur: HashMap::new(),
+            recv_prev: Vec::new(),
+            recv_cur: Vec::new(),
+            recv_tick: u64::MAX,
             received_this_tick: 0.0,
-            assigned: HashMap::new(),
+            assigned: Vec::new(),
         };
         let next_arrival = exp_sample(&mut rng, 1.0 / cfg.arrival_rate);
         let next_toggle = match cfg.publisher {
@@ -201,9 +343,24 @@ impl<'c> BtEngine<'c> {
             completions_total: 0,
             completions_per_tick: vec![0; (cfg.horizon + cfg.drain_ticks) as usize],
             available_ticks: 0,
-            unchoked: HashMap::new(),
+            unchoked_from: Vec::new(),
+            unchoked_off: Vec::new(),
+            unchoked_flat: Vec::new(),
             force_rechoke: true,
             injected: vec![0; num_pieces],
+            rep: ReplicationIndex::new(num_pieces),
+            scratch_online: Vec::new(),
+            scratch_ids: Vec::new(),
+            scratch_nb: Vec::new(),
+            scratch_interested: Vec::new(),
+            scratch_alloc: Vec::new(),
+            scratch_free: Vec::new(),
+            scratch_complete: Vec::new(),
+            taken_stamp: vec![0; num_pieces],
+            taken_gen: 0,
+            score: Vec::new(),
+            score_stamp: Vec::new(),
+            score_gen: 0,
         }
     }
 
@@ -240,16 +397,20 @@ impl<'c> BtEngine<'c> {
     // --- membership -----------------------------------------------------
 
     fn any_leecher_online(&self) -> bool {
-        self.nodes
-            .iter()
-            .skip(1)
-            .any(|n| n.online && !n.is_seed())
+        // Peers never depart before completing and every completion is
+        // counted exactly once, so "a leecher is still online" reduces to
+        // a counter comparison instead of a node scan.
+        (self.nodes.len() - 1) as u64 > self.completions_total
     }
 
-    fn online_ids(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].active())
-            .collect()
+    /// Refresh `scratch_online` with the online node ids, ascending.
+    fn fill_online(&mut self) {
+        self.scratch_online.clear();
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].active() {
+                self.scratch_online.push(i);
+            }
+        }
     }
 
     fn active_neighbor_count(&self, i: usize) -> usize {
@@ -276,16 +437,19 @@ impl<'c> BtEngine<'c> {
     }
 
     fn tracker_join(&mut self, joiner: usize) {
-        let mut candidates: Vec<usize> = self
-            .online_ids()
-            .into_iter()
-            .filter(|&i| i != joiner)
-            .collect();
+        let mut candidates = std::mem::take(&mut self.scratch_ids);
+        candidates.clear();
+        for i in 0..self.nodes.len() {
+            if i != joiner && self.nodes[i].active() {
+                candidates.push(i);
+            }
+        }
         candidates.shuffle(&mut self.rng);
         candidates.truncate(self.cfg.tracker_response);
-        for c in candidates {
+        for &c in &candidates {
             self.connect(joiner, c);
         }
+        self.scratch_ids = candidates;
     }
 
     fn arrivals(&mut self, tick: u64) {
@@ -300,6 +464,7 @@ impl<'c> BtEngine<'c> {
                 online: true,
                 is_publisher: false,
                 bitfield: Bitfield::new(self.num_pieces),
+                num_held: 0,
                 progress: vec![0.0; self.num_pieces],
                 upload,
                 neighbors: Vec::new(),
@@ -308,10 +473,11 @@ impl<'c> BtEngine<'c> {
                 departed: None,
                 linger_until: None,
                 counted,
-                recv_prev: HashMap::new(),
-                recv_cur: HashMap::new(),
+                recv_prev: Vec::new(),
+                recv_cur: Vec::new(),
+                recv_tick: u64::MAX,
                 received_this_tick: 0.0,
-                assigned: HashMap::new(),
+                assigned: Vec::new(),
             });
             let id = self.nodes.len() - 1;
             self.tracker_join(id);
@@ -319,54 +485,61 @@ impl<'c> BtEngine<'c> {
     }
 
     fn reannounce(&mut self) {
-        // Drop connections to departed peers, then let under-connected
-        // peers query the tracker again.
+        // Drop connections to departed peers (in place: peers keep their
+        // neighbor-list allocations), then let under-connected peers
+        // query the tracker again.
         for i in 0..self.nodes.len() {
-            let live: Vec<usize> = self.nodes[i]
-                .neighbors
-                .iter()
-                .copied()
-                .filter(|&n| self.nodes[n].active())
-                .collect();
-            self.nodes[i].neighbors = live;
+            let mut neighbors = std::mem::take(&mut self.nodes[i].neighbors);
+            neighbors.retain(|&n| self.nodes[n].active());
+            self.nodes[i].neighbors = neighbors;
         }
-        let lonely: Vec<usize> = (1..self.nodes.len())
-            .filter(|&i| {
-                self.nodes[i].active() && self.active_neighbor_count(i) < MIN_NEIGHBORS
-            })
-            .collect();
-        for id in lonely {
-            self.tracker_join(id);
+        let mut lonely = std::mem::take(&mut self.scratch_nb);
+        lonely.clear();
+        for i in 1..self.nodes.len() {
+            if self.nodes[i].active() && self.active_neighbor_count(i) < MIN_NEIGHBORS {
+                lonely.push(i);
+            }
         }
+        for &l in &lonely {
+            self.tracker_join(l);
+        }
+        self.scratch_nb = lonely;
     }
 
     fn pex_round(&mut self) {
         // Each online peer gossips with one random online neighbor and
         // learns up to PEX_SHARE of its neighbors.
-        for id in self.online_ids() {
+        self.fill_online();
+        for oi in 0..self.scratch_online.len() {
+            let id = self.scratch_online[oi];
             if self.nodes[id].is_publisher {
                 continue;
             }
-            let online_neighbors: Vec<usize> = self.nodes[id]
-                .neighbors
-                .iter()
-                .copied()
-                .filter(|&n| self.nodes[n].active())
-                .collect();
-            let Some(&partner) = online_neighbors.choose(&mut self.rng) else {
+            let mut online_neighbors = std::mem::take(&mut self.scratch_nb);
+            online_neighbors.clear();
+            for &n in &self.nodes[id].neighbors {
+                if self.nodes[n].active() {
+                    online_neighbors.push(n);
+                }
+            }
+            let partner = online_neighbors.choose(&mut self.rng).copied();
+            self.scratch_nb = online_neighbors;
+            let Some(partner) = partner else {
                 continue;
             };
-            let mut shared: Vec<usize> = self.nodes[partner]
-                .neighbors
-                .iter()
-                .copied()
-                .filter(|&n| n != id && self.nodes[n].active())
-                .collect();
+            let mut shared = std::mem::take(&mut self.scratch_ids);
+            shared.clear();
+            for &n in &self.nodes[partner].neighbors {
+                if n != id && self.nodes[n].active() {
+                    shared.push(n);
+                }
+            }
             shared.shuffle(&mut self.rng);
             shared.truncate(PEX_SHARE);
-            for s in shared {
+            for &s in &shared {
                 self.connect(id, s);
             }
+            self.scratch_ids = shared;
         }
     }
 
@@ -419,24 +592,35 @@ impl<'c> BtEngine<'c> {
     /// epsilon of capacity and nobody ever finishes a piece).
     fn rechoke(&mut self) {
         for n in &mut self.nodes {
-            n.recv_prev = std::mem::take(&mut n.recv_cur);
+            // Swap instead of take: both windows keep their allocations.
+            std::mem::swap(&mut n.recv_prev, &mut n.recv_cur);
+            n.recv_cur.clear();
         }
-        self.unchoked.clear();
-        for u in self.online_ids() {
-            if self.nodes[u].bitfield.count() == 0 {
+        self.unchoked_from.clear();
+        self.unchoked_off.clear();
+        self.unchoked_flat.clear();
+        if self.score.len() < self.nodes.len() {
+            self.score.resize(self.nodes.len(), 0.0);
+            self.score_stamp.resize(self.nodes.len(), 0);
+        }
+        self.fill_online();
+        let mut interested = std::mem::take(&mut self.scratch_interested);
+        for oi in 0..self.scratch_online.len() {
+            let u = self.scratch_online[oi];
+            if self.nodes[u].num_held == 0 {
                 continue;
             }
-            let mut interested: Vec<usize> = self.nodes[u]
-                .neighbors
-                .iter()
-                .copied()
-                .filter(|&d| {
-                    self.nodes[d].active()
-                        && !self.nodes[d].is_publisher
-                        && !self.nodes[d].is_seed()
-                        && self.nodes[d].bitfield.interested_in(&self.nodes[u].bitfield)
-                })
-                .collect();
+            interested.clear();
+            for &d in &self.nodes[u].neighbors {
+                let nd = &self.nodes[d];
+                if nd.active()
+                    && !nd.is_publisher
+                    && !nd.is_seed()
+                    && nd.bitfield.interested_in(&self.nodes[u].bitfield)
+                {
+                    interested.push(d);
+                }
+            }
             if interested.is_empty() {
                 continue;
             }
@@ -446,76 +630,91 @@ impl<'c> BtEngine<'c> {
             // seed behavior).
             interested.shuffle(&mut self.rng);
             if !self.nodes[u].is_publisher {
-                let recv = &self.nodes[u].recv_prev;
-                interested.sort_by(|a, b| {
-                    let ra = recv.get(a).copied().unwrap_or(0.0);
-                    let rb = recv.get(b).copied().unwrap_or(0.0);
+                self.score_gen += 1;
+                let gen = self.score_gen;
+                for &(peer, bytes) in &self.nodes[u].recv_prev {
+                    self.score[peer] = bytes;
+                    self.score_stamp[peer] = gen;
+                }
+                let (score, stamp) = (&self.score, &self.score_stamp);
+                // Stable sort: ties stay in shuffled order.
+                interested.sort_by(|&a, &b| {
+                    let ra = if stamp[a] == gen { score[a] } else { 0.0 };
+                    let rb = if stamp[b] == gen { score[b] } else { 0.0 };
                     rb.partial_cmp(&ra).expect("finite byte counts")
                 });
             }
             let regular = self.cfg.unchoke_slots.min(interested.len());
-            let mut chosen: Vec<usize> = interested[..regular].to_vec();
             // Optimistic unchoke: random picks from the remainder.
-            let mut rest: Vec<usize> = interested[regular..].to_vec();
-            rest.shuffle(&mut self.rng);
-            chosen.extend(rest.into_iter().take(self.cfg.optimistic_slots));
-            self.unchoked.insert(u, chosen);
+            interested[regular..].shuffle(&mut self.rng);
+            let chosen = regular + self.cfg.optimistic_slots.min(interested.len() - regular);
+            self.unchoked_from.push(u);
+            self.unchoked_off.push(self.unchoked_flat.len());
+            self.unchoked_flat.extend_from_slice(&interested[..chosen]);
         }
+        self.unchoked_off.push(self.unchoked_flat.len());
+        self.scratch_interested = interested;
     }
 
     /// Expire per-connection requests that have not received data within
     /// the request timeout, releasing their pieces to other connections.
     fn expire_requests(&mut self, tick: u64) {
         for d in &mut self.nodes {
-            d.assigned
-                .retain(|_, &mut (_, last)| tick.saturating_sub(last) < REQUEST_TIMEOUT);
+            // Offline peers are never picked from again; skip them.
+            if d.online && !d.assigned.is_empty() {
+                d.assigned
+                    .retain(|&(_, _, last)| tick.saturating_sub(last) < REQUEST_TIMEOUT);
+            }
         }
     }
 
     fn transfer_round(&mut self, tick: u64) {
-        for n in &mut self.nodes {
-            n.received_this_tick = 0.0;
-        }
-
         // Plan allocations from the persistent unchoke sets, skipping
         // entries that have gone offline, completed, or lost interest.
-        // Iterate uploaders in sorted order: HashMap order is seeded per
-        // process and would break run-for-run determinism.
-        let mut allocations: Vec<(usize, usize, f64)> = Vec::new();
-        let mut uploaders: Vec<usize> = self.unchoked.keys().copied().collect();
-        uploaders.sort_unstable();
-        for u in uploaders {
-            let downloaders = &self.unchoked[&u];
-            if !self.nodes[u].active() || self.nodes[u].bitfield.count() == 0 {
+        // The CSR unchoke table was built with uploaders ascending, so
+        // iteration order is deterministic without sorting keys.
+        let mut allocations = std::mem::take(&mut self.scratch_alloc);
+        allocations.clear();
+        for i in 0..self.unchoked_from.len() {
+            let u = self.unchoked_from[i];
+            if !self.nodes[u].active() || self.nodes[u].num_held == 0 {
                 continue;
             }
-            let live: Vec<usize> = downloaders
-                .iter()
-                .copied()
-                .filter(|&d| {
-                    self.nodes[d].active()
-                        && !self.nodes[d].is_seed()
-                        && self.nodes[d].bitfield.interested_in(&self.nodes[u].bitfield)
-                })
-                .collect();
-            if live.is_empty() {
+            let start = allocations.len();
+            for &d in &self.unchoked_flat[self.unchoked_off[i]..self.unchoked_off[i + 1]] {
+                let nd = &self.nodes[d];
+                if nd.active()
+                    && !nd.is_seed()
+                    && nd.bitfield.interested_in(&self.nodes[u].bitfield)
+                {
+                    allocations.push((u, d, 0.0));
+                }
+            }
+            let live = allocations.len() - start;
+            if live == 0 {
                 continue;
             }
-            let share = self.nodes[u].upload / live.len() as f64;
-            for d in live {
-                allocations.push((u, d, share));
+            let share = self.nodes[u].upload / live as f64;
+            for a in &mut allocations[start..] {
+                a.2 = share;
             }
         }
 
         // Execute transfers in deterministic shuffled order.
         allocations.shuffle(&mut self.rng);
-        let mut newly_complete: Vec<usize> = Vec::new();
+        let mut newly_complete = std::mem::take(&mut self.scratch_complete);
+        newly_complete.clear();
         let mut bytes_moved = 0.0;
-        for (u, d, rate) in allocations {
+        for &(u, d, rate) in &allocations {
             if !self.nodes[d].active() || self.nodes[d].is_seed() {
                 continue;
             }
-            let budget = (self.cfg.download_cap - self.nodes[d].received_this_tick).max(0.0);
+            let received = if self.nodes[d].recv_tick == tick {
+                self.nodes[d].received_this_tick
+            } else {
+                0.0
+            };
+            let budget = (self.cfg.download_cap - received).max(0.0);
             let bytes = rate.min(budget);
             if bytes <= 0.0 {
                 continue;
@@ -523,26 +722,41 @@ impl<'c> BtEngine<'c> {
             let Some(piece) = self.pick_piece(u, d, tick) else {
                 continue;
             };
-            self.nodes[d].assigned.insert(u, (piece, tick));
+            // pick_piece records (and timestamps) the assignment — it is
+            // the single site that writes per-connection request state.
             bytes_moved += bytes;
-            self.nodes[d].received_this_tick += bytes;
-            self.nodes[d].recv_cur.entry(u).and_modify(|b| *b += bytes).or_insert(bytes);
-            self.nodes[d].progress[piece] += bytes;
+            {
+                let nd = &mut self.nodes[d];
+                if nd.recv_tick != tick {
+                    nd.recv_tick = tick;
+                    nd.received_this_tick = 0.0;
+                }
+                nd.received_this_tick += bytes;
+                match nd.recv_cur.iter_mut().find(|e| e.0 == u) {
+                    Some(e) => e.1 += bytes,
+                    None => nd.recv_cur.push((u, bytes)),
+                }
+                nd.progress[piece] += bytes;
+            }
             if self.nodes[d].progress[piece] >= self.piece_len(piece) {
                 self.nodes[d].bitfield.set(piece);
-                self.nodes[d].assigned.retain(|_, &mut (p, _)| p != piece);
+                self.nodes[d].num_held += 1;
+                self.rep.gain(piece);
+                self.nodes[d].assigned.retain(|&(_, p, _)| p != piece);
                 if self.nodes[d].is_seed() {
                     newly_complete.push(d);
                 }
             }
         }
+        self.scratch_alloc = allocations;
 
         if self.cfg.record_timeline {
             self.result.aggregate_rate_curve.push((tick, bytes_moved));
         }
-        for d in newly_complete {
+        for &d in &newly_complete {
             self.complete(d, tick);
         }
+        self.scratch_complete = newly_complete;
     }
 
     fn piece_len(&self, piece: usize) -> f64 {
@@ -560,43 +774,81 @@ impl<'c> BtEngine<'c> {
         }
     }
 
+    /// Record `piece` as the active request on connection `u → d`,
+    /// refreshing the existing slot for `u` if one exists. Together with
+    /// the timestamp refresh on `pick_piece`'s continue path this is the
+    /// engine's *only* write site for request state: `transfer_round`
+    /// never touches `assigned`, so a request's timestamp advances
+    /// exactly when `pick_piece` (re)confirms its piece.
+    fn assign(&mut self, d: usize, u: usize, piece: usize, tick: u64) {
+        let slots = &mut self.nodes[d].assigned;
+        match slots.iter_mut().find(|slot| slot.0 == u) {
+            Some(slot) => {
+                slot.1 = piece;
+                slot.2 = tick;
+            }
+            None => slots.push((u, piece, tick)),
+        }
+    }
+
     /// Per-connection piece choice: continue the piece already assigned to
     /// this (uploader, downloader) connection; otherwise pick rarest-first
-    /// (over the downloader's online neighborhood) among pieces no other
-    /// connection of this downloader is fetching; if every candidate is
-    /// taken, join the most-complete one (endgame mode).
+    /// (by global replication count) among pieces no other connection of
+    /// this downloader is fetching; if every candidate is taken, join the
+    /// most-complete one (endgame mode).
     fn pick_piece(&mut self, u: usize, d: usize, tick: u64) -> Option<usize> {
-        // Continue this connection's piece if still valid.
-        if let Some(&(p, _)) = self.nodes[d].assigned.get(&u) {
+        // Continue this connection's piece if still valid, refreshing the
+        // request timestamp: data keeps flowing, so the request is live.
+        if let Some(i) = self.nodes[d]
+            .assigned
+            .iter()
+            .position(|&(up, _, _)| up == u)
+        {
+            let p = self.nodes[d].assigned[i].1;
             if !self.nodes[d].bitfield.has(p) && self.nodes[u].bitfield.has(p) {
+                self.nodes[d].assigned[i].2 = tick;
                 return Some(p);
             }
         }
-        let candidates: Vec<usize> = self.nodes[d]
-            .bitfield
-            .missing_from(&self.nodes[u].bitfield)
-            .collect();
-        if candidates.is_empty() {
-            self.nodes[d].assigned.remove(&u);
-            return None;
+        // Stamp pieces taken by the downloader's other connections; the
+        // generation bump clears the previous call's stamps in O(1).
+        self.taken_gen += 1;
+        let taken_gen = self.taken_gen;
+        for &(up, p, _) in &self.nodes[d].assigned {
+            if up != u {
+                self.taken_stamp[p] = taken_gen;
+            }
         }
-        let taken: Vec<usize> = self.nodes[d]
-            .assigned
-            .iter()
-            .filter(|(&up, _)| up != u)
-            .map(|(_, &(p, _))| p)
-            .collect();
-        let free: Vec<usize> = candidates
-            .iter()
-            .copied()
-            .filter(|p| !taken.contains(p))
-            .collect();
-        // Super-seeding: the publisher pushes its least-injected piece,
-        // maximizing unique-piece injection into the swarm. Partially
-        // transferred pieces are finished first — abandoning them would
-        // litter the downloader with fragments.
-        if self.cfg.super_seed && self.nodes[u].is_publisher && !free.is_empty() {
-            let choice = free
+        // One pass over the pieces `u` has and `d` lacks: collect the
+        // free ones and track the endgame fallback (the most-complete
+        // candidate; last maximum wins, matching `Iterator::max_by`).
+        let mut free = std::mem::take(&mut self.scratch_free);
+        free.clear();
+        let mut n_candidates = 0usize;
+        let mut endgame_best: Option<usize> = None;
+        {
+            let dn = &self.nodes[d];
+            let un = &self.nodes[u];
+            for p in dn.bitfield.missing_from(&un.bitfield) {
+                n_candidates += 1;
+                if self.taken_stamp[p] != taken_gen {
+                    free.push(p);
+                }
+                match endgame_best {
+                    Some(b) if dn.progress[p] < dn.progress[b] => {}
+                    _ => endgame_best = Some(p),
+                }
+            }
+        }
+        let choice = if n_candidates == 0 {
+            self.nodes[d].assigned.retain(|&(up, _, _)| up != u);
+            None
+        } else if self.cfg.super_seed && self.nodes[u].is_publisher && !free.is_empty() {
+            // Super-seeding: the publisher pushes its least-injected
+            // piece, maximizing unique-piece injection into the swarm.
+            // Partially transferred pieces are finished first — abandoning
+            // them would litter the downloader with fragments.
+            let pick = free
                 .iter()
                 .copied()
                 .filter(|&p| self.nodes[d].progress[p] > 0.0)
@@ -614,21 +866,16 @@ impl<'c> BtEngine<'c> {
                     self.injected[fresh] += 1;
                     fresh
                 });
-            self.nodes[d].assigned.insert(u, (choice, tick));
-            return Some(choice);
-        }
-        let choice = if free.is_empty() {
+            Some(pick)
+        } else if free.is_empty() {
             // Endgame: every interesting piece is already being fetched
             // from someone; double up on the most complete one.
-            candidates.into_iter().max_by(|&a, &b| {
-                self.nodes[d].progress[a]
-                    .partial_cmp(&self.nodes[d].progress[b])
-                    .expect("finite progress")
-            })
-        } else if let Some(&partial) = free
+            endgame_best
+        } else if let Some(partial) = free
             .iter()
-            .filter(|&&p| self.nodes[d].progress[p] > 0.0)
-            .max_by(|&&a, &&b| {
+            .copied()
+            .filter(|&p| self.nodes[d].progress[p] > 0.0)
+            .max_by(|&a, &b| {
                 self.nodes[d].progress[a]
                     .partial_cmp(&self.nodes[d].progress[b])
                     .expect("finite progress")
@@ -645,21 +892,16 @@ impl<'c> BtEngine<'c> {
             // Streaming-style sequential pickup.
             free.iter().copied().min()
         } else {
-            // Rarest-first among the downloader's online neighborhood.
-            let neighbor_ids: Vec<usize> = self.nodes[d]
-                .neighbors
-                .iter()
-                .copied()
-                .filter(|&n| self.nodes[n].active())
-                .collect();
+            // Rarest-first by swarm-wide replication count, read straight
+            // off the incremental index instead of scanning the
+            // neighborhood's bitfields. (Seeds hold every piece and shift
+            // all counts uniformly; the publisher is excluded — so the
+            // induced ordering reflects leecher-side scarcity.)
             let mut best_piece = None;
-            let mut best_count = usize::MAX;
+            let mut best_count = u32::MAX;
             let mut ties = 0u32;
             for &p in &free {
-                let count = neighbor_ids
-                    .iter()
-                    .filter(|&&n| self.nodes[n].bitfield.has(p))
-                    .count();
+                let count = self.rep.counts[p];
                 if count < best_count {
                     best_count = count;
                     best_piece = Some(p);
@@ -674,8 +916,9 @@ impl<'c> BtEngine<'c> {
             }
             best_piece
         };
+        self.scratch_free = free;
         if let Some(p) = choice {
-            self.nodes[d].assigned.insert(u, (p, tick));
+            self.assign(d, u, p, tick);
         }
         choice
     }
@@ -684,7 +927,9 @@ impl<'c> BtEngine<'c> {
         let done_at = tick + 1; // completion lands at the end of this tick
         self.nodes[d].completed = Some(done_at);
         self.completions_total += 1;
-        self.result.completion_curve.push((done_at, self.completions_total));
+        self.result
+            .completion_curve
+            .push((done_at, self.completions_total));
         if (tick as usize) < self.completions_per_tick.len() {
             self.completions_per_tick[tick as usize] += 1;
         }
@@ -707,6 +952,7 @@ impl<'c> BtEngine<'c> {
             None => {
                 self.nodes[d].online = false;
                 self.nodes[d].departed = Some(done_at);
+                self.rep.drop_holder(&self.nodes[d].bitfield);
             }
         }
     }
@@ -718,6 +964,7 @@ impl<'c> BtEngine<'c> {
                     if until <= tick {
                         n.online = false;
                         n.departed = Some(tick);
+                        self.rep.drop_holder(&n.bitfield);
                     }
                 }
             }
@@ -725,34 +972,23 @@ impl<'c> BtEngine<'c> {
     }
 
     fn availability_check(&mut self, tick: u64) {
-        let mut union = Bitfield::new(self.num_pieces);
-        for n in &self.nodes {
-            if n.active() && !n.is_publisher {
-                union.union_with(&n.bitfield);
-                if union.is_complete() {
-                    break;
-                }
-            }
-        }
-        let peer_coverage = union.count();
+        // All replication views — coverage, minimum replication and the
+        // sorted-count snapshot — read the incremental index; nothing
+        // here scans peers or pieces.
+        let peer_coverage = self.rep.covered;
         if self.cfg.record_timeline {
             self.result.peer_coverage_curve.push((tick, peer_coverage));
-            let mut counts: Vec<usize> = (0..self.num_pieces)
-                .map(|p| {
-                    self.nodes
-                        .iter()
-                        .skip(1)
-                        .filter(|n| n.active() && n.bitfield.has(p))
-                        .count()
-                })
-                .collect();
             self.result
                 .min_replication_curve
-                .push((tick, counts.iter().copied().min().unwrap_or(0)));
+                .push((tick, self.rep.min_replication()));
             if tick.is_multiple_of(60) {
-                counts.sort_unstable();
-                self.result.replication_snapshots.push((tick, counts));
+                self.result
+                    .replication_snapshots
+                    .push((tick, self.rep.sorted_counts()));
             }
+        }
+        if cfg!(debug_assertions) && tick.is_multiple_of(60) {
+            self.check_index_consistency();
         }
         let available = self.nodes[PUBLISHER].online || peer_coverage == self.num_pieces;
         if available {
@@ -766,18 +1002,40 @@ impl<'c> BtEngine<'c> {
         }
     }
 
+    /// From-scratch recount cross-check of the incremental index (debug
+    /// builds only, every 60 ticks): every debug-mode engine run doubles
+    /// as an index-consistency test.
+    fn check_index_consistency(&self) {
+        let mut counts = vec![0u32; self.num_pieces];
+        for n in self.nodes.iter().skip(1).filter(|n| n.active()) {
+            for p in n.bitfield.ones() {
+                counts[p] += 1;
+            }
+        }
+        assert_eq!(counts, self.rep.counts, "replication counts drifted");
+        assert_eq!(
+            self.rep.covered,
+            counts.iter().filter(|&&c| c > 0).count(),
+            "coverage drifted"
+        );
+        assert_eq!(
+            self.rep.min_count,
+            counts.iter().copied().min().unwrap_or(0),
+            "min replication drifted"
+        );
+        for n in &self.nodes {
+            debug_assert_eq!(n.num_held, n.bitfield.count(), "held-piece cache drifted");
+        }
+    }
+
     fn finalize(mut self) -> BtResult {
         let horizon = self.cfg.horizon;
         if let Some(since) = self.publisher_online_since.take() {
             self.result.publisher_intervals.push((since, horizon));
         }
         self.result.availability = self.available_ticks as f64 / horizon as f64;
-        self.result.in_flight_at_horizon = self
-            .nodes
-            .iter()
-            .skip(1)
-            .filter(|n| n.online)
-            .count() as u64;
+        self.result.in_flight_at_horizon =
+            self.nodes.iter().skip(1).filter(|n| n.online).count() as u64;
         if self.cfg.record_timeline {
             self.result.spans = self
                 .nodes
@@ -787,7 +1045,7 @@ impl<'c> BtEngine<'c> {
                     arrived: n.arrived,
                     departed: n.departed,
                     completed: n.completed,
-                    final_fraction: n.bitfield.count() as f64 / self.num_pieces as f64,
+                    final_fraction: n.num_held as f64 / self.num_pieces as f64,
                 })
                 .collect();
         }
@@ -812,6 +1070,7 @@ fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::capacity::CapacityDistribution;
+    use proptest::prelude::*;
 
     fn always_on(k: u32, seed: u64) -> BtConfig {
         BtConfig {
@@ -830,13 +1089,86 @@ mod tests {
     }
 
     #[test]
+    fn golden_trace_byte_identical() {
+        // The determinism contract: a fixed seed must yield a
+        // byte-identical serialized BtResult, every timeline curve
+        // included. Lingering exercises the linger-expiry path of the
+        // replication index as well.
+        let cfg = BtConfig {
+            record_timeline: true,
+            horizon: 600,
+            drain_ticks: 300,
+            linger_mean: Some(120.0),
+            ..BtConfig::paper_section_4_3(2, 42)
+        };
+        let a = serde_json::to_string(&run(&cfg)).expect("serialize");
+        let b = serde_json::to_string(&run(&cfg)).expect("serialize");
+        assert_eq!(a, b, "same seed must produce a byte-identical trace");
+    }
+
+    proptest! {
+        #[test]
+        fn replication_index_matches_recount(
+            ops in prop::collection::vec(
+                (0usize..8, 0usize..24, prop::bool::ANY),
+                1..200,
+            ),
+        ) {
+            // Model: 8 peers over 24 pieces. Each op either grants a
+            // piece to an online peer or takes a peer offline — the only
+            // two event kinds the engine feeds the index. The incremental
+            // state must match a from-scratch recount after every event.
+            let pieces = 24usize;
+            let mut held: Vec<Bitfield> =
+                (0..8).map(|_| Bitfield::new(pieces)).collect();
+            let mut online = [true; 8];
+            let mut rep = ReplicationIndex::new(pieces);
+            for (peer, piece, depart) in ops {
+                if depart {
+                    if online[peer] {
+                        online[peer] = false;
+                        rep.drop_holder(&held[peer]);
+                    }
+                } else if online[peer] && !held[peer].has(piece) {
+                    held[peer].set(piece);
+                    rep.gain(piece);
+                }
+                let recount: Vec<u32> = (0..pieces)
+                    .map(|p| {
+                        (0..8)
+                            .filter(|&n| online[n] && held[n].has(p))
+                            .count() as u32
+                    })
+                    .collect();
+                prop_assert_eq!(&rep.counts, &recount);
+                prop_assert_eq!(
+                    rep.covered,
+                    recount.iter().filter(|&&c| c > 0).count()
+                );
+                prop_assert_eq!(
+                    rep.min_count,
+                    recount.iter().copied().min().unwrap_or(0)
+                );
+                let mut sorted: Vec<usize> =
+                    recount.iter().map(|&c| c as usize).collect();
+                sorted.sort_unstable();
+                prop_assert_eq!(rep.sorted_counts(), sorted);
+            }
+        }
+    }
+
+    #[test]
     fn peers_complete_under_always_on_publisher() {
         let r = run(&always_on(1, 7));
         assert!(r.completions > 0, "someone must finish in 1200 s");
         // 4 MB at >= 50 kB/s aggregate: download times bounded well below
         // the horizon; availability is total.
         assert!(r.availability > 0.999);
-        assert!(r.mean_download_time() < 600.0, "mean {}", r.mean_download_time());
+        assert!(
+            r.mean_download_time() < 600.0,
+            "mean {}",
+            r.mean_download_time()
+        );
     }
 
     #[test]
@@ -1072,7 +1404,10 @@ mod tests {
             .map(|&(_, b)| b)
             .fold(0.0f64, f64::max);
         let cap = 100.0 + 50.0 * r.arrivals as f64;
-        assert!(max_rate <= cap + 1e-6, "rate {max_rate} exceeds capacity {cap}");
+        assert!(
+            max_rate <= cap + 1e-6,
+            "rate {max_rate} exceeds capacity {cap}"
+        );
         // And total bytes moved >= completed downloads * content size.
         let total: f64 = r.aggregate_rate_curve.iter().map(|&(_, b)| b).sum();
         assert!(total >= r.completions as f64 * cfg.content_size() - 1e-6);

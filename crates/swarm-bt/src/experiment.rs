@@ -38,43 +38,12 @@ pub fn replicate(cfg: &BtConfig, n: usize, threads: usize) -> BtReplicated {
     assert!(threads >= 1, "need at least one thread");
     cfg.validate();
 
-    let results: Vec<BtResult> = if threads == 1 || n == 1 {
-        (0..n)
-            .map(|i| {
-                run(&BtConfig {
-                    seed: cfg.seed.wrapping_add(i as u64),
-                    ..cfg.clone()
-                })
-            })
-            .collect()
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut slots: Vec<Option<BtResult>> = (0..n).map(|_| None).collect();
-        crossbeam::scope(|scope| {
-            let (tx, rx) = std::sync::mpsc::channel::<(usize, BtResult)>();
-            for _ in 0..threads.min(n) {
-                let tx = tx.clone();
-                let next = &next;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = run(&BtConfig {
-                        seed: cfg.seed.wrapping_add(i as u64),
-                        ..cfg.clone()
-                    });
-                    tx.send((i, r)).expect("collector alive");
-                });
-            }
-            drop(tx);
-            for (i, r) in rx {
-                slots[i] = Some(r);
-            }
+    let results: Vec<BtResult> = swarm_stats::parallel::run_indexed(n, threads, |i| {
+        run(&BtConfig {
+            seed: cfg.seed.wrapping_add(i as u64),
+            ..cfg.clone()
         })
-        .expect("replication workers must not panic");
-        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
-    };
+    });
 
     let mut download_times = Samples::new();
     let mut availability = 0.0;

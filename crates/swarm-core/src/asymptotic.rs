@@ -22,7 +22,11 @@ pub struct KSquaredFit {
 /// # Panics
 /// With fewer than 3 points (the fit would be trivial or undetermined).
 pub fn fit_k_squared(points: &[(f64, f64)]) -> KSquaredFit {
-    assert!(points.len() >= 3, "need at least 3 points, got {}", points.len());
+    assert!(
+        points.len() >= 3,
+        "need at least 3 points, got {}",
+        points.len()
+    );
     let n = points.len() as f64;
     let xs: Vec<f64> = points.iter().map(|p| p.0 * p.0).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
@@ -47,7 +51,11 @@ pub fn fit_k_squared(points: &[(f64, f64)]) -> KSquaredFit {
         .zip(&ys)
         .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     KSquaredFit {
         slope,
         intercept,
@@ -73,7 +81,9 @@ mod tests {
 
     #[test]
     fn exact_quadratic_fits_perfectly() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|k| (k as f64, 3.0 * (k * k) as f64 + 2.0)).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|k| (k as f64, 3.0 * (k * k) as f64 + 2.0))
+            .collect();
         let fit = fit_k_squared(&pts);
         assert!((fit.slope - 3.0).abs() < 1e-9);
         assert!((fit.intercept - 2.0).abs() < 1e-9);

@@ -41,7 +41,11 @@ impl FluidParams {
         assert!(self.size > 0.0 && self.size.is_finite());
         assert!(self.upload > 0.0 && self.upload.is_finite());
         assert!(self.download_cap > 0.0 && self.download_cap.is_finite());
-        assert!(self.eta > 0.0 && self.eta <= 1.0, "eta in (0,1], got {}", self.eta);
+        assert!(
+            self.eta > 0.0 && self.eta <= 1.0,
+            "eta in (0,1], got {}",
+            self.eta
+        );
         assert!(self.seed_departure > 0.0 && self.seed_departure.is_finite());
     }
 
@@ -144,6 +148,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "eta in (0,1]")]
     fn rejects_bad_eta() {
-        FluidParams { eta: 1.5, ..params() }.download_time();
+        FluidParams {
+            eta: 1.5,
+            ..params()
+        }
+        .download_time();
     }
 }

@@ -88,7 +88,11 @@ pub fn optimal_bundle_size(
     let ks: Vec<u32> = (1..=k_max).collect();
     sweep(file, scaling, &ks)
         .into_iter()
-        .min_by(|a, b| a.download_time.partial_cmp(&b.download_time).expect("finite times"))
+        .min_by(|a, b| {
+            a.download_time
+                .partial_cmp(&b.download_time)
+                .expect("finite times")
+        })
         .map(|p| (p.k, p.download_time))
         .expect("nonempty sweep")
 }
@@ -116,12 +120,7 @@ pub struct HeterogeneousVerdict {
 
 /// Evaluate bundling for files with heterogeneous popularities
 /// `(λₖ, sₖ)`; every file shares `mu` and the publisher process `(r, u)`.
-pub fn heterogeneous_bundle(
-    files: &[(f64, f64)],
-    mu: f64,
-    r: f64,
-    u: f64,
-) -> HeterogeneousVerdict {
+pub fn heterogeneous_bundle(files: &[(f64, f64)], mu: f64, r: f64, u: f64) -> HeterogeneousVerdict {
     assert!(!files.is_empty());
     let individual_times: Vec<f64> = files
         .iter()
@@ -208,7 +207,10 @@ mod tests {
             );
             prev_gain = gain;
         }
-        assert!(prev_gain > 0.0, "rarest publisher must benefit from bundling");
+        assert!(
+            prev_gain > 0.0,
+            "rarest publisher must benefit from bundling"
+        );
     }
 
     #[test]

@@ -76,10 +76,10 @@ pub fn ln_mean_peers_served(p: &SwarmParams) -> f64 {
 mod tests {
     use super::*;
     use crate::params::PublisherScaling;
-    use swarm_queue::dist::{Exp, Mixture2, ResidenceTime};
-    use swarm_queue::mc::{mean_busy_period, McConfig};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use swarm_queue::dist::{Exp, Mixture2, ResidenceTime};
+    use swarm_queue::mc::{mean_busy_period, McConfig};
 
     fn swarm() -> SwarmParams {
         SwarmParams {
@@ -180,7 +180,13 @@ mod tests {
         for k in 2..=6u32 {
             let kf = k as f64;
             let shrunk_r = p.r * (-c * kf * kf).exp();
-            let b = p.bundle(k, PublisherScaling::Custom { r: shrunk_r, u: p.u });
+            let b = p.bundle(
+                k,
+                PublisherScaling::Custom {
+                    r: shrunk_r,
+                    u: p.u,
+                },
+            );
             let cur = ln_unavailability(&b);
             assert!(cur < prev, "k={k}: ln P {cur} >= {prev}");
             prev = cur;

@@ -24,7 +24,10 @@ use swarm_queue::series::ln_add_exp;
 /// publisher with residence `Exp(u)`; the initiator is a publisher.
 pub fn busy_period(p: &SwarmParams, gamma: f64) -> f64 {
     p.validate();
-    assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive, got {gamma}");
+    assert!(
+        gamma > 0.0 && gamma.is_finite(),
+        "gamma must be positive, got {gamma}"
+    );
     let linger_mean = 1.0 / gamma;
     let service = p.service_time();
     // The signed-mixture representation of the hypoexponential has

@@ -23,8 +23,8 @@
 //! the bundling spectrum: `φ = 0` (no bundling), `φ = 1` (pure
 //! bundling), and everything between (mixed).
 
-use crate::params::SwarmParams;
 use crate::impatient;
+use crate::params::SwarmParams;
 use serde::{Deserialize, Serialize};
 
 /// One file's demand and size in a mixed-bundling catalog.
@@ -78,15 +78,12 @@ pub struct MixedOutcome {
 /// // Even a 20% take rate rescues the niche file (§5).
 /// assert!(some.files[1].unavailability < none.files[1].unavailability);
 /// ```
-pub fn mixed_bundling(
-    files: &[FileSpec],
-    mu: f64,
-    r: f64,
-    u: f64,
-    phi: f64,
-) -> MixedOutcome {
+pub fn mixed_bundling(files: &[FileSpec], mu: f64, r: f64, u: f64, phi: f64) -> MixedOutcome {
     assert!(!files.is_empty(), "need at least one file");
-    assert!((0.0..=1.0).contains(&phi), "phi must be in [0,1], got {phi}");
+    assert!(
+        (0.0..=1.0).contains(&phi),
+        "phi must be in [0,1], got {phi}"
+    );
     for f in files {
         assert!(f.lambda > 0.0 && f.lambda.is_finite());
         assert!(f.size > 0.0 && f.size.is_finite());
@@ -201,9 +198,18 @@ mod tests {
     fn catalog() -> Vec<FileSpec> {
         vec![
             // Genuinely popular: load λs/μ = 16, self-sustaining alone.
-            FileSpec { lambda: 1.0 / 5.0, size: 4_000.0 },
-            FileSpec { lambda: 1.0 / 600.0, size: 4_000.0 }, // niche
-            FileSpec { lambda: 1.0 / 1_200.0, size: 4_000.0 },
+            FileSpec {
+                lambda: 1.0 / 5.0,
+                size: 4_000.0,
+            },
+            FileSpec {
+                lambda: 1.0 / 600.0,
+                size: 4_000.0,
+            }, // niche
+            FileSpec {
+                lambda: 1.0 / 1_200.0,
+                size: 4_000.0,
+            },
         ]
     }
 
@@ -267,7 +273,10 @@ mod tests {
         // bundling; mixed bundling keeps an individual swarm alive for
         // them.
         let overhead = forced_download_overhead(&catalog(), MU, R, U, 0, 0.3);
-        assert!(overhead > 0.0, "pure bundling must cost the popular seekers");
+        assert!(
+            overhead > 0.0,
+            "pure bundling must cost the popular seekers"
+        );
     }
 
     #[test]

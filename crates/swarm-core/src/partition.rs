@@ -67,11 +67,7 @@ fn bundle_params(files: &[CatalogFile], bundle: &[usize], env: Environment) -> S
 /// Demand-weighted mean download time of a partition:
 /// `Σ_B Λ_B·E[T_B] / Σ λ` — the expected download time of a random
 /// arriving peer.
-pub fn evaluate_partition(
-    files: &[CatalogFile],
-    partition: &Partition,
-    env: Environment,
-) -> f64 {
+pub fn evaluate_partition(files: &[CatalogFile], partition: &Partition, env: Environment) -> f64 {
     validate_partition(files, partition);
     let total_lambda: f64 = files.iter().map(|f| f.lambda).sum();
     let weighted: f64 = partition
@@ -121,9 +117,7 @@ pub fn greedy_partition(files: &[CatalogFile], env: Environment) -> Partition {
                 candidate[a] = merged;
                 candidate.remove(b);
                 let score = evaluate_partition(files, &candidate, env);
-                if score < current - 1e-12
-                    && best.is_none_or(|(_, _, s)| score < s)
-                {
+                if score < current - 1e-12 && best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((a, b, score));
                 }
             }
@@ -240,10 +234,22 @@ mod tests {
         // One self-sustaining hit plus niche files whose *aggregate*
         // demand is enough to self-sustain as a bundle but not alone.
         vec![
-            CatalogFile { lambda: 1.0 / 10.0, size: 4_000.0 },  // hit
-            CatalogFile { lambda: 1.0 / 50.0, size: 4_000.0 },  // niche
-            CatalogFile { lambda: 1.0 / 80.0, size: 4_000.0 },  // niche
-            CatalogFile { lambda: 1.0 / 150.0, size: 2_000.0 }, // tiny niche
+            CatalogFile {
+                lambda: 1.0 / 10.0,
+                size: 4_000.0,
+            }, // hit
+            CatalogFile {
+                lambda: 1.0 / 50.0,
+                size: 4_000.0,
+            }, // niche
+            CatalogFile {
+                lambda: 1.0 / 80.0,
+                size: 4_000.0,
+            }, // niche
+            CatalogFile {
+                lambda: 1.0 / 150.0,
+                size: 2_000.0,
+            }, // tiny niche
         ]
     }
 
@@ -321,8 +327,14 @@ mod tests {
     #[test]
     fn brute_force_agrees_with_evaluate() {
         let files = vec![
-            CatalogFile { lambda: 0.01, size: 1_000.0 },
-            CatalogFile { lambda: 0.002, size: 1_000.0 },
+            CatalogFile {
+                lambda: 0.01,
+                size: 1_000.0,
+            },
+            CatalogFile {
+                lambda: 0.002,
+                size: 1_000.0,
+            },
         ];
         let (best, t) = brute_force_partition(&files, ENV);
         assert!((evaluate_partition(&files, &best, ENV) - t).abs() < 1e-12);
@@ -336,8 +348,14 @@ mod tests {
     fn rare_publisher_prefers_bigger_bundles() {
         // As the publisher gets rarer, the optimal partition coarsens.
         let files = mixed_catalog();
-        let frequent = Environment { r: 1.0 / 500.0, ..ENV };
-        let rare = Environment { r: 1.0 / 50_000.0, ..ENV };
+        let frequent = Environment {
+            r: 1.0 / 500.0,
+            ..ENV
+        };
+        let rare = Environment {
+            r: 1.0 / 50_000.0,
+            ..ENV
+        };
         let bundles_frequent = greedy_partition(&files, frequent).len();
         let bundles_rare = greedy_partition(&files, rare).len();
         assert!(

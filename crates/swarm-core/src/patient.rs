@@ -145,7 +145,10 @@ mod tests {
             );
             prev_factor = f;
         }
-        assert!(prev_factor > 10.0, "waits dominate: bundling wins big, got {prev_factor}");
+        assert!(
+            prev_factor > 10.0,
+            "waits dominate: bundling wins big, got {prev_factor}"
+        );
     }
 
     #[test]

@@ -104,12 +104,8 @@ mod tests {
     #[test]
     fn ln_forms_agree_with_linear() {
         let p = swarm();
-        assert!(
-            (ln_publisher_busy_period(&p) - publisher_busy_period(&p).ln()).abs() < 1e-10
-        );
-        assert!(
-            (ln_coverage_busy_period(&p) - coverage_busy_period(&p).ln()).abs() < 1e-10
-        );
+        assert!((ln_publisher_busy_period(&p) - publisher_busy_period(&p).ln()).abs() < 1e-10);
+        assert!((ln_coverage_busy_period(&p) - coverage_busy_period(&p).ln()).abs() < 1e-10);
     }
 
     #[test]
@@ -120,13 +116,11 @@ mod tests {
             let b = p.bundle(k, PublisherScaling::Proportional);
             let ln_eb = ln_publisher_busy_period(&b);
             let kf = k as f64;
-            let expected = swarm_queue::series::ln_sub_exp(kf * kf * p.r * p.u, 0.0)
-                - (kf * p.r).ln();
+            let expected =
+                swarm_queue::series::ln_sub_exp(kf * kf * p.r * p.u, 0.0) - (kf * p.r).ln();
             assert!((ln_eb - expected).abs() < 1e-9, "k={k}");
             // Unavailability falls exactly as e^{−K²ru}.
-            assert!(
-                (ln_publisher_unavailability(&b) + kf * kf * p.r * p.u).abs() < 1e-12
-            );
+            assert!((ln_publisher_unavailability(&b) + kf * kf * p.r * p.u).abs() < 1e-12);
         }
     }
 
@@ -166,6 +160,9 @@ mod tests {
         // ... precisely, ln E[B](K) ≈ (Kλ+r)(Ks/μ) ~ K²λs/μ.
         let g14 = ln_4 - ln_1;
         let g48 = ln_8 - ln_4;
-        assert!(g48 > 2.5 * g14, "quadratic growth expected: {g14} then {g48}");
+        assert!(
+            g48 > 2.5 * g14,
+            "quadratic growth expected: {g14} then {g48}"
+        );
     }
 }

@@ -129,7 +129,10 @@ mod tests {
         let b3 = residual_busy_period(&p, 3);
         let b9 = residual_busy_period(&p, 9);
         let b15 = residual_busy_period(&p, 15);
-        assert!(b3 > b9 && b9 > b15, "B(m) must fall with m: {b3}, {b9}, {b15}");
+        assert!(
+            b3 > b9 && b9 > b15,
+            "B(m) must fall with m: {b3}, {b9}, {b15}"
+        );
     }
 
     #[test]

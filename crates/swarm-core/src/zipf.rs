@@ -18,7 +18,10 @@ impl ZipfProfile {
     /// Normalized Zipf weights `pₖ ∝ 1/k^δ`, `k = 1..=n`.
     pub fn new(n: u32, delta: f64) -> Self {
         assert!(n >= 1, "need at least one file");
-        assert!(delta >= 0.0 && delta.is_finite(), "delta must be nonnegative");
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "delta must be nonnegative"
+        );
         let raw: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-delta)).collect();
         let norm: f64 = raw.iter().sum();
         ZipfProfile {
@@ -44,7 +47,10 @@ impl ZipfProfile {
 
     /// Normalized popularity `pₖ` of file `k` (1-indexed as in the paper).
     pub fn weight(&self, k: u32) -> f64 {
-        assert!(k >= 1 && (k as usize) <= self.weights.len(), "file index out of range");
+        assert!(
+            k >= 1 && (k as usize) <= self.weights.len(),
+            "file index out of range"
+        );
         self.weights[(k - 1) as usize]
     }
 

@@ -75,10 +75,7 @@ pub fn book_stats<R: Rng + ?Sized>(swarms: &[Swarm], rng: &mut R) -> BookStats {
                 coll_unavailable += 1;
                 // Folding rule: content is effectively available if a
                 // super-collection containing this one has a seed.
-                let rescued = s
-                    .subset_of
-                    .map(|sup| seeded[sup as usize])
-                    .unwrap_or(false);
+                let rescued = s.subset_of.map(|sup| seeded[sup as usize]).unwrap_or(false);
                 if !rescued {
                     coll_unavailable_eff += 1;
                 }
@@ -94,8 +91,7 @@ pub fn book_stats<R: Rng + ?Sized>(swarms: &[Swarm], rng: &mut R) -> BookStats {
         unavailable_all: unavailable as f64 / total as f64,
         collections: coll_total,
         unavailable_collections: coll_unavailable as f64 / coll_total.max(1) as f64,
-        unavailable_collections_effective: coll_unavailable_eff as f64
-            / coll_total.max(1) as f64,
+        unavailable_collections_effective: coll_unavailable_eff as f64 / coll_total.max(1) as f64,
         downloads_typical: dl_typical.0 / dl_typical.1.max(1) as f64,
         downloads_collections: dl_coll.0 / dl_coll.1.max(1) as f64,
     }

@@ -78,10 +78,7 @@ mod tests {
         // Paper: "less than 35% of the swarms had at least one seed
         // available all the time" in the first month.
         let always = study.always_available_first_month();
-        assert!(
-            always < 0.45,
-            "always-available share too high: {always}"
-        );
+        assert!(always < 0.45, "always-available share too high: {always}");
         assert!(always > 0.05, "some swarms must be fully seeded: {always}");
 
         // Paper: "almost 80% of the swarms are unavailable 80% of the

@@ -68,8 +68,8 @@ impl BiasStudy {
 
     /// Mean downward shift in per-swarm availability.
     pub fn mean_shift(&self) -> f64 {
-        let t: f64 = self.true_cdf.sorted_values().iter().sum::<f64>()
-            / self.true_cdf.len().max(1) as f64;
+        let t: f64 =
+            self.true_cdf.sorted_values().iter().sum::<f64>() / self.true_cdf.len().max(1) as f64;
         let m: f64 = self.measured_cdf.sorted_values().iter().sum::<f64>()
             / self.measured_cdf.len().max(1) as f64;
         t - m

@@ -109,7 +109,11 @@ mod tests {
 
     #[test]
     fn two_mp3s_make_a_music_bundle() {
-        assert!(is_bundle(&swarm_with(Category::Music, &["mp3", "mp3"], "x")));
+        assert!(is_bundle(&swarm_with(
+            Category::Music,
+            &["mp3", "mp3"],
+            "x"
+        )));
         assert!(!is_bundle(&swarm_with(Category::Music, &["mp3"], "x")));
     }
 
@@ -134,7 +138,11 @@ mod tests {
             &["pdf"],
             "Ultimate Math Collection (1)"
         )));
-        assert!(!is_collection(&swarm_with(Category::Books, &["pdf"], "a book")));
+        assert!(!is_collection(&swarm_with(
+            Category::Books,
+            &["pdf"],
+            "a book"
+        )));
         // keyword in another category does not count
         assert!(!is_collection(&swarm_with(
             Category::Music,

@@ -130,9 +130,9 @@ impl Default for CatalogConfig {
 /// fraction of each category that is bundled.
 const CATEGORY_PLAN: &[(Category, u64, f64)] = &[
     // (category, snapshot count, bundle fraction)
-    (Category::Music, 267_117, 0.724),  // 193,491 / 267,117
-    (Category::Tv, 164_930, 0.158),     // 25,990 / 164,930
-    (Category::Books, 66_387, 0.107),   // (841 + 6,270) / 66,387
+    (Category::Music, 267_117, 0.724), // 193,491 / 267,117
+    (Category::Tv, 164_930, 0.158),    // 25,990 / 164,930
+    (Category::Books, 66_387, 0.107),  // (841 + 6,270) / 66,387
     (Category::Movies, 260_000, 0.30),
     (Category::Games, 90_000, 0.25),
     (Category::Software, 110_000, 0.35),
@@ -162,9 +162,9 @@ fn extensions(cat: Category) -> (&'static [&'static str], &'static [&'static str
 
 fn typical_file_size_kb(cat: Category) -> f64 {
     match cat {
-        Category::Music => 5_000.0,       // one song
-        Category::Tv => 350_000.0,        // one episode
-        Category::Books => 9_000.0,       // one pdf
+        Category::Music => 5_000.0, // one song
+        Category::Tv => 350_000.0,  // one episode
+        Category::Books => 9_000.0, // one pdf
         Category::Movies => 700_000.0,
         Category::Games => 2_000_000.0,
         Category::Software => 300_000.0,
@@ -176,9 +176,9 @@ fn typical_file_size_kb(cat: Category) -> f64 {
 
 fn bundle_file_count<R: Rng + ?Sized>(cat: Category, rng: &mut R) -> usize {
     match cat {
-        Category::Music => rng.gen_range(8..=16),   // album
-        Category::Tv => rng.gen_range(6..=24),      // season(s)
-        Category::Books => rng.gen_range(3..=30),   // themed pack
+        Category::Music => rng.gen_range(8..=16), // album
+        Category::Tv => rng.gen_range(6..=24),    // season(s)
+        Category::Books => rng.gen_range(3..=30), // themed pack
         _ => rng.gen_range(2..=10),
     }
 }
@@ -187,7 +187,10 @@ fn bundle_file_count<R: Rng + ?Sized>(cat: Category, rng: &mut R) -> usize {
 ///
 /// Deterministic for a given config. Swarm ids are dense from 0.
 pub fn generate_catalog(cfg: &CatalogConfig) -> Vec<Swarm> {
-    assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must be in (0, 1]");
+    assert!(
+        cfg.scale > 0.0 && cfg.scale <= 1.0,
+        "scale must be in (0, 1]"
+    );
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
     use rand::SeedableRng;
 
@@ -198,9 +201,8 @@ pub fn generate_catalog(cfg: &CatalogConfig) -> Vec<Swarm> {
         let mut collection_ids: Vec<u64> = Vec::new();
         for i in 0..n {
             let is_bundle = rng.gen::<f64>() < bundle_frac;
-            let is_collection = cat == Category::Books
-                && is_bundle
-                && rng.gen::<f64>() < BOOK_COLLECTION_SHARE;
+            let is_collection =
+                cat == Category::Books && is_bundle && rng.gen::<f64>() < BOOK_COLLECTION_SHARE;
             let swarm = synth_swarm(&mut rng, id, cat, i, is_bundle, is_collection);
             if is_collection {
                 collection_ids.push(id);
@@ -355,11 +357,20 @@ mod tests {
     #[test]
     fn category_counts_scale() {
         let swarms = catalog();
-        let music = swarms.iter().filter(|s| s.category == Category::Music).count();
+        let music = swarms
+            .iter()
+            .filter(|s| s.category == Category::Music)
+            .count();
         // 267,117 * 0.01 ≈ 2,671
-        assert!((music as i64 - 2671).unsigned_abs() < 30, "music count {music}");
+        assert!(
+            (music as i64 - 2671).unsigned_abs() < 30,
+            "music count {music}"
+        );
         let total = swarms.len();
-        assert!((total as i64 - 10_879).unsigned_abs() < 200, "total {total}");
+        assert!(
+            (total as i64 - 10_879).unsigned_abs() < 200,
+            "total {total}"
+        );
     }
 
     #[test]
@@ -390,7 +401,10 @@ mod tests {
         assert!(!collections.is_empty());
         assert!(collections.iter().all(|c| c.file_count() >= 50));
         let subsets = swarms.iter().filter(|s| s.subset_of.is_some()).count();
-        assert!(subsets > 0, "some collections must be subsets of super-collections");
+        assert!(
+            subsets > 0,
+            "some collections must be subsets of super-collections"
+        );
         // subset links point at collections
         for s in &swarms {
             if let Some(sup) = s.subset_of {
@@ -402,10 +416,17 @@ mod tests {
     #[test]
     fn bundle_demand_exceeds_item_demand_on_average() {
         let swarms = catalog();
-        let music: Vec<&Swarm> = swarms.iter().filter(|s| s.category == Category::Music).collect();
+        let music: Vec<&Swarm> = swarms
+            .iter()
+            .filter(|s| s.category == Category::Music)
+            .collect();
         let (mut bundle_sum, mut bundle_n, mut single_sum, mut single_n) = (0.0, 0, 0.0, 0);
         for s in music {
-            let content = s.files.iter().filter(|f| f.extension != "nfo" && f.extension != "jpg" && f.extension != "txt").count();
+            let content = s
+                .files
+                .iter()
+                .filter(|f| f.extension != "nfo" && f.extension != "jpg" && f.extension != "txt")
+                .count();
             if content >= 2 {
                 bundle_sum += s.demand;
                 bundle_n += 1;
@@ -424,7 +445,10 @@ mod tests {
             scale: 0.05,
             seed: 7,
         });
-        let books: Vec<&Swarm> = swarms.iter().filter(|s| s.category == Category::Books).collect();
+        let books: Vec<&Swarm> = swarms
+            .iter()
+            .filter(|s| s.category == Category::Books)
+            .collect();
         let coll_res: Vec<f64> = books
             .iter()
             .filter(|s| s.title.contains("collection"))

@@ -41,8 +41,8 @@ pub mod popularity;
 pub mod population;
 
 pub use analysis::{book_stats, show_case_study, BookStats, ShowCaseStudy};
-pub use bias::{bias_study, BiasStudy, Observer};
 pub use availability::{availability_study, AvailabilityStudy};
+pub use bias::{bias_study, BiasStudy, Observer};
 pub use bundling::{bundling_extent, is_bundle, is_collection, BundlingExtent};
 pub use catalog::{generate_catalog, CatalogConfig, Category, FileEntry, Swarm};
 pub use observe::{monitor, seed_process, stationary_availability};

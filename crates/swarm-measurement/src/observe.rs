@@ -153,9 +153,7 @@ mod tests {
         let old = seed_process(&s, 365.0);
         assert!(young.on_mean >= old.on_mean);
         assert!(young.off_mean <= old.off_mean);
-        assert!(
-            stationary_availability(&s, 0.0) >= stationary_availability(&s, 365.0)
-        );
+        assert!(stationary_availability(&s, 0.0) >= stationary_availability(&s, 365.0));
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! formula has an `ln_*` twin evaluated entirely in the log domain.
 
 use crate::dist::ResidenceTime;
-use crate::series::{ln_add_exp, ln_factorial, ln_sub_exp, ln_sum_series, LogSumExp, SeriesControl};
+use crate::series::{
+    ln_add_exp, ln_factorial, ln_sub_exp, ln_sum_series, LogSumExp, SeriesControl,
+};
 use serde::{Deserialize, Serialize};
 
 fn check_positive(name: &str, v: f64) {
@@ -61,11 +63,7 @@ pub fn exceptional_busy_period(beta: f64, initiator: &dyn ResidenceTime, alpha: 
 }
 
 /// `ln E[B]` for [`exceptional_busy_period`], evaluated in the log domain.
-pub fn ln_exceptional_busy_period(
-    beta: f64,
-    initiator: &dyn ResidenceTime,
-    alpha: f64,
-) -> f64 {
+pub fn ln_exceptional_busy_period(beta: f64, initiator: &dyn ResidenceTime, alpha: f64) -> f64 {
     check_positive("beta", beta);
     check_positive("alpha", alpha);
     let theta = initiator.mean();
@@ -74,7 +72,10 @@ pub fn ln_exceptional_busy_period(
     let ln_series = ln_sum_series(
         |i| {
             let h = initiator.laplace(i as f64 / alpha);
-            debug_assert!((0.0..=1.0 + 1e-12).contains(&h), "Laplace transform out of [0,1]: {h}");
+            debug_assert!(
+                (0.0..=1.0 + 1e-12).contains(&h),
+                "Laplace transform out of [0,1]: {h}"
+            );
             let one_minus_h = (1.0 - h).max(0.0);
             if one_minus_h == 0.0 {
                 return f64::NEG_INFINITY;
@@ -164,10 +165,9 @@ impl TwoPhaseBusyPeriod {
                     if i - j > 0 {
                         t += imj * ln_q2;
                     }
-                    t += (1.0 + jf) * alpha1.ln()
-                        + (1.0 - jf + i as f64) * alpha2.ln()
-                        + theta.ln()
-                        - denom.ln();
+                    t +=
+                        (1.0 + jf) * alpha1.ln() + (1.0 - jf + i as f64) * alpha2.ln() + theta.ln()
+                            - denom.ln();
                     inner.add_ln(t);
                 }
                 i as f64 * beta.ln() - ln_factorial(i) + inner.ln_sum()
@@ -333,7 +333,10 @@ mod tests {
             alpha2: 2.0,
         };
         let more_arrivals = TwoPhaseBusyPeriod { beta: 0.2, ..base };
-        let longer_initiator = TwoPhaseBusyPeriod { theta: 10.0, ..base };
+        let longer_initiator = TwoPhaseBusyPeriod {
+            theta: 10.0,
+            ..base
+        };
         assert!(more_arrivals.expected() > base.expected());
         assert!(longer_initiator.expected() > base.expected());
     }

@@ -33,7 +33,10 @@ pub struct Exp {
 impl Exp {
     /// Exponential with mean `mean > 0`.
     pub fn new(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "Exp mean must be positive and finite, got {mean}");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "Exp mean must be positive and finite, got {mean}"
+        );
         Exp { mean }
     }
 
@@ -71,7 +74,10 @@ pub struct Deterministic {
 impl Deterministic {
     /// Point mass at `value >= 0`.
     pub fn new(value: f64) -> Self {
-        assert!(value >= 0.0 && value.is_finite(), "Deterministic value must be nonnegative, got {value}");
+        assert!(
+            value >= 0.0 && value.is_finite(),
+            "Deterministic value must be nonnegative, got {value}"
+        );
         Deterministic { value }
     }
 }
@@ -109,7 +115,10 @@ pub struct Mixture2 {
 impl Mixture2 {
     /// Mixture with weight `q1 ∈ [0, 1]` on `x1`.
     pub fn new(q1: f64, x1: Exp, x2: Exp) -> Self {
-        assert!((0.0..=1.0).contains(&q1), "mixture weight must be in [0,1], got {q1}");
+        assert!(
+            (0.0..=1.0).contains(&q1),
+            "mixture weight must be in [0,1], got {q1}"
+        );
         Mixture2 { q1, x1, x2 }
     }
 }
@@ -164,7 +173,10 @@ impl ResidenceTime for Hypoexponential {
 
     fn laplace(&self, s: f64) -> f64 {
         // Product of stage transforms: Π 1/(1 + s·mᵢ)
-        self.stage_means.iter().map(|&m| 1.0 / (1.0 + s * m)).product()
+        self.stage_means
+            .iter()
+            .map(|&m| 1.0 / (1.0 + s * m))
+            .product()
     }
 
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
@@ -191,7 +203,10 @@ impl MaxOfExponentials {
     /// Maximum of `n >= 1` exponentials with common mean `alpha > 0`.
     pub fn new(n: u64, alpha: f64) -> Self {
         assert!(n >= 1, "need at least one exponential");
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive, got {alpha}"
+        );
         MaxOfExponentials { n, alpha }
     }
 
@@ -295,7 +310,11 @@ mod tests {
     fn mixture_sample_mean_converges() {
         let m = Mixture2::new(0.7, Exp::new(1.0), Exp::new(5.0));
         let s = sample_mean(&m, 200_000, 2);
-        assert!((s - m.mean()).abs() < 0.05, "sample mean {s} vs {}", m.mean());
+        assert!(
+            (s - m.mean()).abs() < 0.05,
+            "sample mean {s} vs {}",
+            m.mean()
+        );
     }
 
     #[test]
@@ -338,7 +357,11 @@ mod tests {
     fn max_of_exponentials_sample_mean_converges() {
         let m = MaxOfExponentials::new(4, 1.0);
         let s = sample_mean(&m, 100_000, 3);
-        assert!((s - m.mean()).abs() < 0.05, "sample mean {s} vs {}", m.mean());
+        assert!(
+            (s - m.mean()).abs() < 0.05,
+            "sample mean {s} vs {}",
+            m.mean()
+        );
     }
 
     #[test]

@@ -56,14 +56,14 @@ impl IntegratedTail {
         // The integrated tail is nonincreasing from mean to 0; sample a few
         // points to catch sign errors in caller-supplied coefficients.
         let mean = tail.eval(0.0);
-        assert!(mean > 0.0, "integrated tail at 0 must be the (positive) mean");
+        assert!(
+            mean > 0.0,
+            "integrated tail at 0 must be the (positive) mean"
+        );
         for i in 1..=8 {
             let x = mean * i as f64;
             let v = tail.eval(x);
-            assert!(
-                v >= -1e-9 * mean,
-                "integrated tail negative at x={x}: {v}"
-            );
+            assert!(v >= -1e-9 * mean, "integrated tail negative at x={x}: {v}");
         }
         tail
     }
@@ -73,7 +73,10 @@ impl IntegratedTail {
     pub fn exponential(mean: f64) -> Self {
         assert!(mean > 0.0 && mean.is_finite());
         IntegratedTail {
-            components: vec![TailComponent { c: mean, d: 1.0 / mean }],
+            components: vec![TailComponent {
+                c: mean,
+                d: 1.0 / mean,
+            }],
         }
     }
 
@@ -94,8 +97,14 @@ impl IntegratedTail {
         );
         IntegratedTail {
             components: vec![
-                TailComponent { c: b / (a * (b - a)), d: a },
-                TailComponent { c: -a / (b * (b - a)), d: b },
+                TailComponent {
+                    c: b / (a * (b - a)),
+                    d: a,
+                },
+                TailComponent {
+                    c: -a / (b * (b - a)),
+                    d: b,
+                },
             ],
         }
     }
@@ -107,12 +116,18 @@ impl IntegratedTail {
         let mut components = Vec::new();
         for c in &t1.components {
             if q1 > 0.0 {
-                components.push(TailComponent { c: q1 * c.c, d: c.d });
+                components.push(TailComponent {
+                    c: q1 * c.c,
+                    d: c.d,
+                });
             }
         }
         for c in &t2.components {
             if q1 < 1.0 {
-                components.push(TailComponent { c: (1.0 - q1) * c.c, d: c.d });
+                components.push(TailComponent {
+                    c: (1.0 - q1) * c.c,
+                    d: c.d,
+                });
             }
         }
         IntegratedTail { components }
@@ -191,8 +206,10 @@ pub fn general_busy_period(beta: f64, theta: f64, tail: &IntegratedTail) -> f64 
         }
         abs_tail_bound_prev = abs_bound;
     }
-    panic!("general_busy_period did not converge within {max_terms} terms (βΣ|c| = {:.2})",
-        beta * abs_at_zero);
+    panic!(
+        "general_busy_period did not converge within {max_terms} terms (βΣ|c| = {:.2})",
+        beta * abs_at_zero
+    );
 }
 
 /// Enumerate all compositions of `n` into `k.len() - start` parts, writing
@@ -295,7 +312,10 @@ mod tests {
         );
         let b0 = general_busy_period(beta, theta, &no_linger);
         let b1 = general_busy_period(beta, theta, &linger);
-        assert!(b1 > b0, "lingering must lengthen the busy period: {b1} vs {b0}");
+        assert!(
+            b1 > b0,
+            "lingering must lengthen the busy period: {b1} vs {b0}"
+        );
     }
 
     #[test]
@@ -345,12 +365,7 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mc, _) = mean_busy_period(
-            &cfg,
-            30_000,
-            |rng| vec![initiator.sample(rng)],
-            &mut rng,
-        );
+        let (mc, _) = mean_busy_period(&cfg, 30_000, |rng| vec![initiator.sample(rng)], &mut rng);
         assert!(
             ((mc - analytic) / analytic).abs() < 0.04,
             "MC {mc} vs analytic {analytic}"

@@ -63,13 +63,19 @@ pub fn simulate_busy_period<R: rand::Rng>(cfg: &McConfig, rng: &mut R) -> McBusy
         cfg.initial.len(),
         cfg.threshold
     );
-    assert!(cfg.beta >= 0.0 && cfg.beta.is_finite(), "beta must be nonnegative");
+    assert!(
+        cfg.beta >= 0.0 && cfg.beta.is_finite(),
+        "beta must be nonnegative"
+    );
 
     let mut departures: BinaryHeap<Reverse<Departure>> = cfg
         .initial
         .iter()
         .map(|&t| {
-            assert!(t >= 0.0 && t.is_finite(), "initial residence must be finite");
+            assert!(
+                t >= 0.0 && t.is_finite(),
+                "initial residence must be finite"
+            );
             Reverse(Departure(t))
         })
         .collect();
@@ -170,12 +176,7 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean, _) = mean_busy_period(
-            &cfg,
-            REPS,
-            |rng| vec![service.sample(rng)],
-            &mut rng,
-        );
+        let (mean, _) = mean_busy_period(&cfg, REPS, |rng| vec![service.sample(rng)], &mut rng);
         close(mean, classical_busy_period(beta, alpha), 0.03);
     }
 
@@ -192,12 +193,7 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean, _) = mean_busy_period(
-            &cfg,
-            REPS,
-            |rng| vec![initiator.sample(rng)],
-            &mut rng,
-        );
+        let (mean, _) = mean_busy_period(&cfg, REPS, |rng| vec![initiator.sample(rng)], &mut rng);
         close(mean, exceptional_busy_period(beta, &initiator, alpha), 0.03);
     }
 
@@ -220,12 +216,7 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean, _) = mean_busy_period(
-            &cfg,
-            REPS,
-            |rng| vec![initiator.sample(rng)],
-            &mut rng,
-        );
+        let (mean, _) = mean_busy_period(&cfg, REPS, |rng| vec![initiator.sample(rng)], &mut rng);
         close(mean, p.expected(), 0.03);
     }
 
@@ -291,12 +282,8 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean_len, mean_served) = mean_busy_period(
-            &cfg,
-            REPS,
-            |rng| vec![service.sample(rng)],
-            &mut rng,
-        );
+        let (mean_len, mean_served) =
+            mean_busy_period(&cfg, REPS, |rng| vec![service.sample(rng)], &mut rng);
         let expected_served = 1.0 + beta * mean_len;
         close(mean_served, expected_served, 0.03);
     }

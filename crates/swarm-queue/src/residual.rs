@@ -219,7 +219,10 @@ mod tests {
             );
             prev = b;
         }
-        assert!(prev > 1500.0, "K=8 swarm must be self-sustaining, B(m)={prev}");
+        assert!(
+            prev > 1500.0,
+            "K=8 swarm must be self-sustaining, B(m)={prev}"
+        );
     }
 
     #[test]
@@ -228,7 +231,10 @@ mod tests {
         let b1 = poisson_mixture_residual(1, lambda, alpha);
         let b3 = poisson_mixture_residual(3, lambda, alpha);
         let b6 = poisson_mixture_residual(6, lambda, alpha);
-        assert!(b1 > b3 && b3 > b6, "B(m) must fall as m rises: {b1}, {b3}, {b6}");
+        assert!(
+            b1 > b3 && b3 > b6,
+            "B(m) must fall as m rises: {b1}, {b3}, {b6}"
+        );
     }
 
     #[test]

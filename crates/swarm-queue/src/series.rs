@@ -43,7 +43,8 @@ pub fn ln_factorial(n: u64) -> f64 {
     let x = (n + 1) as f64;
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+    (x - 0.5) * x.ln() - x
+        + 0.5 * (2.0 * std::f64::consts::PI).ln()
         + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 * (1.0 / 1260.0 - inv2 / 1680.0)))
 }
 

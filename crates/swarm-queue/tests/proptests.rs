@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use swarm_queue::busy::{
-    classical_busy_period, exceptional_busy_period, ln_classical_busy_period,
-    TwoPhaseBusyPeriod,
+    classical_busy_period, exceptional_busy_period, ln_classical_busy_period, TwoPhaseBusyPeriod,
 };
 use swarm_queue::dist::{Exp, MaxOfExponentials, ResidenceTime};
 use swarm_queue::general::{general_busy_period, IntegratedTail};

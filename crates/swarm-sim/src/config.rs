@@ -99,15 +99,24 @@ pub struct SimConfig {
 impl SimConfig {
     /// Panic unless the configuration is self-consistent.
     pub fn validate(&self) {
-        assert!(self.lambda > 0.0 && self.lambda.is_finite(), "lambda must be positive");
-        assert!(self.horizon > 0.0 && self.horizon.is_finite(), "horizon must be positive");
+        assert!(
+            self.lambda > 0.0 && self.lambda.is_finite(),
+            "lambda must be positive"
+        );
+        assert!(
+            self.horizon > 0.0 && self.horizon.is_finite(),
+            "horizon must be positive"
+        );
         assert!(
             (0.0..self.horizon).contains(&self.warmup),
             "warmup must lie within [0, horizon)"
         );
         match self.service {
             ServiceModel::Exponential { mean } => {
-                assert!(mean > 0.0 && mean.is_finite(), "service mean must be positive");
+                assert!(
+                    mean > 0.0 && mean.is_finite(),
+                    "service mean must be positive"
+                );
             }
             ServiceModel::Fluid {
                 size,
@@ -127,10 +136,18 @@ impl SimConfig {
         }
         match self.publisher {
             PublisherProcess::Poisson { rate, residence } => {
-                assert!(rate > 0.0 && rate.is_finite(), "publisher rate must be positive");
-                assert!(residence > 0.0 && residence.is_finite(), "residence must be positive");
+                assert!(
+                    rate > 0.0 && rate.is_finite(),
+                    "publisher rate must be positive"
+                );
+                assert!(
+                    residence > 0.0 && residence.is_finite(),
+                    "residence must be positive"
+                );
             }
-            PublisherProcess::SingleOnOff { on_mean, off_mean, .. } => {
+            PublisherProcess::SingleOnOff {
+                on_mean, off_mean, ..
+            } => {
                 assert!(on_mean > 0.0 && on_mean.is_finite());
                 assert!(off_mean > 0.0 && off_mean.is_finite());
             }
@@ -202,13 +219,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must be positive")]
     fn rejects_zero_lambda() {
-        SimConfig { lambda: 0.0, ..base() }.validate();
+        SimConfig {
+            lambda: 0.0,
+            ..base()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "warmup must lie")]
     fn rejects_warmup_beyond_horizon() {
-        SimConfig { warmup: 20_000.0, ..base() }.validate();
+        SimConfig {
+            warmup: 20_000.0,
+            ..base()
+        }
+        .validate();
     }
 
     #[test]

@@ -257,8 +257,7 @@ impl<'c> Engine<'c> {
         else {
             unreachable!("fluid_capacity called outside fluid mode")
         };
-        self.publishers_online as f64 * publisher_upload
-            + self.holders() as f64 * peer_upload
+        self.publishers_online as f64 * publisher_upload + self.holders() as f64 * peer_upload
     }
 
     /// Per-leecher download rate in fluid mode; `None` when nothing can
@@ -341,8 +340,7 @@ impl<'c> Engine<'c> {
     fn record_interval(&mut self, peer_idx: usize, state: EntityState) {
         if self.cfg.record_timeline {
             let p = &self.peers[peer_idx];
-            self.timeline
-                .push(p.entity, p.state_since, self.now, state);
+            self.timeline.push(p.entity, p.state_since, self.now, state);
         }
     }
 
@@ -370,7 +368,9 @@ impl<'c> Engine<'c> {
         self.record_interval(peer_idx, EntityState::Active);
         let now = self.now;
         self.completions_total += 1;
-        self.result.completion_curve.push((now, self.completions_total));
+        self.result
+            .completion_curve
+            .push((now, self.completions_total));
         {
             let p = &mut self.peers[peer_idx];
             if p.counted {
@@ -388,7 +388,8 @@ impl<'c> Engine<'c> {
             if let Some(publisher) = self.publishers.first() {
                 let (entity, since) = (publisher.entity, publisher.online_since);
                 if self.cfg.record_timeline {
-                    self.timeline.push(entity, since, now, EntityState::Publishing);
+                    self.timeline
+                        .push(entity, since, now, EntityState::Publishing);
                 }
             }
             if let Some(p) = self.publishers.first_mut() {
@@ -448,7 +449,11 @@ impl<'c> Engine<'c> {
     fn run(mut self) -> SimResult {
         let horizon = self.cfg.horizon;
         loop {
-            let next_event_time = self.events.peek().map(|e| e.0.time).unwrap_or(f64::INFINITY);
+            let next_event_time = self
+                .events
+                .peek()
+                .map(|e| e.0.time)
+                .unwrap_or(f64::INFINITY);
 
             // Fluid mode: a completion may precede the next discrete event.
             if matches!(self.cfg.service, ServiceModel::Fluid { .. }) {
@@ -524,7 +529,8 @@ impl<'c> Engine<'c> {
                 };
                 let was_online = self.publishers[0].online;
                 if was_online {
-                    let (entity, since) = (self.publishers[0].entity, self.publishers[0].online_since);
+                    let (entity, since) =
+                        (self.publishers[0].entity, self.publishers[0].online_since);
                     if self.cfg.record_timeline {
                         self.timeline
                             .push(entity, since, self.now, EntityState::Publishing);
@@ -704,7 +710,10 @@ mod tests {
             ..base()
         };
         let r = run(&cfg);
-        assert!(r.blocked > 0, "rare publisher must block some impatient peers");
+        assert!(
+            r.blocked > 0,
+            "rare publisher must block some impatient peers"
+        );
         assert!(r.blocked_fraction() > 0.0 && r.blocked_fraction() < 1.0);
     }
 
@@ -837,7 +846,10 @@ mod tests {
 
     #[test]
     fn coverage_threshold_shortens_busy_periods() {
-        let m0 = SimConfig { lambda: 1.0 / 20.0, ..base() };
+        let m0 = SimConfig {
+            lambda: 1.0 / 20.0,
+            ..base()
+        };
         let m3 = SimConfig {
             coverage_threshold: 3,
             ..m0

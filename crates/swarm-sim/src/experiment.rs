@@ -2,8 +2,8 @@
 //!
 //! The paper's experiments report means over 10 runs; the reproduction
 //! harness typically wants many more. Replications are embarrassingly
-//! parallel: each gets a derived seed and runs on its own thread via
-//! crossbeam's scoped threads.
+//! parallel: each gets a derived seed and runs on a worker from the
+//! shared index-ordered pool in [`swarm_stats::parallel`].
 
 use crate::config::SimConfig;
 use crate::engine::run;
@@ -42,46 +42,12 @@ pub fn replicate(config: &SimConfig, n: usize, threads: usize) -> Replicated {
     assert!(threads >= 1, "need at least one thread");
     config.validate();
 
-    let results: Vec<SimResult> = if threads == 1 || n == 1 {
-        (0..n)
-            .map(|i| {
-                run(&SimConfig {
-                    seed: config.seed.wrapping_add(i as u64),
-                    ..*config
-                })
-            })
-            .collect()
-    } else {
-        let mut slots: Vec<Option<SimResult>> = (0..n).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
-            // Work-stealing via a shared counter; results come back over a
-            // channel tagged with the replica index so pooling order is
-            // deterministic.
-            let (tx, rx) = std::sync::mpsc::channel::<(usize, SimResult)>();
-            for _ in 0..threads.min(n) {
-                let tx = tx.clone();
-                let next = &next;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = run(&SimConfig {
-                        seed: config.seed.wrapping_add(i as u64),
-                        ..*config
-                    });
-                    tx.send((i, r)).expect("collector alive");
-                });
-            }
-            drop(tx);
-            for (i, r) in rx {
-                slots[i] = Some(r);
-            }
+    let results: Vec<SimResult> = swarm_stats::parallel::run_indexed(n, threads, |i| {
+        run(&SimConfig {
+            seed: config.seed.wrapping_add(i as u64),
+            ..*config
         })
-        .expect("replication workers must not panic");
-        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
-    };
+    });
 
     let per_run_means: Vec<f64> = results.iter().map(|r| r.mean_download_time()).collect();
     let mut iter = results.into_iter();
@@ -143,8 +109,7 @@ mod tests {
         let ci = rep.download_time_ci(0.95);
         assert!(ci.half_width > 0.0);
         assert_eq!(ci.n, 8);
-        let grand =
-            rep.per_run_means.iter().sum::<f64>() / rep.per_run_means.len() as f64;
+        let grand = rep.per_run_means.iter().sum::<f64>() / rep.per_run_means.len() as f64;
         assert!(ci.contains(grand));
     }
 

@@ -48,7 +48,10 @@ impl Timeline {
 
     /// Record one interval. Zero-length intervals are dropped.
     pub fn push(&mut self, entity: u64, start: f64, end: f64, state: EntityState) {
-        debug_assert!(end >= start, "interval must not be reversed: {start}..{end}");
+        debug_assert!(
+            end >= start,
+            "interval must not be reversed: {start}..{end}"
+        );
         if end > start {
             self.intervals.push(Interval {
                 entity,

@@ -34,7 +34,10 @@ pub fn validate_trace(times: &[f64]) {
             t.is_finite() && t >= 0.0,
             "arrival times must be finite and nonnegative, got {t}"
         );
-        assert!(t >= prev, "arrival times must be ascending ({t} after {prev})");
+        assert!(
+            t >= prev,
+            "arrival times must be ascending ({t} after {prev})"
+        );
         prev = t;
     }
 }
@@ -65,7 +68,10 @@ pub fn resample_interarrivals<R: Rng + ?Sized>(times: &[f64], rng: &mut R) -> Ve
 /// arrival times are divided by `factor`, so `factor = 2` doubles the
 /// arrival rate over the same pattern shape.
 pub fn scale_rate(times: &[f64], factor: f64) -> Vec<f64> {
-    assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "factor must be positive"
+    );
     validate_trace(times);
     times.iter().map(|&t| t / factor).collect()
 }
@@ -134,8 +140,7 @@ mod tests {
         let mut poisson_sum = 0.0;
         for seed in 0..reps {
             let mut rng = ChaCha8Rng::seed_from_u64(900 + seed);
-            let times =
-                swarm_queue::arrivals::poisson_process(1.0 / 60.0, horizon, &mut rng);
+            let times = swarm_queue::arrivals::poisson_process(1.0 / 60.0, horizon, &mut rng);
             let c = SimConfig {
                 seed: 40 + seed,
                 ..cfg(horizon)

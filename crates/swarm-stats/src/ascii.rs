@@ -96,13 +96,7 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
 ///
 /// Shows `5%  [ Q1 | median | Q3 ]  95%` positions using `-[|]-` glyphs,
 /// matching the presentation of Figure 6(c).
-pub fn box_plot_row(
-    label: &str,
-    b: &crate::BoxPlot,
-    lo: f64,
-    hi: f64,
-    width: usize,
-) -> String {
+pub fn box_plot_row(label: &str, b: &crate::BoxPlot, lo: f64, hi: f64, width: usize) -> String {
     assert!(width >= 16, "box plot row too narrow");
     assert!(hi > lo, "hi must exceed lo");
     let pos = |v: f64| -> usize {
@@ -267,7 +261,10 @@ mod tests {
         let rows = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)];
         let chart = bar_chart("t", &rows, 10);
         // The larger bar should render exactly `width` hashes.
-        let b_line = chart.lines().find(|l| l.contains(" b ") || l.trim_start().starts_with('b')).unwrap();
+        let b_line = chart
+            .lines()
+            .find(|l| l.contains(" b ") || l.trim_start().starts_with('b'))
+            .unwrap();
         assert_eq!(b_line.matches('#').count(), 10);
     }
 
@@ -276,13 +273,25 @@ mod tests {
         let rows = vec![
             (
                 "pub".to_string(),
-                vec![Segment { start: 0.0, end: 5.0, kind: SegmentKind::Publisher }],
+                vec![Segment {
+                    start: 0.0,
+                    end: 5.0,
+                    kind: SegmentKind::Publisher,
+                }],
             ),
             (
                 "peer".to_string(),
                 vec![
-                    Segment { start: 2.0, end: 6.0, kind: SegmentKind::Peer },
-                    Segment { start: 6.0, end: 9.0, kind: SegmentKind::Waiting },
+                    Segment {
+                        start: 2.0,
+                        end: 6.0,
+                        kind: SegmentKind::Peer,
+                    },
+                    Segment {
+                        start: 6.0,
+                        end: 9.0,
+                        kind: SegmentKind::Waiting,
+                    },
                 ],
             ),
         ];

@@ -70,7 +70,10 @@ pub fn mean_ci(summary: &Summary, level: f64) -> ConfidenceInterval {
 /// Acklam's rational approximation; absolute error below 1.15e-9 over the
 /// full open interval, far more precision than replicated-run CIs need.
 pub fn z_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "z_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "z_quantile requires p in (0,1), got {p}"
+    );
 
     // Coefficients for the central and tail rational approximations.
     const A: [f64; 6] = [
@@ -175,9 +178,24 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = ConfidenceInterval { mean: 0.0, half_width: 1.0, level: 0.95, n: 10 };
-        let b = ConfidenceInterval { mean: 1.5, half_width: 1.0, level: 0.95, n: 10 };
-        let c = ConfidenceInterval { mean: 5.0, half_width: 1.0, level: 0.95, n: 10 };
+        let a = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 1.0,
+            level: 0.95,
+            n: 10,
+        };
+        let b = ConfidenceInterval {
+            mean: 1.5,
+            half_width: 1.0,
+            level: 0.95,
+            n: 10,
+        };
+        let c = ConfidenceInterval {
+            mean: 5.0,
+            half_width: 1.0,
+            level: 0.95,
+            n: 10,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

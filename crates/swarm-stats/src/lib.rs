@@ -15,7 +15,9 @@
 //!   experiments,
 //! * [`TimeWeighted`] — time-in-state averages for availability fractions,
 //! * [`ascii`] — terminal rendering of lines, CDFs and boxplots so the
-//!   `repro` binary can show every figure without a plotting stack.
+//!   `repro` binary can show every figure without a plotting stack,
+//! * [`parallel`] — the deterministic index-ordered worker pool shared by
+//!   both simulators' `replicate()` harnesses.
 //!
 //! Everything here is deliberately dependency-free (only `serde` for
 //! serializable results) and exact: no sketching, no approximation beyond
@@ -25,6 +27,7 @@ pub mod ascii;
 pub mod ci;
 pub mod ecdf;
 pub mod histogram;
+pub mod parallel;
 pub mod quantile;
 pub mod summary;
 pub mod timeweighted;

@@ -1,0 +1,77 @@
+//! Deterministic index-ordered parallel map for replicated experiments.
+//!
+//! Both simulators replicate runs across worker threads; the worker pool
+//! used to be duplicated (crossbeam-based) in each crate. This is the
+//! shared implementation on `std::thread::scope`: a shared atomic counter
+//! hands out indices, results come back over a channel tagged with their
+//! index, and the output is assembled in index order — so the result is
+//! identical to the serial `(0..n).map(job)` regardless of thread count
+//! or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Run `job(0..n)` on up to `threads` scoped worker threads and return
+/// the results in index order. `threads == 1` (or `n <= 1`) runs inline
+/// with no thread overhead; the output is the same either way.
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, job(i))).expect("collector alive");
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was dispatched exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let serial = run_indexed(17, 1, |i| i * i);
+        let parallel = run_indexed(17, 4, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[4], 16);
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        assert_eq!(run_indexed(2, 8, |i| i), vec![0, 1]);
+        assert_eq!(run_indexed(0, 3, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_threads() {
+        run_indexed(1, 0, |i| i);
+    }
+}

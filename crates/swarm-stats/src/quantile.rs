@@ -25,7 +25,10 @@ impl Samples {
     /// debug builds and silently dropped in release builds (an experiment
     /// should never produce them; dropping beats poisoning every quantile).
     pub fn add(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "Samples observations must be finite, got {x}");
+        debug_assert!(
+            x.is_finite(),
+            "Samples observations must be finite, got {x}"
+        );
         if x.is_finite() {
             self.values.push(x);
             self.sorted = false;

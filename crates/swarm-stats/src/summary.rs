@@ -56,7 +56,10 @@ impl Summary {
 
     /// Add one observation.
     pub fn add(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "Summary observations must be finite, got {x}");
+        debug_assert!(
+            x.is_finite(),
+            "Summary observations must be finite, got {x}"
+        );
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;

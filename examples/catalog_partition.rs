@@ -14,14 +14,38 @@ fn main() {
     // A back-catalog: two hits, a mid-tier, and a long tail of niche
     // titles (4 MB files; λ in peers/s; kB/s capacity).
     let files: Vec<CatalogFile> = vec![
-        CatalogFile { lambda: 1.0 / 8.0, size: 4_000.0 },
-        CatalogFile { lambda: 1.0 / 12.0, size: 4_000.0 },
-        CatalogFile { lambda: 1.0 / 40.0, size: 4_000.0 },
-        CatalogFile { lambda: 1.0 / 90.0, size: 4_000.0 },
-        CatalogFile { lambda: 1.0 / 150.0, size: 4_000.0 },
-        CatalogFile { lambda: 1.0 / 300.0, size: 2_000.0 },
-        CatalogFile { lambda: 1.0 / 600.0, size: 2_000.0 },
-        CatalogFile { lambda: 1.0 / 900.0, size: 2_000.0 },
+        CatalogFile {
+            lambda: 1.0 / 8.0,
+            size: 4_000.0,
+        },
+        CatalogFile {
+            lambda: 1.0 / 12.0,
+            size: 4_000.0,
+        },
+        CatalogFile {
+            lambda: 1.0 / 40.0,
+            size: 4_000.0,
+        },
+        CatalogFile {
+            lambda: 1.0 / 90.0,
+            size: 4_000.0,
+        },
+        CatalogFile {
+            lambda: 1.0 / 150.0,
+            size: 4_000.0,
+        },
+        CatalogFile {
+            lambda: 1.0 / 300.0,
+            size: 2_000.0,
+        },
+        CatalogFile {
+            lambda: 1.0 / 600.0,
+            size: 2_000.0,
+        },
+        CatalogFile {
+            lambda: 1.0 / 900.0,
+            size: 2_000.0,
+        },
     ];
     let env = Environment {
         mu: 50.0,

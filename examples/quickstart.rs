@@ -21,13 +21,28 @@ fn main() {
     };
 
     println!("single file:");
-    println!("  expected availability period  E[B] = {:>10.0} s", impatient::busy_period(&file));
-    println!("  unavailability                   P = {:>10.4}", impatient::unavailability(&file));
-    println!("  mean download time (patient) E[T] = {:>10.0} s", patient::download_time(&file));
-    println!("    of which waiting                 = {:>10.0} s", patient::waiting_time(&file));
+    println!(
+        "  expected availability period  E[B] = {:>10.0} s",
+        impatient::busy_period(&file)
+    );
+    println!(
+        "  unavailability                   P = {:>10.4}",
+        impatient::unavailability(&file)
+    );
+    println!(
+        "  mean download time (patient) E[T] = {:>10.0} s",
+        patient::download_time(&file)
+    );
+    println!(
+        "    of which waiting                 = {:>10.0} s",
+        patient::waiting_time(&file)
+    );
 
     println!();
-    println!("{:>3} {:>14} {:>16} {:>14}", "K", "P(bundle)", "E[T] bundle (s)", "vs single");
+    println!(
+        "{:>3} {:>14} {:>16} {:>14}",
+        "K", "P(bundle)", "E[T] bundle (s)", "vs single"
+    );
     for k in [1u32, 2, 3, 4, 6, 8] {
         // Fixed scaling: the bundle gets *no more* publisher effort than
         // a single file — bundling still wins via peer self-sustainment.

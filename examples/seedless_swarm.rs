@@ -18,14 +18,8 @@ fn main() {
             ..BtConfig::paper_section_4_2(k, 99)
         };
         let result = run(&cfg);
-        let pub_leaves = result
-            .publisher_intervals
-            .first()
-            .map(|p| p.1)
-            .unwrap_or(0);
-        println!(
-            "K={k}: publisher leaves at t={pub_leaves} s after the first completed download;"
-        );
+        let pub_leaves = result.publisher_intervals.first().map(|p| p.1).unwrap_or(0);
+        println!("K={k}: publisher leaves at t={pub_leaves} s after the first completed download;");
         println!(
             "      {} peers served by t=2000 s; swarm last fully available at t={:?}",
             result.completion_curve.len(),

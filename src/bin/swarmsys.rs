@@ -66,10 +66,7 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     while i < args.len() {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
-            let value_next = args
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned();
+            let value_next = args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
             match (key, value_next) {
                 ("file", Some(v)) => {
                     files.push(v);
@@ -134,7 +131,10 @@ fn cmd_model(flags: &HashMap<String, String>, json: bool) -> Result<(), String> 
             })
         );
     } else {
-        println!("swarm: λ={} s={} kB μ={} kB/s r={} u={} s", p.lambda, p.size, p.mu, p.r, p.u);
+        println!(
+            "swarm: λ={} s={} kB μ={} kB/s r={} u={} s",
+            p.lambda, p.size, p.mu, p.r, p.u
+        );
         println!("  expected availability period E[B] = {eb:.1} s");
         println!("  unavailability                   P = {unavail:.6}");
         println!("  mean download time (patient)  E[T] = {t:.1} s");
@@ -273,5 +273,7 @@ fn cmd_simulate(flags: &HashMap<String, String>, json: bool) -> Result<(), Strin
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }

@@ -24,7 +24,9 @@ fn sim_config(p: &SwarmParams, patience: Patience, seed: u64) -> SimConfig {
 }
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[test]
@@ -33,13 +35,23 @@ fn eq10_unavailability_matches_blocking_probability() {
     // fraction estimates the same quantity.
     for (i, p) in [
         base_swarm(),
-        SwarmParams { r: 1.0 / 3_000.0, ..base_swarm() },
-        SwarmParams { lambda: 1.0 / 200.0, ..base_swarm() },
+        SwarmParams {
+            r: 1.0 / 3_000.0,
+            ..base_swarm()
+        },
+        SwarmParams {
+            lambda: 1.0 / 200.0,
+            ..base_swarm()
+        },
     ]
     .iter()
     .enumerate()
     {
-        let rep = replicate(&sim_config(p, Patience::Impatient, 100 + i as u64), 6, threads());
+        let rep = replicate(
+            &sim_config(p, Patience::Impatient, 100 + i as u64),
+            6,
+            threads(),
+        );
         let simulated = rep.pooled.blocked_fraction();
         let model = impatient::unavailability(p);
         assert!(
@@ -53,12 +65,19 @@ fn eq10_unavailability_matches_blocking_probability() {
 fn eq11_download_time_matches_patient_simulation() {
     for (i, p) in [
         base_swarm(),
-        SwarmParams { r: 1.0 / 2_000.0, ..base_swarm() },
+        SwarmParams {
+            r: 1.0 / 2_000.0,
+            ..base_swarm()
+        },
     ]
     .iter()
     .enumerate()
     {
-        let rep = replicate(&sim_config(p, Patience::Patient, 200 + i as u64), 6, threads());
+        let rep = replicate(
+            &sim_config(p, Patience::Patient, 200 + i as u64),
+            6,
+            threads(),
+        );
         let simulated = rep.pooled.mean_download_time();
         let model = patient::download_time(p);
         assert!(
@@ -92,7 +111,10 @@ fn bundling_gain_is_visible_end_to_end() {
 
     let t_single_model = patient::download_time(&single);
     let t_bundle_model = patient::download_time(&bundle);
-    assert!(t_bundle_model < t_single_model, "model disagrees with the paper");
+    assert!(
+        t_bundle_model < t_single_model,
+        "model disagrees with the paper"
+    );
 
     let t_single_sim = replicate(&sim_config(&single, Patience::Patient, 400), 5, threads())
         .pooled
@@ -140,8 +162,14 @@ fn mixed_bundling_joint_unavailability_matches_model() {
     use swarmsys::model::mixed::{mixed_bundling, FileSpec};
 
     let files = vec![
-        FileSpec { lambda: 1.0 / 5.0, size: 4_000.0 },
-        FileSpec { lambda: 1.0 / 600.0, size: 4_000.0 },
+        FileSpec {
+            lambda: 1.0 / 5.0,
+            size: 4_000.0,
+        },
+        FileSpec {
+            lambda: 1.0 / 600.0,
+            size: 4_000.0,
+        },
     ];
     let (mu, r, u) = (50.0, 1.0 / 5_000.0, 300.0);
     let phi = 0.1;
@@ -152,7 +180,13 @@ fn mixed_bundling_joint_unavailability_matches_model() {
     let mk = |lambda: f64, size: f64, seed: u64| SimConfig {
         record_timeline: true,
         ..SimConfig::from_params(
-            &SwarmParams { lambda, size, mu, r, u },
+            &SwarmParams {
+                lambda,
+                size,
+                mu,
+                r,
+                u,
+            },
             Patience::Impatient,
             0,
             horizon,

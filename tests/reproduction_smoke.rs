@@ -52,8 +52,7 @@ fn reports_save_to_disk() {
     assert!(dir.join("table-bm.txt").exists());
     assert!(dir.join("table-bm.json").exists());
     let json: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("table-bm.json")).unwrap())
-            .unwrap();
+        serde_json::from_str(&std::fs::read_to_string(dir.join("table-bm.json")).unwrap()).unwrap();
     assert_eq!(json["m"], 9);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,343 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A wall-clock benchmarking harness covering the API the workspace's
+//! benches use: `Criterion`, `benchmark_group` + `sample_size` +
+//! `finish`, `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each run
+//! prints per-benchmark timings and writes a machine-readable JSON
+//! summary to `$CRITERION_JSON_DIR` (default `target/criterion-json/`).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler fence against over-optimization.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint for `iter_batched` (the vendored harness runs one
+/// setup per measured call regardless, so this is informational).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: u32,
+    iters_per_sample: u64,
+}
+
+/// Collects measurements; writes the JSON summary when dropped.
+pub struct Criterion {
+    sample_size: u32,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Start a named group; benchmarks inside get `name/`-prefixed ids.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: String, sample_size: u32, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            requested_samples: sample_size,
+            measurement: None,
+        };
+        f(&mut bencher);
+        let Some(m) = bencher.measurement else {
+            eprintln!("warning: benchmark `{name}` measured nothing");
+            return;
+        };
+        println!(
+            "{name:<40} time: [{} .. mean {} .. {}]  ({} samples x {} iters)",
+            fmt_ns(m.min_ns),
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.max_ns),
+            m.samples,
+            m.iters_per_sample,
+        );
+        self.records.push(BenchRecord {
+            name,
+            mean_ns: m.mean_ns,
+            min_ns: m.min_ns,
+            max_ns: m.max_ns,
+            samples: m.samples,
+            iters_per_sample: m.iters_per_sample,
+        });
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let dir = std::env::var("CRITERION_JSON_DIR")
+            .unwrap_or_else(|_| "target/criterion-json".to_string());
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let stem = bench_binary_stem();
+        let mut json = String::from("{\n  \"benchmarks\": {\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            json.push_str(&format!(
+                "    {:?}: {{\"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}}}",
+                r.name, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
+            ));
+        }
+        json.push_str("\n  }\n}\n");
+        let path = format!("{dir}/{stem}.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote benchmark summary to {path}");
+        }
+    }
+}
+
+/// Strip cargo's `-<hash>` suffix from the bench executable name.
+fn bench_binary_stem() -> String {
+    let exe = std::env::args().next().unwrap_or_else(|| "bench".into());
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A benchmark group: shared id prefix and optional sample-size override.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+    sample_size: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.prefix, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(name, sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: u32,
+    iters_per_sample: u64,
+}
+
+/// Handed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    requested_samples: u32,
+    measurement: Option<Measurement>,
+}
+
+/// Per-sample time budget for fast routines; slow routines (one
+/// iteration exceeds this) get one iteration per sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(50);
+/// Soft cap on a single benchmark's total measuring time; the sample
+/// count shrinks (to at least 3) for very slow routines.
+const TARGET_TOTAL: Duration = Duration::from_secs(20);
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+
+        let iters = iters_per_sample(once);
+        let samples = sample_count(self.requested_samples, once, iters);
+        let mut times = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(times, iters);
+    }
+
+    /// Time `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed();
+
+        let iters = iters_per_sample(once);
+        let samples = sample_count(self.requested_samples, once, iters);
+        let mut times = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs.drain(..) {
+                black_box(routine(input));
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(times, iters);
+    }
+
+    fn record(&mut self, times: Vec<f64>, iters: u64) {
+        let n = times.len().max(1) as f64;
+        let mean = times.iter().sum::<f64>() / n;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        self.measurement = Some(Measurement {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: times.len() as u32,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn iters_per_sample(once: Duration) -> u64 {
+    if once.is_zero() {
+        return 1000;
+    }
+    (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+}
+
+fn sample_count(requested: u32, once: Duration, iters: u64) -> u32 {
+    let per_sample = once.as_nanos().max(1) as u64 * iters;
+    let fit = (TARGET_TOTAL.as_nanos() as u64 / per_sample.max(1)).clamp(3, u64::from(requested));
+    fit as u32
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`/filter arguments; the
+            // vendored harness runs everything regardless.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].mean_ns > 0.0);
+        c.records.clear(); // don't write JSON from unit tests
+    }
+
+    #[test]
+    fn batched_runs_setup_per_input() {
+        let mut c = Criterion::default();
+        c.bench_function("rev", |b| {
+            b.iter_batched(
+                || (0..100u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(c.records.len(), 1);
+        c.records.clear();
+    }
+}

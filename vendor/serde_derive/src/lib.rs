@@ -1,0 +1,491 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! A syn-free derive: the item is parsed directly from its `TokenTree`s
+//! (the workspace only derives on plain non-generic structs and enums),
+//! and the impl is emitted as source text parsed back into a
+//! `TokenStream`. Supports named structs, tuple structs, and enums with
+//! unit / tuple / struct variants, plus the `#[serde(skip)]` field
+//! attribute. Anything fancier fails with a clear `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde derive: expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Skip leading attributes (`#[...]`, including expanded doc
+    /// comments); report whether any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut skip = false;
+        while self.is_punct('#') {
+            self.bump();
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if attr_is_serde_skip(&g.stream())? {
+                        skip = true;
+                    }
+                }
+                other => return Err(format!("serde derive: malformed attribute: {other:?}")),
+            }
+        }
+        Ok(skip)
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.bump();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> Result<bool, String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let is_serde = matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return Ok(false); // doc comment or foreign attribute
+    }
+    if let Some(TokenTree::Group(args)) = toks.get(1) {
+        let mut saw_skip = false;
+        for t in args.stream() {
+            if let TokenTree::Ident(id) = &t {
+                match id.to_string().as_str() {
+                    "skip" => saw_skip = true,
+                    other => {
+                        return Err(format!(
+                            "serde derive (vendored): unsupported serde attribute `{other}` \
+                             (only `skip` is implemented)"
+                        ))
+                    }
+                }
+            }
+        }
+        return Ok(saw_skip);
+    }
+    Err("serde derive: malformed #[serde(...)] attribute".to_string())
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs()?;
+    c.skip_vis();
+    let kind = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("type name")?;
+    if c.is_punct('<') {
+        return Err(format!(
+            "serde derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Struct(Fields::Named(parse_named_fields(g.stream())?)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::Struct(Fields::Tuple(tuple_arity(g.stream()))),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::Struct(Fields::Unit),
+            }),
+            other => Err(format!("serde derive: unexpected struct body: {other:?}")),
+        },
+        "enum" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("serde derive: unexpected enum body: {other:?}")),
+        },
+        other => Err(format!(
+            "serde derive: expected struct or enum, found `{other}`"
+        )),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs()?;
+        c.skip_vis();
+        let name = c.expect_ident("field name")?;
+        if !c.is_punct(':') {
+            return Err(format!("serde derive: expected `:` after field `{name}`"));
+        }
+        c.bump();
+        // Consume the type: everything up to a comma at angle-bracket
+        // depth zero (commas inside `Vec<(u64, u64)>` etc. don't count;
+        // parens/brackets are whole Groups so only `<`/`>` need tracking).
+        let mut depth = 0i32;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    c.bump();
+                    break;
+                }
+                _ => {}
+            }
+            c.bump();
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut saw_token = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+        trailing_comma = false;
+    }
+    if !saw_token {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs()?;
+        let name = c.expect_ident("variant name")?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.bump();
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                c.bump();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        if c.is_punct('=') {
+            return Err(format!(
+                "serde derive (vendored): discriminant on variant `{name}` not supported"
+            ));
+        }
+        if c.is_punct(',') {
+            c.bump();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+const SER: &str = "::serde::Serialize::serialize_value";
+const DE: &str = "::serde::Deserialize::deserialize_value";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                s.push_str(&format!(
+                    "map.insert(::std::string::String::from(\"{fname}\"), {SER}(&self.{fname}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(map)");
+            s
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!("{SER}(&self.0)"),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut s = String::from("let mut arr = ::std::vec::Vec::new();\n");
+            for i in 0..*n {
+                s.push_str(&format!("arr.push({SER}(&self.{i}));\n"));
+            }
+            s.push_str("::serde::Value::Array(arr)");
+            s
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let inner = if *n == 1 {
+                            format!("{SER}(__f0)")
+                        } else {
+                            let mut a = String::from("{ let mut arr = ::std::vec::Vec::new();\n");
+                            for b in &binders {
+                                a.push_str(&format!("arr.push({SER}({b}));\n"));
+                            }
+                            a.push_str("::serde::Value::Array(arr) }");
+                            a
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vname}({pat}) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from(\"{vname}\"), {inner});\n\
+                             ::serde::Value::Object(map)\n}}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let pat = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = &f.name;
+                            inner.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{fname}\"), \
+                                 {SER}({fname}));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => {{\n{inner}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    inits.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: {DE}(obj.get(\"{fname}\").ok_or_else(|| \
+                         ::serde::DeError::new(\"{name}: missing field `{fname}`\"))?)?,\n"
+                    ));
+                }
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"{name}: expected object\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::core::result::Result::Ok({name}({DE}(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let gets: Vec<String> = (0..*n).map(|i| format!("{DE}(&arr[{i}])?")).collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"{name}: expected array\"))?;\n\
+                 if arr.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::DeError::new(\"{name}: wrong tuple length\")); }}\n\
+                 ::core::result::Result::Ok({name}({gets}))",
+                gets = gets.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}({DE}(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let gets: Vec<String> =
+                            (0..*n).map(|i| format!("{DE}(&arr[{i}])?")).collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"{name}::{vname}: expected array\"))?;\n\
+                             if arr.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::DeError::new(\"{name}::{vname}: wrong arity\")); }}\n\
+                             ::core::result::Result::Ok({name}::{vname}({gets}))\n}}\n",
+                            gets = gets.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{fname}: ::core::default::Default::default(),\n"
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{fname}: {DE}(obj.get(\"{fname}\").ok_or_else(|| \
+                                     ::serde::DeError::new(\"{name}::{vname}: missing field \
+                                     `{fname}`\"))?)?,\n"
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"{name}::{vname}: expected object\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 _ => ::core::result::Result::Err(::serde::DeError::new(\
+                 \"{name}: unknown variant\")),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = m.iter().next().expect(\"len-1 map\");\n\
+                 let _ = inner;\n\
+                 match k.as_str() {{\n{data_arms}\
+                 _ => ::core::result::Result::Err(::serde::DeError::new(\
+                 \"{name}: unknown variant\")),\n}}\n}}\n\
+                 _ => ::core::result::Result::Err(::serde::DeError::new(\
+                 \"{name}: expected string or single-key object\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
