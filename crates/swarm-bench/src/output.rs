@@ -51,12 +51,30 @@ impl Report {
         self.data = data;
     }
 
+    /// The artifact files this report materializes, as
+    /// `(file name, contents)` pairs: `<id>.txt` (rendered text) and
+    /// `<id>.json` (structured data). Single source of truth for both
+    /// [`Report::save`] and the swarm-lab job registry ([`crate::lab`]).
+    pub fn artifacts(&self) -> Vec<(String, String)> {
+        let json = serde_json::to_string_pretty(&self.data).expect("serializable data");
+        vec![
+            (format!("{}.txt", self.id), self.text.clone()),
+            (format!("{}.json", self.id), json),
+        ]
+    }
+
+    /// The artifact file names for experiment `id`, without running it
+    /// (what the job registry declares up front).
+    pub fn artifact_names(id: &str) -> Vec<String> {
+        vec![format!("{id}.txt"), format!("{id}.json")]
+    }
+
     /// Write `<id>.txt` and `<id>.json` into `dir` (created if missing).
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join(format!("{}.txt", self.id)), &self.text)?;
-        let json = serde_json::to_string_pretty(&self.data).expect("serializable data");
-        std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        for (name, contents) in self.artifacts() {
+            std::fs::write(dir.join(name), contents)?;
+        }
         Ok(())
     }
 }
@@ -98,6 +116,14 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(dir.join("demo.json")).unwrap()).unwrap();
         assert_eq!(json["k"], 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifacts_match_declared_names() {
+        let mut r = Report::new("demo", "demo");
+        r.set_data(serde_json::json!({"k": 1}));
+        let produced: Vec<String> = r.artifacts().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(produced, Report::artifact_names("demo"));
     }
 
     #[test]

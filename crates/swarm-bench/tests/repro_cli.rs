@@ -1,0 +1,151 @@
+//! End-to-end tests of the `repro` binary: argument handling, exit
+//! codes, manifest production, cache replay and fault isolation.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use swarm_lab::{CacheDisposition, JobStatus, Manifest};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn no_args_and_unknown_ids_exit_2() {
+    assert_eq!(repro(&[]).status.code(), Some(2));
+    let out = repro(&["no-such-experiment", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment: no-such-experiment"));
+    assert_eq!(repro(&["--bogus-flag"]).status.code(), Some(2));
+    assert_eq!(repro(&["all", "--jobs", "0"]).status.code(), Some(2));
+    assert_eq!(
+        repro(&["all", "--force", "--no-cache"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn list_prints_every_experiment() {
+    let out = repro(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let listed: Vec<&str> = stdout.lines().collect();
+    assert_eq!(listed, swarm_bench::EXPERIMENTS);
+}
+
+#[test]
+fn all_composes_anywhere_and_ids_dedupe() {
+    // `repro all fig1` used to reject `all`; now `all` expands in place
+    // and the repeated explicit id dedupes — the dry-run plan proves it
+    // without running the suite.
+    let out = repro(&["all", "fig1", "--quick", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(0), "`all` must compose with ids");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let planned: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    assert_eq!(planned.len(), swarm_bench::EXPERIMENTS.len());
+    assert_eq!(
+        planned.iter().filter(|id| **id == "fig1").count(),
+        1,
+        "duplicate ids must collapse"
+    );
+    // `fig1 all` (id before `all`) parses identically.
+    let out = repro(&["fig1", "all", "--quick", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Repeated explicit ids dedupe to a single job.
+    let out = repro(&["fig2", "fig2", "fig2", "--quick", "--dry-run"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1);
+}
+
+#[test]
+fn runs_produce_manifest_and_cache_replays() {
+    let dir = temp_out("cache");
+    let out_flag = format!("--out={}", dir.display());
+
+    let cold = repro(&["table-bm", "fig2", "--quick", &out_flag]);
+    assert_eq!(cold.status.code(), Some(0), "healthy run exits 0");
+    for f in ["table-bm.txt", "table-bm.json", "fig2.txt", "fig2.json"] {
+        assert!(dir.join(f).exists(), "{f} written");
+    }
+    let manifest = Manifest::load(&dir.join("manifest.json")).expect("manifest");
+    assert_eq!(manifest.jobs.len(), 2);
+    assert!(manifest.all_ok());
+    assert!(manifest
+        .jobs
+        .iter()
+        .all(|j| j.cache == CacheDisposition::Miss));
+
+    // Identical invocation: same binary, same quick flag → all hits.
+    let warm = repro(&["table-bm", "fig2", "--quick", &out_flag]);
+    assert_eq!(warm.status.code(), Some(0));
+    let manifest = Manifest::load(&dir.join("manifest.json")).expect("manifest");
+    assert!(
+        manifest
+            .jobs
+            .iter()
+            .all(|j| j.cache == CacheDisposition::Hit),
+        "warm rerun must replay from cache: {manifest:?}"
+    );
+
+    // --force recomputes, --no-cache computes without touching entries.
+    let forced = repro(&["table-bm", "--quick", "--force", &out_flag]);
+    assert_eq!(forced.status.code(), Some(0));
+    let manifest = Manifest::load(&dir.join("manifest.json")).expect("manifest");
+    assert_eq!(manifest.jobs[0].cache, CacheDisposition::Refresh);
+    let uncached = repro(&["table-bm", "--quick", "--no-cache", &out_flag]);
+    assert_eq!(uncached.status.code(), Some(0));
+    let manifest = Manifest::load(&dir.join("manifest.json")).expect("manifest");
+    assert_eq!(manifest.jobs[0].cache, CacheDisposition::Off);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_panic_fails_run_but_not_siblings() {
+    let dir = temp_out("panic");
+    let out_flag = format!("--out={}", dir.display());
+    let out = repro(&[
+        "table-bm",
+        "inject-panic",
+        "--quick",
+        "--no-cache",
+        &out_flag,
+    ]);
+    assert_eq!(out.status.code(), Some(1), "failed job must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed: inject-panic"),
+        "failure reported: {stderr}"
+    );
+
+    let manifest = Manifest::load(&dir.join("manifest.json")).expect("manifest");
+    let by_id = |id: &str| {
+        manifest
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .unwrap_or_else(|| panic!("{id} in manifest"))
+    };
+    assert_eq!(by_id("inject-panic").status, JobStatus::Failed);
+    assert!(by_id("inject-panic")
+        .error
+        .as_deref()
+        .expect("panic recorded")
+        .contains("deliberate failure"));
+    assert_eq!(by_id("table-bm").status, JobStatus::Ok);
+    assert!(dir.join("table-bm.txt").exists(), "sibling still completed");
+    let _ = std::fs::remove_dir_all(&dir);
+}

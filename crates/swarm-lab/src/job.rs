@@ -1,0 +1,155 @@
+//! Typed job registry: what the orchestrator schedules.
+//!
+//! A [`JobSpec`] wraps one experiment behind a uniform interface — an id,
+//! a human-readable title, a *cost hint* (expected wall seconds, used by
+//! the longest-first scheduler), a *threads hint* (how much inner
+//! parallelism the job would like, informing the worker-pool sizing) and
+//! the list of artifact file names the job promises to produce. The work
+//! itself is an opaque closure returning a [`JobOutput`]: rendered text
+//! plus the artifact files as `(name, contents)` pairs. Keeping the
+//! output self-contained (no side-effecting writes inside the job) is
+//! what makes results cacheable and replayable: the orchestrator owns
+//! every filesystem interaction.
+
+use serde::{Deserialize, Serialize};
+
+/// One schedulable unit of work.
+pub struct JobSpec {
+    /// Stable identifier (cache keys, manifest entries, CLI selection).
+    pub id: String,
+    /// Human-readable description of the artifact being regenerated.
+    pub title: String,
+    /// Expected wall-clock seconds (relative magnitude is what matters:
+    /// the scheduler starts the most expensive jobs first so a long tail
+    /// job never ends up alone at the end of the run).
+    pub cost_hint: f64,
+    /// Inner parallelism the job can exploit (via
+    /// `swarm_stats::parallel::run_indexed`); informational.
+    pub threads_hint: usize,
+    /// File names (relative to the run's output directory) the job
+    /// promises to produce. A mismatch with what it actually produces is
+    /// reported as a job failure.
+    pub artifacts: Vec<String>,
+    run: Box<dyn Fn() -> JobOutput + Send + Sync>,
+}
+
+impl JobSpec {
+    /// A job with defaults: cost 1 s, one thread, no declared artifacts.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        run: impl Fn() -> JobOutput + Send + Sync + 'static,
+    ) -> Self {
+        JobSpec {
+            id: id.into(),
+            title: title.into(),
+            cost_hint: 1.0,
+            threads_hint: 1,
+            artifacts: Vec::new(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Set the expected wall-clock cost in seconds.
+    pub fn cost_hint(mut self, seconds: f64) -> Self {
+        self.cost_hint = seconds;
+        self
+    }
+
+    /// Set the desired inner parallelism.
+    pub fn threads_hint(mut self, threads: usize) -> Self {
+        self.threads_hint = threads.max(1);
+        self
+    }
+
+    /// Declare the artifact file names this job produces.
+    pub fn artifacts(mut self, names: impl IntoIterator<Item = String>) -> Self {
+        self.artifacts = names.into_iter().collect();
+        self
+    }
+
+    /// Execute the job body (panics propagate; the scheduler isolates
+    /// them with `catch_unwind`).
+    pub fn execute(&self) -> JobOutput {
+        (self.run)()
+    }
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .field("cost_hint", &self.cost_hint)
+            .field("threads_hint", &self.threads_hint)
+            .field("artifacts", &self.artifacts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything a job produced, self-contained and serializable — this is
+/// the unit the result cache stores and replays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutput {
+    /// Rendered human-readable report (tables, ASCII charts).
+    pub text: String,
+    /// Artifact files as `(name, contents)`, written by the orchestrator
+    /// into the run's output directory.
+    pub artifacts: Vec<Artifact>,
+}
+
+/// One output file of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// File name relative to the run's output directory.
+    pub name: String,
+    /// Full file contents (all repro artifacts are text: reports, JSON).
+    pub contents: String,
+}
+
+impl JobOutput {
+    /// Output with rendered text and no artifacts.
+    pub fn text_only(text: impl Into<String>) -> Self {
+        JobOutput {
+            text: text.into(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Append an artifact file.
+    pub fn with_artifact(mut self, name: impl Into<String>, contents: impl Into<String>) -> Self {
+        self.artifacts.push(Artifact {
+            name: name.into(),
+            contents: contents.into(),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let spec = JobSpec::new("j1", "a job", || JobOutput::text_only("hi"))
+            .cost_hint(3.5)
+            .threads_hint(0)
+            .artifacts(vec!["j1.txt".to_string()]);
+        assert_eq!(spec.id, "j1");
+        assert_eq!(spec.cost_hint, 3.5);
+        assert_eq!(spec.threads_hint, 1, "threads hint clamps to >= 1");
+        assert_eq!(spec.artifacts, ["j1.txt"]);
+        assert_eq!(spec.execute().text, "hi");
+    }
+
+    #[test]
+    fn output_round_trips_through_json() {
+        let out = JobOutput::text_only("report body")
+            .with_artifact("a.txt", "report body")
+            .with_artifact("a.json", "{\"k\":1}");
+        let json = serde_json::to_string(&out).expect("serialize");
+        let back: JobOutput = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, out);
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end orchestrator behaviour: cache keying and invalidation,
+//! panic isolation, manifest round-trips and concurrency observability.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use swarm_lab::{
+    run, CacheDisposition, CacheMode, JobOutput, JobSpec, JobStatus, Manifest, RunConfig,
+};
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swarm-lab-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn counting_job(id: &str, runs: &Arc<AtomicUsize>) -> JobSpec {
+    let runs = Arc::clone(runs);
+    let artifact = format!("{id}.txt");
+    let body = format!("report for {id}");
+    JobSpec::new(id, format!("counting job {id}"), {
+        let artifact = artifact.clone();
+        move || {
+            runs.fetch_add(1, Ordering::SeqCst);
+            JobOutput::text_only(body.clone()).with_artifact(artifact.clone(), body.clone())
+        }
+    })
+    .artifacts(vec![artifact])
+}
+
+fn base_config(out_dir: PathBuf) -> RunConfig {
+    RunConfig {
+        workers: 2,
+        thread_budget: 2,
+        salt: "salt-a".to_string(),
+        ..RunConfig::new(out_dir)
+    }
+}
+
+#[test]
+fn identical_rerun_hits_cache_and_skips_execution() {
+    let out = temp_out("cache-hit");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let cfg = base_config(out.clone());
+
+    let first = run(&[counting_job("a", &runs)], &cfg).expect("first run");
+    assert!(first.all_ok());
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+    assert_eq!(first.manifest.jobs[0].cache, CacheDisposition::Miss);
+
+    // Same id, same quick flag, same salt: replayed, body never runs.
+    std::fs::remove_file(out.join("a.txt")).expect("artifact existed");
+    let second = run(&[counting_job("a", &runs)], &cfg).expect("second run");
+    assert!(second.all_ok());
+    assert_eq!(runs.load(Ordering::SeqCst), 1, "cache hit must not re-run");
+    assert_eq!(second.manifest.jobs[0].cache, CacheDisposition::Hit);
+    // Replay restores artifacts byte-identically.
+    assert_eq!(
+        std::fs::read_to_string(out.join("a.txt")).expect("artifact restored"),
+        "report for a"
+    );
+    assert_eq!(
+        first.manifest.jobs[0].artifacts, second.manifest.jobs[0].artifacts,
+        "digests match across replay"
+    );
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn salt_change_invalidates_quick_flag_too() {
+    let out = temp_out("cache-salt");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let cfg = base_config(out.clone());
+
+    run(&[counting_job("a", &runs)], &cfg).expect("seed the cache");
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+
+    // New code-version salt: the entry no longer addresses this result.
+    let salted = RunConfig {
+        salt: "salt-b".to_string(),
+        ..cfg.clone()
+    };
+    let r = run(&[counting_job("a", &runs)], &salted).expect("salted run");
+    assert_eq!(runs.load(Ordering::SeqCst), 2, "salt change must miss");
+    assert_eq!(r.manifest.jobs[0].cache, CacheDisposition::Miss);
+
+    // Quick flag is part of the key as well.
+    let quick = RunConfig { quick: true, ..cfg };
+    run(&[counting_job("a", &runs)], &quick).expect("quick run");
+    assert_eq!(runs.load(Ordering::SeqCst), 3, "quick flip must miss");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn force_recomputes_and_no_cache_stores_nothing() {
+    let out = temp_out("cache-modes");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let cfg = base_config(out.clone());
+
+    run(&[counting_job("a", &runs)], &cfg).expect("warm the cache");
+    let forced = RunConfig {
+        cache: CacheMode::Refresh,
+        ..cfg.clone()
+    };
+    let r = run(&[counting_job("a", &runs)], &forced).expect("forced run");
+    assert_eq!(runs.load(Ordering::SeqCst), 2, "--force bypasses lookup");
+    assert_eq!(r.manifest.jobs[0].cache, CacheDisposition::Refresh);
+
+    let off_out = temp_out("cache-off");
+    let off = RunConfig {
+        cache: CacheMode::Off,
+        ..base_config(off_out.clone())
+    };
+    let r = run(&[counting_job("a", &runs)], &off).expect("uncached run");
+    assert_eq!(r.manifest.jobs[0].cache, CacheDisposition::Off);
+    assert!(
+        !off_out.join(".cache").exists(),
+        "--no-cache must not create cache entries"
+    );
+    let _ = std::fs::remove_dir_all(&out);
+    let _ = std::fs::remove_dir_all(&off_out);
+}
+
+#[test]
+fn panicking_job_is_isolated_and_reported() {
+    let out = temp_out("isolation");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let jobs = vec![
+        counting_job("a", &runs),
+        JobSpec::new("poison", "always panics", || {
+            panic!("injected failure for isolation test")
+        }),
+        counting_job("b", &runs),
+        counting_job("c", &runs),
+    ];
+    let cfg = RunConfig {
+        cache: CacheMode::Off,
+        ..base_config(out.clone())
+    };
+    let report = run(&jobs, &cfg).expect("run completes despite the panic");
+
+    assert!(!report.all_ok());
+    assert_eq!(runs.load(Ordering::SeqCst), 3, "all healthy jobs ran");
+    let by_id = |id: &str| {
+        report
+            .manifest
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .unwrap_or_else(|| panic!("{id} in manifest"))
+    };
+    assert_eq!(by_id("poison").status, JobStatus::Failed);
+    let msg = by_id("poison").error.as_deref().expect("panic captured");
+    assert!(
+        msg.contains("injected failure"),
+        "panic message surfaced: {msg}"
+    );
+    for id in ["a", "b", "c"] {
+        assert_eq!(by_id(id).status, JobStatus::Ok, "{id} unaffected");
+        assert!(out.join(format!("{id}.txt")).exists());
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn artifact_declaration_mismatch_fails_the_job() {
+    let out = temp_out("declaration");
+    let spec = JobSpec::new("liar", "declares one file, writes another", || {
+        JobOutput::text_only("x").with_artifact("other.txt", "x")
+    })
+    .artifacts(vec!["liar.txt".to_string()]);
+    let cfg = RunConfig {
+        cache: CacheMode::Off,
+        ..base_config(out.clone())
+    };
+    let report = run(&[spec], &cfg).expect("run");
+    assert_eq!(report.manifest.jobs[0].status, JobStatus::Failed);
+    let msg = report.manifest.jobs[0].error.as_deref().expect("error set");
+    assert!(msg.contains("declaration mismatch"), "got: {msg}");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn saved_manifest_round_trips_and_shows_overlap() {
+    let out = temp_out("overlap");
+    let sleepy = |id: &str| {
+        let id = id.to_string();
+        JobSpec::new(id.clone(), "sleeps", move || {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            JobOutput::text_only(format!("done {id}"))
+        })
+        .cost_hint(0.15)
+    };
+    let cfg = RunConfig {
+        cache: CacheMode::Off,
+        ..base_config(out.clone())
+    };
+    let report = run(&[sleepy("s1"), sleepy("s2")], &cfg).expect("run");
+
+    let loaded = Manifest::load(&report.manifest_path).expect("manifest readable");
+    assert_eq!(loaded, report.manifest, "disk round-trip is lossless");
+
+    // Two workers, two sleeping jobs: their [start, end] intervals must
+    // overlap — the manifest is the proof the run was concurrent.
+    let a = &loaded.jobs[0];
+    let b = &loaded.jobs[1];
+    let overlap_start = a.started_ms.max(b.started_ms);
+    let overlap_end = a.ended_ms.min(b.ended_ms);
+    assert!(
+        overlap_start < overlap_end,
+        "jobs did not overlap: {a:?} vs {b:?}"
+    );
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn longest_first_dispatch_starts_expensive_jobs_earlier() {
+    let out = temp_out("lpt");
+    // One worker: dispatch order is exactly cost order, observable via
+    // started_ms. The cheap job is declared first but must start last.
+    let timed = |id: &str, cost: f64| {
+        let id_owned = id.to_string();
+        JobSpec::new(id_owned.clone(), "timed", move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            JobOutput::text_only(format!("done {id_owned}"))
+        })
+        .cost_hint(cost)
+    };
+    let cfg = RunConfig {
+        workers: 1,
+        cache: CacheMode::Off,
+        ..base_config(out.clone())
+    };
+    let report = run(&[timed("cheap", 0.1), timed("dear", 9.0)], &cfg).expect("run");
+    let by_id = |id: &str| {
+        report
+            .manifest
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .expect("in manifest")
+    };
+    assert!(
+        by_id("dear").started_ms <= by_id("cheap").started_ms,
+        "longest-first ordering violated"
+    );
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn artifact_write_failure_fails_the_job_not_the_run() {
+    let out = temp_out("badwrite");
+    // An artifact whose name traverses into a file-as-directory path
+    // cannot be created; the job must fail, the sibling must succeed.
+    std::fs::create_dir_all(&out).expect("out dir");
+    std::fs::write(out.join("blocker"), b"a file, not a directory").expect("blocker");
+    let bad = JobSpec::new("bad", "unwritable artifact", || {
+        JobOutput::text_only("x").with_artifact("blocker/nested.txt", "x")
+    });
+    let runs = Arc::new(AtomicUsize::new(0));
+    let cfg = RunConfig {
+        cache: CacheMode::Off,
+        ..base_config(out.clone())
+    };
+    let report = run(&[bad, counting_job("fine", &runs)], &cfg).expect("run");
+    let by_id = |id: &str| {
+        report
+            .manifest
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .expect("in manifest")
+    };
+    assert_eq!(by_id("bad").status, JobStatus::Failed);
+    assert!(by_id("bad")
+        .error
+        .as_deref()
+        .expect("error recorded")
+        .contains("artifact write failed"));
+    assert_eq!(by_id("fine").status, JobStatus::Ok);
+    assert!(!report.all_ok());
+    let _ = std::fs::remove_dir_all(&out);
+}

@@ -17,7 +17,9 @@
 //! * [`ascii`] — terminal rendering of lines, CDFs and boxplots so the
 //!   `repro` binary can show every figure without a plotting stack,
 //! * [`parallel`] — the deterministic index-ordered worker pool shared by
-//!   both simulators' `replicate()` harnesses.
+//!   both simulators' `replicate()` harnesses, plus the process-wide
+//!   [`parallel::ThreadBudget`] that the `swarm-lab` orchestrator installs
+//!   so concurrently scheduled experiments share one core budget.
 //!
 //! Everything here is deliberately dependency-free (only `serde` for
 //! serializable results) and exact: no sketching, no approximation beyond

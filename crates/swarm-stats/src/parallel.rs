@@ -1,4 +1,6 @@
-//! Deterministic index-ordered parallel map for replicated experiments.
+//! Deterministic index-ordered parallel map for replicated experiments,
+//! plus the process-wide thread budget that keeps nested parallelism from
+//! oversubscribing the machine.
 //!
 //! Both simulators replicate runs across worker threads; the worker pool
 //! used to be duplicated (crossbeam-based) in each crate. This is the
@@ -7,19 +9,131 @@
 //! index, and the output is assembled in index order — so the result is
 //! identical to the serial `(0..n).map(job)` regardless of thread count
 //! or scheduling.
+//!
+//! # Thread budget
+//!
+//! When several experiments run concurrently (the `swarm-lab`
+//! orchestrator schedules whole experiments across a worker pool), each
+//! one calling [`run_indexed`] with `available_parallelism()` threads
+//! would oversubscribe the machine by a factor of the number of live
+//! jobs. [`ThreadBudget`] is a process-wide allocator of core permits:
+//! an orchestrator installs one with [`set_global_budget`], and every
+//! `run_indexed` call then *leases* its extra worker threads from the
+//! budget, degrading gracefully (down to an inline, single-threaded run)
+//! when the budget is exhausted. Because `run_indexed` is deterministic
+//! in its thread count, the clamping never changes results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// A process-wide budget of compute threads, shared by every
+/// [`run_indexed`] call while installed via [`set_global_budget`].
+///
+/// Permits are handed out non-blockingly: a [`ThreadBudget::try_lease`]
+/// grants *up to* the requested number of permits (possibly zero) and
+/// the returned [`Lease`] gives them back on drop. The allocator never
+/// grants more permits than remain, so the total number of outstanding
+/// permits can never exceed the budget (proptest-checked in
+/// `tests/proptests.rs`).
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    available: Mutex<usize>,
+}
+
+impl ThreadBudget {
+    /// A budget of `total >= 1` compute threads.
+    pub fn new(total: usize) -> Self {
+        assert!(total >= 1, "budget needs at least one thread");
+        ThreadBudget {
+            total,
+            available: Mutex::new(total),
+        }
+    }
+
+    /// The budget this allocator was created with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Permits not currently leased.
+    pub fn available(&self) -> usize {
+        *self.available.lock().expect("budget lock")
+    }
+
+    /// Grant up to `want` permits without blocking. The grant may be
+    /// smaller than `want` — including empty — when the budget is
+    /// (nearly) exhausted; callers fall back to running on the thread
+    /// they already own.
+    pub fn try_lease(self: &Arc<Self>, want: usize) -> Lease {
+        let mut avail = self.available.lock().expect("budget lock");
+        let granted = want.min(*avail);
+        *avail -= granted;
+        Lease {
+            budget: Arc::clone(self),
+            granted,
+        }
+    }
+}
+
+/// Permits held from a [`ThreadBudget`]; returned to the budget on drop.
+#[derive(Debug)]
+pub struct Lease {
+    budget: Arc<ThreadBudget>,
+    granted: usize,
+}
+
+impl Lease {
+    /// How many permits this lease actually holds (`<=` what was asked).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let mut avail = self.budget.available.lock().expect("budget lock");
+        *avail += self.granted;
+    }
+}
+
+static GLOBAL_BUDGET: Mutex<Option<Arc<ThreadBudget>>> = Mutex::new(None);
+
+/// Install (or, with `None`, remove) the process-wide budget consulted
+/// by every [`run_indexed`] call. Returns the previously installed
+/// budget so orchestrators can restore it when they finish.
+pub fn set_global_budget(budget: Option<Arc<ThreadBudget>>) -> Option<Arc<ThreadBudget>> {
+    std::mem::replace(
+        &mut *GLOBAL_BUDGET.lock().expect("budget registry lock"),
+        budget,
+    )
+}
+
+/// The currently installed process-wide budget, if any.
+pub fn global_budget() -> Option<Arc<ThreadBudget>> {
+    GLOBAL_BUDGET.lock().expect("budget registry lock").clone()
+}
 
 /// Run `job(0..n)` on up to `threads` scoped worker threads and return
 /// the results in index order. `threads == 1` (or `n <= 1`) runs inline
 /// with no thread overhead; the output is the same either way.
+///
+/// While a global [`ThreadBudget`] is installed, the caller's own thread
+/// is considered already funded and the `threads - 1` extra workers are
+/// leased from the budget — so the call may run with fewer threads (down
+/// to one, inline) than asked for. Results are identical regardless.
 pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     assert!(threads >= 1, "need at least one thread");
+    let extra_wanted = threads.saturating_sub(1).min(n.saturating_sub(1));
+    let lease = match global_budget() {
+        Some(budget) if extra_wanted > 0 => Some(budget.try_lease(extra_wanted)),
+        _ => None,
+    };
+    let threads = lease.as_ref().map_or(threads, |l| 1 + l.granted());
     if threads == 1 || n <= 1 {
         return (0..n).map(job).collect();
     }
@@ -45,6 +159,7 @@ where
             slots[i] = Some(r);
         }
     });
+    drop(lease);
     slots
         .into_iter()
         .map(|s| s.expect("every index was dispatched exactly once"))
@@ -73,5 +188,42 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn rejects_zero_threads() {
         run_indexed(1, 0, |i| i);
+    }
+
+    #[test]
+    fn lease_grants_at_most_available_and_returns_on_drop() {
+        let budget = Arc::new(ThreadBudget::new(4));
+        let a = budget.try_lease(3);
+        assert_eq!(a.granted(), 3);
+        assert_eq!(budget.available(), 1);
+        let b = budget.try_lease(3);
+        assert_eq!(b.granted(), 1, "grant clamps to what remains");
+        assert_eq!(budget.available(), 0);
+        let c = budget.try_lease(5);
+        assert_eq!(c.granted(), 0, "exhausted budget grants nothing");
+        drop(a);
+        assert_eq!(budget.available(), 3);
+        drop(b);
+        drop(c);
+        assert_eq!(budget.available(), budget.total());
+    }
+
+    #[test]
+    fn budgeted_run_is_identical_and_releases_permits() {
+        // Results under a tight global budget match the unbudgeted run,
+        // and every leased permit is returned afterwards.
+        let unbudgeted = run_indexed(23, 8, |i| 3 * i + 1);
+        let budget = Arc::new(ThreadBudget::new(2));
+        let prev = set_global_budget(Some(Arc::clone(&budget)));
+        let budgeted = run_indexed(23, 8, |i| 3 * i + 1);
+        set_global_budget(prev);
+        assert_eq!(unbudgeted, budgeted);
+        assert_eq!(budget.available(), budget.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_budget() {
+        ThreadBudget::new(0);
     }
 }

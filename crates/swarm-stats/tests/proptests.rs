@@ -1,6 +1,8 @@
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;
+use std::sync::Arc;
+use swarm_stats::parallel::ThreadBudget;
 use swarm_stats::{Ecdf, Histogram, Samples, Summary};
 
 fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
@@ -92,5 +94,32 @@ proptest! {
         let cum = h.cumulative();
         prop_assert!(cum.windows(2).all(|w| w[0] <= w[1]));
         prop_assert_eq!(*cum.last().unwrap(), binned);
+    }
+
+    #[test]
+    fn thread_budget_never_exceeds_total(
+        total in 1usize..32,
+        ops in prop::collection::vec((0usize..16, 0usize..8), 1..100),
+    ) {
+        // Random interleaving of lease requests and releases: the sum of
+        // outstanding grants never exceeds the budget, every grant is at
+        // most what was asked, and releases restore availability exactly.
+        let budget = Arc::new(ThreadBudget::new(total));
+        let mut held = Vec::new();
+        for (want, drop_at) in ops {
+            let lease = budget.try_lease(want);
+            prop_assert!(lease.granted() <= want);
+            held.push(lease);
+            let outstanding: usize = held.iter().map(|l| l.granted()).sum();
+            prop_assert!(outstanding <= total, "budget exceeded: {outstanding} > {total}");
+            prop_assert_eq!(budget.available() + outstanding, total);
+            if drop_at < held.len() {
+                held.swap_remove(drop_at);
+                let outstanding: usize = held.iter().map(|l| l.granted()).sum();
+                prop_assert_eq!(budget.available() + outstanding, total);
+            }
+        }
+        drop(held);
+        prop_assert_eq!(budget.available(), total);
     }
 }
