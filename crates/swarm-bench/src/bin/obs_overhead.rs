@@ -1,0 +1,178 @@
+//! `obs_overhead` — CI guard for the telemetry cost on the swarm-bt
+//! tick loop.
+//!
+//! ```text
+//! obs_overhead run --mode on  --reps 7 --out instr.json
+//! obs_overhead run --mode off --reps 7 --out base.json
+//! obs_overhead compare instr.json base.json \
+//!     --max-regression 0.03 --out BENCH_obs_overhead.json
+//! ```
+//!
+//! `run` times full §4.3-style engine runs (1200 s of swarm time plus a
+//! 600-tick drain, K=4) with telemetry recording either on or off and
+//! writes min/median wall seconds. CI builds the binary twice — once as
+//! is and once with `--features obs-off` (recording compiled out) — so
+//! `compare` can put a bound on both the enabled overhead and the
+//! compiled-out residue. `compare` exits nonzero when the min-over-min
+//! ratio regresses past `--max-regression` (default 3%).
+
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::time::Instant;
+use swarm_bt::{run, BtConfig};
+
+const USAGE: &str = "usage: obs_overhead run --mode <on|off> [--reps N] [--out FILE]
+       obs_overhead compare <INSTR.json> <BASE.json> [--max-regression F] [--out FILE]";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RunResult {
+    /// Whether `swarm_obs` recording was enabled during the timed runs.
+    mode: String,
+    /// True when the binary was built with the `obs-off` feature (every
+    /// probe compiled down to nothing regardless of `mode`).
+    compiled_out: bool,
+    reps: usize,
+    min_s: f64,
+    median_s: f64,
+}
+
+fn bench_config() -> BtConfig {
+    BtConfig {
+        drain_ticks: 600,
+        ..BtConfig::paper_section_4_3(4, 7)
+    }
+}
+
+fn time_runs(reps: usize) -> (f64, f64) {
+    // One untimed warmup to populate caches and the metric registry.
+    std::hint::black_box(run(&bench_config()));
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let cfg = bench_config();
+        let t0 = Instant::now();
+        std::hint::black_box(run(&cfg));
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    (samples[0], samples[samples.len() / 2])
+}
+
+fn write_or_print(out: Option<&str>, json: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, json).map_err(|e| format!("write {path}: {e}")),
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_run(mut args: std::vec::IntoIter<String>) -> Result<(), String> {
+    let mut mode = None;
+    let mut reps = 5usize;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mode" => mode = Some(args.next().ok_or("--mode needs on|off")?),
+            "--reps" => {
+                let v = args.next().ok_or("--reps needs a value")?;
+                reps = v.parse().map_err(|_| format!("bad --reps `{v}`"))?;
+            }
+            "--out" => out = Some(args.next().ok_or("--out needs a value")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let mode = mode.ok_or("--mode is required")?;
+    match mode.as_str() {
+        "on" => swarm_obs::set_enabled(true),
+        "off" => swarm_obs::set_enabled(false),
+        other => return Err(format!("--mode expects on|off, got `{other}`")),
+    }
+    let (min_s, median_s) = time_runs(reps.max(1));
+    let result = RunResult {
+        mode,
+        compiled_out: cfg!(feature = "obs-off"),
+        reps: reps.max(1),
+        min_s,
+        median_s,
+    };
+    let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+    write_or_print(out.as_deref(), &json)
+}
+
+#[derive(Debug, Serialize)]
+struct Comparison {
+    instrumented: RunResult,
+    baseline: RunResult,
+    /// `instrumented.min_s / baseline.min_s - 1`.
+    overhead: f64,
+    max_regression: f64,
+    pass: bool,
+}
+
+fn load(path: &str) -> Result<RunResult, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_compare(mut args: std::vec::IntoIter<String>) -> Result<bool, String> {
+    let mut positional = Vec::new();
+    let mut max_regression = 0.03f64;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regression" => {
+                let v = args.next().ok_or("--max-regression needs a value")?;
+                max_regression = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-regression `{v}`"))?;
+            }
+            "--out" => out = Some(args.next().ok_or("--out needs a value")?),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [instr_path, base_path] = positional.as_slice() else {
+        return Err("compare needs exactly two result files".to_string());
+    };
+    let instrumented = load(instr_path)?;
+    let baseline = load(base_path)?;
+    if baseline.min_s <= 0.0 {
+        return Err("baseline min wall time is not positive".to_string());
+    }
+    let overhead = instrumented.min_s / baseline.min_s - 1.0;
+    let pass = overhead <= max_regression;
+    let cmp = Comparison {
+        instrumented,
+        baseline,
+        overhead,
+        max_regression,
+        pass,
+    };
+    let json = serde_json::to_string_pretty(&cmp).map_err(|e| e.to_string())?;
+    write_or_print(out.as_deref(), &json)?;
+    eprintln!(
+        "obs overhead: {:+.2}% (limit {:.2}%) — {}",
+        cmp.overhead * 100.0,
+        cmp.max_regression * 100.0,
+        if cmp.pass { "ok" } else { "REGRESSION" },
+    );
+    Ok(pass)
+}
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
+    let outcome = match raw.next().as_deref() {
+        Some("run") => cmd_run(raw).map(|()| true),
+        Some("compare") => cmd_compare(raw),
+        _ => Err("missing subcommand".to_string()),
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -18,14 +18,23 @@
 //! panic-isolated: failures land in `repro_out/manifest.json` and the
 //! exit code, not in the other jobs. Output goes to stdout plus
 //! `repro_out/<id>.{txt,json}`; `--out DIR` redirects the whole tree.
+//!
+//! `--telemetry[=DIR]` turns on `swarm-obs` recording for the run: each
+//! job writes `telemetry.jsonl` and a `metrics.json` summary under
+//! `DIR/<id>/` (default `DIR` is `<out>/telemetry`), the manifest
+//! carries per-job metric summaries, and the run ends with a rendered
+//! telemetry table on stdout. `--quiet` (or `SWARM_LOG=warn`) silences
+//! progress logging without touching the machine-readable output.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use swarm_bench::{lab, EXPERIMENTS};
 use swarm_lab::{CacheMode, JobSpec, RunConfig};
+use swarm_obs::{log_error, Level};
 
 const USAGE: &str = "usage: repro <list|all|EXPERIMENT...> \
-[--quick] [--jobs N] [--force] [--no-cache] [--out DIR] [--dry-run]";
+[--quick] [--jobs N] [--force] [--no-cache] [--out DIR] [--dry-run] \
+[--quiet] [--telemetry[=DIR]]";
 
 struct Args {
     ids: Vec<String>,
@@ -34,6 +43,9 @@ struct Args {
     force: bool,
     no_cache: bool,
     dry_run: bool,
+    quiet: bool,
+    /// `Some(empty path)` means "default location under --out".
+    telemetry: Option<PathBuf>,
     jobs: Option<usize>,
     out: PathBuf,
 }
@@ -46,6 +58,8 @@ fn parse(raw: Vec<String>) -> Result<Args, String> {
         force: false,
         no_cache: false,
         dry_run: false,
+        quiet: false,
+        telemetry: None,
         jobs: None,
         out: PathBuf::from("repro_out"),
     };
@@ -67,6 +81,13 @@ fn parse(raw: Vec<String>) -> Result<Args, String> {
             "--force" => args.force = true,
             "--no-cache" => args.no_cache = true,
             "--dry-run" => args.dry_run = true,
+            "--quiet" => args.quiet = true,
+            // Bare `--telemetry` takes no operand (the next word could
+            // be an experiment id); an explicit dir uses `=`.
+            "--telemetry" => args.telemetry = Some(PathBuf::new()),
+            s if s.starts_with("--telemetry=") => {
+                args.telemetry = Some(PathBuf::from(flag_value("--telemetry", s, &mut it)?));
+            }
             s if s == "--jobs" || s.starts_with("--jobs=") => {
                 let v = flag_value("--jobs", s, &mut it)?;
                 let n: usize = v
@@ -116,11 +137,14 @@ fn main() -> ExitCode {
     let args = match parse(raw) {
         Ok(args) => args,
         Err(e) => {
-            eprintln!("error: {e}");
+            log_error!("repro", "{e}");
             eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
+    if args.quiet {
+        swarm_obs::set_log_level(Level::Warn);
+    }
     if wants_help {
         eprintln!("{USAGE}");
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
@@ -147,7 +171,7 @@ fn main() -> ExitCode {
         match lab::job_spec(id, args.quick) {
             Some(spec) => specs.push(spec),
             None => {
-                eprintln!("unknown experiment: {id}");
+                log_error!("repro", "unknown experiment: {id}");
                 eprintln!("experiments: {}", EXPERIMENTS.join(", "));
                 return ExitCode::from(2);
             }
@@ -174,6 +198,13 @@ fn main() -> ExitCode {
         },
         progress: true,
         echo_text: true,
+        telemetry: args.telemetry.as_ref().map(|dir| {
+            if dir.as_os_str().is_empty() {
+                args.out.join("telemetry")
+            } else {
+                dir.clone()
+            }
+        }),
         ..RunConfig::new(args.out.clone())
     };
 
@@ -202,7 +233,20 @@ fn main() -> ExitCode {
 
     match swarm_lab::run(&specs, &cfg) {
         Ok(report) => {
+            // The scheduler saved the manifest before returning, so by
+            // the time anything below prints the run record is already
+            // durable. All final reporting happens under one console
+            // guard (raw writes, not the log macros — `log` takes the
+            // same lock) so late worker output cannot interleave with
+            // it.
+            let _io = swarm_obs::console();
             let m = &report.manifest;
+            if let Some(table) = &report.telemetry_report {
+                if let Some(dir) = &report.telemetry_dir {
+                    println!("telemetry ({}):", dir.display());
+                }
+                println!("{table}");
+            }
             eprintln!(
                 "[{} job(s) in {:.1} s — {} ok, {} failed, {} cache hit(s); manifest: {}]",
                 m.jobs.len(),
@@ -226,7 +270,7 @@ fn main() -> ExitCode {
             }
         }
         Err(e) => {
-            eprintln!("error: could not write run manifest: {e}");
+            log_error!("repro", "could not write run manifest: {e}");
             ExitCode::FAILURE
         }
     }

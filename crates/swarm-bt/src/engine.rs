@@ -48,6 +48,58 @@ const FLASH_WINDOW: u64 = 5;
 /// Ticks a per-connection piece request survives without receiving data
 /// before it times out and the piece becomes fetchable elsewhere.
 const REQUEST_TIMEOUT: u64 = 60;
+/// Tick-duration sampling stride: with telemetry on, one tick in this
+/// many gets an `Instant` pair around it. Sampling keeps the clock-read
+/// cost off the common tick (a tick is ~5-10 µs; two clock reads are
+/// ~100 ns, so 1-in-16 sampling holds the timing overhead under 0.2%).
+const TICK_SAMPLE: u64 = 16;
+
+/// Cached `swarm-obs` handles for the engine's probes, resolved once at
+/// engine construction *iff* recording is enabled — so the per-tick cost
+/// while disabled is a single `Option` check, and while enabled it is a
+/// handful of relaxed atomic stores. None of this touches the RNG: the
+/// instrumented engine is tick-for-tick identical to the bare one (the
+/// golden-trace test runs with probes live).
+struct BtProbes {
+    ticks: &'static swarm_obs::Counter,
+    bytes: &'static swarm_obs::Counter,
+    arrivals: &'static swarm_obs::Counter,
+    completions: &'static swarm_obs::Counter,
+    rechokes: &'static swarm_obs::Counter,
+    unchoke_churn: &'static swarm_obs::Counter,
+    blocked_ticks: &'static swarm_obs::Counter,
+    avail_transitions: &'static swarm_obs::Counter,
+    online: &'static swarm_obs::Gauge,
+    blocked: &'static swarm_obs::Gauge,
+    covered: &'static swarm_obs::Gauge,
+    min_rep: &'static swarm_obs::Gauge,
+    unchoke_pairs: &'static swarm_obs::Gauge,
+    tick_ns: &'static swarm_obs::Histogram,
+}
+
+impl BtProbes {
+    fn get() -> Option<BtProbes> {
+        if !swarm_obs::enabled() {
+            return None;
+        }
+        Some(BtProbes {
+            ticks: swarm_obs::counter("bt.ticks"),
+            bytes: swarm_obs::counter("bt.bytes_moved"),
+            arrivals: swarm_obs::counter("bt.arrivals"),
+            completions: swarm_obs::counter("bt.completions"),
+            rechokes: swarm_obs::counter("bt.rechoke.count"),
+            unchoke_churn: swarm_obs::counter("bt.rechoke.churn"),
+            blocked_ticks: swarm_obs::counter("bt.leechers.blocked_ticks"),
+            avail_transitions: swarm_obs::counter("bt.availability.transitions"),
+            online: swarm_obs::gauge("bt.peers.online"),
+            blocked: swarm_obs::gauge("bt.leechers.blocked"),
+            covered: swarm_obs::gauge("bt.pieces.covered"),
+            min_rep: swarm_obs::gauge("bt.pieces.min_replication"),
+            unchoke_pairs: swarm_obs::gauge("bt.unchoke.pairs"),
+            tick_ns: swarm_obs::histogram("bt.tick_ns"),
+        })
+    }
+}
 
 /// Incrementally maintained per-piece replication state over *online,
 /// non-publisher* peers — the population whose bitfield union defines
@@ -201,12 +253,14 @@ pub fn run_with_inspector(
     mut inspect: impl FnMut(u64, &[(u64, usize, f64, bool)]),
 ) -> BtResult {
     cfg.validate();
+    let _span = swarm_obs::span("bt.run");
     let mut engine = BtEngine::new(cfg);
     let hard_end = cfg.horizon + cfg.drain_ticks;
     for tick in 0..hard_end {
         if tick >= cfg.horizon && !engine.any_leecher_online() {
             break;
         }
+        let t0 = engine.tick_clock(tick);
         engine.publisher_transitions(tick);
         if tick < cfg.horizon {
             engine.arrivals(tick);
@@ -225,6 +279,7 @@ pub fn run_with_inspector(
         engine.transfer_round(tick);
         engine.linger_expiry(tick);
         engine.availability_check(tick);
+        engine.record_tick_metrics(t0);
         if tick % 60 == 0 {
             let snapshot: Vec<(u64, usize, f64, bool)> = engine
                 .nodes
@@ -291,6 +346,23 @@ struct BtEngine<'c> {
     score: Vec<f64>,
     score_stamp: Vec<u64>,
     score_gen: u64,
+    // --- observability (see `BtProbes`) ---------------------------------
+    /// Cached metric handles; `None` while recording is disabled.
+    probes: Option<BtProbes>,
+    /// Online non-publisher peers (incremental; includes lingering seeds).
+    online_nonpub: usize,
+    /// Online peers that completed and are lingering as seeds.
+    lingering_online: usize,
+    /// Bytes moved / distinct receivers in the current tick (written by
+    /// `transfer_round`, read by `record_tick_metrics`).
+    tick_bytes: f64,
+    tick_receivers: usize,
+    /// Availability latch for sparse transition events.
+    last_available: Option<bool>,
+    /// Sorted `(uploader << 32) | downloader` unchoke pairs from the
+    /// previous rechoke, for churn accounting (probes-gated).
+    unchoke_pairs_prev: Vec<u64>,
+    unchoke_pairs_cur: Vec<u64>,
 }
 
 impl<'c> BtEngine<'c> {
@@ -361,10 +433,19 @@ impl<'c> BtEngine<'c> {
             score: Vec::new(),
             score_stamp: Vec::new(),
             score_gen: 0,
+            probes: BtProbes::get(),
+            online_nonpub: 0,
+            lingering_online: 0,
+            tick_bytes: 0.0,
+            tick_receivers: 0,
+            last_available: None,
+            unchoke_pairs_prev: Vec::new(),
+            unchoke_pairs_cur: Vec::new(),
         }
     }
 
     fn run(mut self) -> BtResult {
+        let _span = swarm_obs::span("bt.run");
         let hard_end = self.cfg.horizon + self.cfg.drain_ticks;
         for tick in 0..hard_end {
             // Past the horizon we only drain: no new arrivals, and once no
@@ -372,6 +453,7 @@ impl<'c> BtEngine<'c> {
             if tick >= self.cfg.horizon && !self.any_leecher_online() {
                 break;
             }
+            let t0 = self.tick_clock(tick);
             self.publisher_transitions(tick);
             if tick < self.cfg.horizon {
                 self.arrivals(tick);
@@ -390,8 +472,81 @@ impl<'c> BtEngine<'c> {
             self.transfer_round(tick);
             self.linger_expiry(tick);
             self.availability_check(tick);
+            self.record_tick_metrics(t0);
         }
         self.finalize()
+    }
+
+    // --- observability ---------------------------------------------------
+
+    /// Start the per-tick clock on sampled ticks. `None` when probes are
+    /// off or the tick is unsampled, so the common path reads no clock.
+    #[inline]
+    fn tick_clock(&self, tick: u64) -> Option<std::time::Instant> {
+        if self.probes.is_some() && tick.is_multiple_of(TICK_SAMPLE) {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Publish the per-tick gauges/counters. A no-op (one branch) while
+    /// recording is disabled.
+    #[inline]
+    fn record_tick_metrics(&self, t0: Option<std::time::Instant>) {
+        let Some(p) = &self.probes else { return };
+        p.ticks.inc();
+        p.bytes.add(self.tick_bytes.round() as u64);
+        let publisher_on = usize::from(self.nodes[PUBLISHER].online);
+        p.online.set((self.online_nonpub + publisher_on) as i64);
+        p.covered.set(self.rep.covered as i64);
+        p.min_rep.set(self.rep.min_replication() as i64);
+        // Blocked leechers: online, not yet complete, received nothing
+        // this tick. Completions mid-tick can make receivers exceed the
+        // end-of-tick leecher count, hence the saturation.
+        let leechers = self.online_nonpub - self.lingering_online;
+        let blocked = leechers.saturating_sub(self.tick_receivers);
+        p.blocked.set(blocked as i64);
+        p.blocked_ticks.add(blocked as u64);
+        if let Some(t0) = t0 {
+            p.tick_ns.record_duration(t0.elapsed());
+        }
+    }
+
+    /// Unchoke-set churn accounting, called from `rechoke` only while
+    /// probes are live: counts `(uploader, downloader)` pairs absent
+    /// from the previous unchoke table.
+    fn record_rechoke_metrics(&mut self) {
+        let mut cur = std::mem::take(&mut self.unchoke_pairs_cur);
+        cur.clear();
+        for i in 0..self.unchoked_from.len() {
+            let u = (self.unchoked_from[i] as u64) << 32;
+            for &d in &self.unchoked_flat[self.unchoked_off[i]..self.unchoked_off[i + 1]] {
+                cur.push(u | d as u64);
+            }
+        }
+        cur.sort_unstable();
+        let prev = &self.unchoke_pairs_prev;
+        let (mut i, mut j) = (0, 0);
+        let mut fresh = 0u64;
+        while i < cur.len() {
+            if j >= prev.len() || cur[i] < prev[j] {
+                fresh += 1;
+                i += 1;
+            } else if cur[i] == prev[j] {
+                i += 1;
+                j += 1;
+            } else {
+                j += 1;
+            }
+        }
+        std::mem::swap(&mut self.unchoke_pairs_prev, &mut cur);
+        self.unchoke_pairs_cur = cur;
+        if let Some(p) = &self.probes {
+            p.rechokes.inc();
+            p.unchoke_churn.add(fresh);
+            p.unchoke_pairs.set(self.unchoke_pairs_prev.len() as i64);
+        }
     }
 
     // --- membership -----------------------------------------------------
@@ -480,6 +635,10 @@ impl<'c> BtEngine<'c> {
                 assigned: Vec::new(),
             });
             let id = self.nodes.len() - 1;
+            self.online_nonpub += 1;
+            if let Some(p) = &self.probes {
+                p.arrivals.inc();
+            }
             self.tracker_join(id);
         }
     }
@@ -654,6 +813,9 @@ impl<'c> BtEngine<'c> {
         }
         self.unchoked_off.push(self.unchoked_flat.len());
         self.scratch_interested = interested;
+        if self.probes.is_some() {
+            self.record_rechoke_metrics();
+        }
     }
 
     /// Expire per-connection requests that have not received data within
@@ -705,6 +867,7 @@ impl<'c> BtEngine<'c> {
         let mut newly_complete = std::mem::take(&mut self.scratch_complete);
         newly_complete.clear();
         let mut bytes_moved = 0.0;
+        let mut receivers = 0usize;
         for &(u, d, rate) in &allocations {
             if !self.nodes[d].active() || self.nodes[d].is_seed() {
                 continue;
@@ -730,6 +893,7 @@ impl<'c> BtEngine<'c> {
                 if nd.recv_tick != tick {
                     nd.recv_tick = tick;
                     nd.received_this_tick = 0.0;
+                    receivers += 1;
                 }
                 nd.received_this_tick += bytes;
                 match nd.recv_cur.iter_mut().find(|e| e.0 == u) {
@@ -749,6 +913,8 @@ impl<'c> BtEngine<'c> {
             }
         }
         self.scratch_alloc = allocations;
+        self.tick_bytes = bytes_moved;
+        self.tick_receivers = receivers;
 
         if self.cfg.record_timeline {
             self.result.aggregate_rate_curve.push((tick, bytes_moved));
@@ -927,6 +1093,9 @@ impl<'c> BtEngine<'c> {
         let done_at = tick + 1; // completion lands at the end of this tick
         self.nodes[d].completed = Some(done_at);
         self.completions_total += 1;
+        if let Some(p) = &self.probes {
+            p.completions.inc();
+        }
         self.result
             .completion_curve
             .push((done_at, self.completions_total));
@@ -948,16 +1117,19 @@ impl<'c> BtEngine<'c> {
             Some(mean) => {
                 let linger = exp_sample(&mut self.rng, mean).ceil() as u64;
                 self.nodes[d].linger_until = Some(done_at + linger.max(1));
+                self.lingering_online += 1;
             }
             None => {
                 self.nodes[d].online = false;
                 self.nodes[d].departed = Some(done_at);
                 self.rep.drop_holder(&self.nodes[d].bitfield);
+                self.online_nonpub -= 1;
             }
         }
     }
 
     fn linger_expiry(&mut self, tick: u64) {
+        let mut expired = 0usize;
         for n in &mut self.nodes {
             if n.online && !n.is_publisher {
                 if let Some(until) = n.linger_until {
@@ -965,10 +1137,13 @@ impl<'c> BtEngine<'c> {
                         n.online = false;
                         n.departed = Some(tick);
                         self.rep.drop_holder(&n.bitfield);
+                        expired += 1;
                     }
                 }
             }
         }
+        self.online_nonpub -= expired;
+        self.lingering_online -= expired;
     }
 
     fn availability_check(&mut self, tick: u64) {
@@ -991,6 +1166,28 @@ impl<'c> BtEngine<'c> {
             self.check_index_consistency();
         }
         let available = self.nodes[PUBLISHER].online || peer_coverage == self.num_pieces;
+        if let Some(p) = &self.probes {
+            // Sparse event stream: one event per availability transition
+            // (plus the initial state), not one per tick.
+            if self.last_available != Some(available) {
+                if self.last_available.is_some() {
+                    p.avail_transitions.inc();
+                }
+                self.last_available = Some(available);
+                swarm_obs::emit(
+                    "bt.availability",
+                    &[
+                        ("tick", swarm_obs::val(tick)),
+                        ("available", swarm_obs::val(available)),
+                        ("covered", swarm_obs::val(peer_coverage as u64)),
+                        (
+                            "min_replication",
+                            swarm_obs::val(self.rep.min_replication() as u64),
+                        ),
+                    ],
+                );
+            }
+        }
         if available {
             // The availability fraction is defined over the arrival
             // window; drain ticks keep the latch for last_available_tick
@@ -1026,6 +1223,20 @@ impl<'c> BtEngine<'c> {
         for n in &self.nodes {
             debug_assert_eq!(n.num_held, n.bitfield.count(), "held-piece cache drifted");
         }
+        assert_eq!(
+            self.online_nonpub,
+            self.nodes.iter().skip(1).filter(|n| n.online).count(),
+            "online-peer count drifted"
+        );
+        assert_eq!(
+            self.lingering_online,
+            self.nodes
+                .iter()
+                .skip(1)
+                .filter(|n| n.online && n.is_seed())
+                .count(),
+            "lingering-seed count drifted"
+        );
     }
 
     fn finalize(mut self) -> BtResult {
@@ -1104,6 +1315,32 @@ mod tests {
         let a = serde_json::to_string(&run(&cfg)).expect("serialize");
         let b = serde_json::to_string(&run(&cfg)).expect("serialize");
         assert_eq!(a, b, "same seed must produce a byte-identical trace");
+    }
+
+    #[test]
+    fn telemetry_probes_do_not_perturb_results() {
+        // The instrumented engine must be tick-for-tick identical to the
+        // bare one: probes never touch the RNG stream. Compare the full
+        // serialized trace with recording off vs. on, and check the
+        // probes actually recorded something while enabled.
+        let cfg = BtConfig {
+            record_timeline: true,
+            horizon: 400,
+            drain_ticks: 200,
+            linger_mean: Some(60.0),
+            ..BtConfig::paper_section_4_3(2, 7)
+        };
+        let bare = serde_json::to_string(&run(&cfg)).expect("serialize");
+        swarm_obs::set_enabled(true);
+        let ticks_before = swarm_obs::counter("bt.ticks").get();
+        let instrumented = serde_json::to_string(&run(&cfg)).expect("serialize");
+        let ticks_after = swarm_obs::counter("bt.ticks").get();
+        swarm_obs::set_enabled(false);
+        assert_eq!(bare, instrumented, "probes must not change the trace");
+        assert!(
+            ticks_after > ticks_before,
+            "tick counter advanced while enabled"
+        );
     }
 
     proptest! {

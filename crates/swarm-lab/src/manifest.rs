@@ -46,6 +46,31 @@ pub struct ArtifactRecord {
     pub digest: String,
 }
 
+/// Per-job telemetry summary recorded in the manifest: thread-budget
+/// pressure attributed to the job's worker thread, and how many sink
+/// events the job emitted (0 unless the run collected telemetry).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Peak concurrent threads the job held: its own worker thread plus
+    /// the largest single extra-thread lease it obtained.
+    pub budget_peak_leases: usize,
+    /// Total milliseconds the job's lease calls spent waiting on the
+    /// budget lock.
+    pub budget_wait_ms: f64,
+    /// Telemetry events drained into the job's `telemetry.jsonl`.
+    pub telemetry_events: u64,
+}
+
+impl Default for JobMetrics {
+    fn default() -> Self {
+        JobMetrics {
+            budget_peak_leases: 1,
+            budget_wait_ms: 0.0,
+            telemetry_events: 0,
+        }
+    }
+}
+
 /// Everything the orchestrator knows about one job after the run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {
@@ -67,6 +92,8 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Artifacts written (empty for failed jobs).
     pub artifacts: Vec<ArtifactRecord>,
+    /// Telemetry summary (budget pressure, event counts).
+    pub metrics: JobMetrics,
 }
 
 /// The full record of one orchestrated run.
@@ -152,6 +179,11 @@ mod tests {
                         bytes: 42,
                         digest: "00ff".to_string(),
                     }],
+                    metrics: JobMetrics {
+                        budget_peak_leases: 4,
+                        budget_wait_ms: 0.25,
+                        telemetry_events: 17,
+                    },
                 },
                 JobRecord {
                     id: "fig2".to_string(),
@@ -163,6 +195,7 @@ mod tests {
                     threads_hint: 1,
                     error: Some("panicked: boom".to_string()),
                     artifacts: vec![],
+                    metrics: JobMetrics::default(),
                 },
             ],
         }

@@ -15,14 +15,27 @@
 //! manifest entry with the panic message, and every other job still
 //! runs to completion. Artifact-write failures are likewise per-job
 //! failures, not run aborts.
+//!
+//! When [`RunConfig::telemetry`] names a directory the scheduler turns
+//! `swarm_obs` recording on for the duration of the run: every job
+//! executes inside a [`swarm_obs::job_scope`] and a `lab.job` span, its
+//! structured events are drained to `<dir>/<id>/telemetry.jsonl` next
+//! to a `metrics.json` summary, and the run finishes with a global
+//! `telemetry.jsonl`, a registry-delta `metrics.json` and a rendered
+//! `report.txt`. Progress output goes through the `swarm_obs` leveled
+//! logger (so `SWARM_LOG=warn` silences it) and shares its console
+//! lock, which keeps multi-line job text echoes from interleaving with
+//! progress lines.
 
 use crate::cache::{fingerprint64, CacheKey, ResultCache};
 use crate::job::{JobOutput, JobSpec};
-use crate::manifest::{ArtifactRecord, CacheDisposition, JobRecord, JobStatus, Manifest};
+use crate::manifest::{
+    ArtifactRecord, CacheDisposition, JobMetrics, JobRecord, JobStatus, Manifest,
+};
 use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Once};
 use std::time::Instant;
 use swarm_stats::parallel::{self, ThreadBudget};
@@ -60,6 +73,9 @@ pub struct RunConfig {
     pub progress: bool,
     /// Print each job's rendered text to stdout as it completes.
     pub echo_text: bool,
+    /// When set, enable `swarm_obs` recording for the run and write
+    /// per-job and run-level telemetry under this directory.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -78,6 +94,7 @@ impl RunConfig {
             salt: crate::cache::code_salt(),
             progress: false,
             echo_text: false,
+            telemetry: None,
         }
     }
 }
@@ -89,6 +106,10 @@ pub struct RunReport {
     pub manifest: Manifest,
     /// Where the manifest was written.
     pub manifest_path: PathBuf,
+    /// Directory telemetry was written under, when collected.
+    pub telemetry_dir: Option<PathBuf>,
+    /// Rendered end-of-run telemetry table, when collected.
+    pub telemetry_report: Option<String>,
 }
 
 impl RunReport {
@@ -136,6 +157,13 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
     let started = Instant::now();
     let _quiet = QuietPanics::engage();
 
+    let prev_enabled = swarm_obs::enabled();
+    if cfg.telemetry.is_some() {
+        swarm_obs::set_enabled(true);
+    }
+    let metrics_base = swarm_obs::snapshot();
+    let run_span = swarm_obs::span("lab.run");
+
     // Longest first (LPT); ties broken by id so the dispatch order is
     // deterministic.
     let mut order: Vec<usize> = (0..jobs.len()).collect();
@@ -157,16 +185,16 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
     let cache = ResultCache::new(cfg.out_dir.join(".cache"));
     let next = AtomicUsize::new(0);
     let finished = AtomicUsize::new(0);
+    let busy_ns = AtomicU64::new(0);
     let records: Vec<Mutex<Option<JobRecord>>> =
         (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-    let console = Mutex::new(());
 
     std::thread::scope(|scope| {
         for own in own_permits {
             let next = &next;
             let finished = &finished;
             let records = &records;
-            let console = &console;
+            let busy_ns = &busy_ns;
             let order = &order;
             let cache = &cache;
             scope.spawn(move || {
@@ -176,38 +204,88 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
                     if k >= order.len() {
                         break;
                     }
+                    if swarm_obs::enabled() {
+                        let pending = order.len().saturating_sub(k + 1);
+                        swarm_obs::gauge("lab.queue.depth").set(pending as i64);
+                    }
                     let idx = order[k];
                     let spec = &jobs[idx];
                     if cfg.progress {
-                        let _io = console.lock().expect("console lock");
-                        eprintln!("[start   ] {} (est {:.1} s)", spec.id, spec.cost_hint);
+                        swarm_obs::log_info!(
+                            "lab",
+                            "start {} (est {:.1} s)",
+                            spec.id,
+                            spec.cost_hint
+                        );
                     }
-                    let (record, text) = run_one(spec, cfg, cache, started);
-                    let n_done = finished.fetch_add(1, Ordering::Relaxed) + 1;
-                    {
-                        let _io = console.lock().expect("console lock");
-                        if cfg.echo_text {
-                            if let Some(text) = text {
-                                println!("{text}");
-                            }
+                    parallel::reset_lease_stats();
+                    let job_t0 = Instant::now();
+                    // The span must drop before the job scope so its
+                    // closing event still carries the job tag, and both
+                    // must drop before the drain below.
+                    let (mut record, text) = {
+                        let _job = swarm_obs::job_scope(&spec.id);
+                        let _span = swarm_obs::span_labeled("lab.job", &spec.id);
+                        run_one(spec, cfg, cache, started)
+                    };
+                    busy_ns.fetch_add(job_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let ls = parallel::lease_stats();
+                    record.metrics = JobMetrics {
+                        budget_peak_leases: 1 + ls.max_granted,
+                        budget_wait_ms: ls.wait_ns as f64 / 1e6,
+                        telemetry_events: 0,
+                    };
+                    if swarm_obs::enabled() {
+                        match record.cache {
+                            CacheDisposition::Hit => swarm_obs::counter("lab.cache.hit").inc(),
+                            _ => swarm_obs::counter("lab.cache.miss").inc(),
                         }
-                        if cfg.progress {
-                            let status = match record.status {
-                                JobStatus::Ok => "ok",
-                                JobStatus::Failed => "FAILED",
-                            };
-                            let cache_str = match record.cache {
-                                CacheDisposition::Hit => "hit",
-                                CacheDisposition::Miss => "miss",
-                                CacheDisposition::Refresh => "refresh",
-                                CacheDisposition::Off => "off",
-                            };
-                            eprintln!(
-                                "[{n_done:>3}/{:<3}] {:<20} {status:<6} {:>7.2} s  cache={cache_str}",
+                    }
+                    if let Some(tdir) = cfg.telemetry.as_deref() {
+                        let events = swarm_obs::drain_job(&spec.id);
+                        record.metrics.telemetry_events = events.len() as u64;
+                        if let Err(e) =
+                            write_job_telemetry(tdir, &spec.id, &events, &record.metrics)
+                        {
+                            swarm_obs::log_warn!(
+                                "lab",
+                                "could not write telemetry for {}: {e}",
+                                spec.id
+                            );
+                        }
+                    }
+                    let n_done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                    if cfg.echo_text {
+                        if let Some(text) = text {
+                            // Hold the shared console lock so the
+                            // multi-line block is not interleaved with
+                            // progress lines from other workers.
+                            let _io = swarm_obs::console();
+                            println!("{text}");
+                        }
+                    }
+                    if cfg.progress {
+                        let cache_str = match record.cache {
+                            CacheDisposition::Hit => "hit",
+                            CacheDisposition::Miss => "miss",
+                            CacheDisposition::Refresh => "refresh",
+                            CacheDisposition::Off => "off",
+                        };
+                        match record.status {
+                            JobStatus::Ok => swarm_obs::log_info!(
+                                "lab",
+                                "[{n_done:>3}/{:<3}] {:<20} ok      {:>7.2} s  cache={cache_str}",
                                 order.len(),
                                 record.id,
                                 record.wall_s,
-                            );
+                            ),
+                            JobStatus::Failed => swarm_obs::log_warn!(
+                                "lab",
+                                "[{n_done:>3}/{:<3}] {:<20} FAILED  {:>7.2} s  cache={cache_str}",
+                                order.len(),
+                                record.id,
+                                record.wall_s,
+                            ),
                         }
                     }
                     *records[idx].lock().expect("record slot") = Some(record);
@@ -217,6 +295,16 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
     });
 
     parallel::set_global_budget(prev_budget);
+    drop(run_span);
+
+    if swarm_obs::enabled() {
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let busy = busy_ns.load(Ordering::Relaxed);
+        let capacity = wall_ns.saturating_mul(workers as u64);
+        swarm_obs::counter("lab.workers.busy_ns").add(busy);
+        swarm_obs::counter("lab.workers.idle_ns").add(capacity.saturating_sub(busy));
+        swarm_obs::gauge("lab.budget.peak_leased").set_max(budget.peak_leased() as i64);
+    }
 
     let manifest = Manifest {
         swarm_lab_version: env!("CARGO_PKG_VERSION").to_string(),
@@ -236,10 +324,58 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
     };
     let manifest_path = cfg.out_dir.join("manifest.json");
     manifest.save(&manifest_path)?;
+
+    // The manifest is on disk before any end-of-run reporting happens.
+    let mut telemetry_report = None;
+    if let Some(tdir) = cfg.telemetry.as_deref() {
+        let delta = swarm_obs::snapshot().delta_since(&metrics_base);
+        let report = swarm_obs::render_report(&delta);
+        if let Err(e) = write_run_telemetry(tdir, &delta, &report) {
+            swarm_obs::log_warn!("lab", "could not write run telemetry: {e}");
+        }
+        telemetry_report = Some(report);
+        swarm_obs::set_enabled(prev_enabled);
+    }
+
     Ok(RunReport {
         manifest,
         manifest_path,
+        telemetry_dir: cfg.telemetry.clone(),
+        telemetry_report,
     })
+}
+
+/// Write one job's drained events and metrics summary under
+/// `<dir>/<id>/`.
+fn write_job_telemetry(
+    dir: &Path,
+    id: &str,
+    events: &[swarm_obs::Event],
+    metrics: &JobMetrics,
+) -> io::Result<()> {
+    let job_dir = dir.join(id);
+    std::fs::create_dir_all(&job_dir)?;
+    std::fs::write(job_dir.join("telemetry.jsonl"), swarm_obs::to_jsonl(events))?;
+    let mut map = serde_json::Map::new();
+    map.insert("id".to_string(), swarm_obs::val(id));
+    map.insert(
+        "metrics".to_string(),
+        serde_json::to_value(metrics).map_err(io::Error::other)?,
+    );
+    let json =
+        serde_json::to_string_pretty(&serde_json::Value::Object(map)).map_err(io::Error::other)?;
+    std::fs::write(job_dir.join("metrics.json"), json)
+}
+
+/// Write the run-level residual event stream, metrics delta and
+/// rendered report under `dir`.
+fn write_run_telemetry(dir: &Path, delta: &swarm_obs::Snapshot, report: &str) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let events = swarm_obs::drain_all();
+    std::fs::write(dir.join("telemetry.jsonl"), swarm_obs::to_jsonl(&events))?;
+    let json = serde_json::to_string_pretty(delta).map_err(io::Error::other)?;
+    std::fs::write(dir.join("metrics.json"), json)?;
+    std::fs::write(dir.join("report.txt"), report)
 }
 
 /// Run (or replay) one job and build its manifest record. Never
@@ -276,7 +412,7 @@ fn run_one(
                 let computed_fresh = disposition != CacheDisposition::Hit;
                 if computed_fresh && cfg.cache != CacheMode::Off {
                     if let Err(e) = cache.store(&key, &out) {
-                        eprintln!("warning: could not cache {}: {e}", spec.id);
+                        swarm_obs::log_warn!("lab", "could not cache {}: {e}", spec.id);
                     }
                 }
                 (JobStatus::Ok, None, written, Some(out.text))
@@ -301,6 +437,7 @@ fn run_one(
         threads_hint: spec.threads_hint,
         error,
         artifacts,
+        metrics: JobMetrics::default(),
     };
     (record, text)
 }

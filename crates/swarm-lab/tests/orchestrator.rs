@@ -281,3 +281,58 @@ fn artifact_write_failure_fails_the_job_not_the_run() {
     assert!(!report.all_ok());
     let _ = std::fs::remove_dir_all(&out);
 }
+
+#[test]
+fn telemetry_run_writes_per_job_and_run_level_artifacts() {
+    let out = temp_out("telemetry");
+    let tdir = out.join("telemetry");
+    let cfg = RunConfig {
+        cache: CacheMode::Off,
+        telemetry: Some(tdir.clone()),
+        ..base_config(out.clone())
+    };
+    let runs = Arc::new(AtomicUsize::new(0));
+    // Unique ids: other tests in this binary run concurrently and the
+    // event ring is process-wide, so shared ids could cross-drain.
+    let jobs = vec![counting_job("tele1", &runs), counting_job("tele2", &runs)];
+    let report = run(&jobs, &cfg).expect("telemetry run");
+    assert!(report.all_ok());
+
+    for id in ["tele1", "tele2"] {
+        let raw = std::fs::read_to_string(tdir.join(id).join("telemetry.jsonl"))
+            .expect("per-job telemetry.jsonl");
+        let events = swarm_obs::parse_jsonl(&raw).expect("jsonl parses");
+        assert!(
+            events.iter().any(|e| e.kind == "span"
+                && e.fields
+                    .iter()
+                    .any(|(k, v)| k == "name" && v == &swarm_obs::val("lab.job"))),
+            "{id} telemetry carries its lab.job span"
+        );
+        assert!(events.iter().all(|e| e.job.as_deref() == Some(id)));
+        assert!(tdir.join(id).join("metrics.json").exists());
+        let rec = report
+            .manifest
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .expect("in manifest");
+        assert_eq!(rec.metrics.telemetry_events, events.len() as u64);
+        assert!(rec.metrics.telemetry_events >= 1);
+        assert!(rec.metrics.budget_peak_leases >= 1);
+    }
+
+    assert!(tdir.join("telemetry.jsonl").exists());
+    assert!(tdir.join("metrics.json").exists());
+    let report_txt = std::fs::read_to_string(tdir.join("report.txt")).expect("report.txt");
+    assert!(report_txt.contains("lab.job"), "report names the job span");
+    assert_eq!(
+        report.telemetry_report.as_deref(),
+        Some(report_txt.as_str())
+    );
+
+    // The manifest on disk round-trips the new metrics fields.
+    let loaded = Manifest::load(&report.manifest_path).expect("manifest readable");
+    assert_eq!(loaded, report.manifest);
+    let _ = std::fs::remove_dir_all(&out);
+}

@@ -1,0 +1,405 @@
+//! Process-wide metrics registry: atomic counters and gauges, lock-free
+//! fixed-bucket histograms, and serializable snapshots.
+//!
+//! Handles are `&'static` — [`counter`]/[`gauge`]/[`histogram`] intern
+//! the name once (a short registry-lock critical section) and hand back
+//! a leaked reference, so hot paths can cache the handle and mutate it
+//! with nothing but relaxed atomics. All mutating operations are gated
+//! on [`crate::enabled`] internally; callers need no `cfg` of their own.
+//!
+//! # Naming scheme
+//!
+//! `<crate>.<subsystem>.<metric>`, e.g. `bt.pieces.covered`,
+//! `stats.budget.lease_wait_ns`, `lab.cache.hit`. Span histograms are
+//! registered by [`crate::span`] under `span.<name>`. Units go in the
+//! name suffix (`_ns`, `_ms`, `_bytes`) — there is no unit metadata.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Monotonic `u64` counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge (with a `set_max` high-water helper).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    #[inline(always)]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline(always)]
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if above the current value (high-water mark).
+    #[inline(always)]
+    pub fn set_max(&self, v: i64) {
+        if crate::enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: one zero bucket plus one per power of two of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Index of the bucket holding `v`: 0 for 0, else `ilog2(v) + 1`.
+/// Bucket `i >= 1` spans `[2^(i-1), 2^i - 1]`.
+#[inline(always)]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Lock-free histogram over power-of-two buckets. Coarse (one bucket
+/// per binary order of magnitude) but allocation-free and mergeable;
+/// quantiles come back as bucket bounds, which is plenty for latency
+/// tails and distribution shape.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline(always)]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline(always)]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Owned, serializable copy of a [`Histogram`]. Also usable as a plain
+/// single-threaded histogram via [`HistogramSnapshot::record`] (tests,
+/// offline merging).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn new() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Non-atomic record, for building histograms outside the registry.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Inclusive value range of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HIST_BUCKETS);
+        if i == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (i - 1);
+            let hi = if i == 64 { u64::MAX } else { (1u64 << i) - 1 };
+            (lo, hi)
+        }
+    }
+
+    /// Add `other`'s observations into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.buckets.len(), other.buckets.len());
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Observations recorded since `base` (which must be an earlier
+    /// snapshot of the same histogram).
+    pub fn delta_since(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.saturating_sub(base.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&base.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `(lo, hi)` bounds of the bucket holding the `q`-quantile
+    /// observation (nearest-rank), or `None` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum > rank {
+                return Some(Self::bucket_bounds(i));
+            }
+        }
+        // Unreachable when counts are consistent; be forgiving if a
+        // racy snapshot undercounted buckets relative to `count`.
+        Some(Self::bucket_bounds(HIST_BUCKETS - 1))
+    }
+
+    /// Upper bound of the `q`-quantile bucket, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// Upper bound of the highest non-empty bucket (coarse max).
+    pub fn max_bound(&self) -> Option<u64> {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(|i| Self::bucket_bounds(i).1)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn intern<T>(map: &Mutex<BTreeMap<String, &'static T>>, name: &str, make: fn() -> T) -> &'static T {
+    let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(v) = map.get(name) {
+        return v;
+    }
+    let v: &'static T = Box::leak(Box::new(make()));
+    map.insert(name.to_string(), v);
+    v
+}
+
+/// The counter registered under `name` (created on first use). Cache
+/// the handle outside hot loops — interning takes the registry lock.
+pub fn counter(name: &str) -> &'static Counter {
+    intern(&registry().counters, name, Counter::new)
+}
+
+/// The gauge registered under `name` (created on first use).
+pub fn gauge(name: &str) -> &'static Gauge {
+    intern(&registry().gauges, name, Gauge::new)
+}
+
+/// The histogram registered under `name` (created on first use).
+pub fn histogram(name: &str) -> &'static Histogram {
+    intern(&registry().histograms, name, Histogram::new)
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Snapshot the whole registry (counters, gauges, histograms).
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let counters = {
+        let map = reg.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+    };
+    let gauges = {
+        let map = reg.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, g)| (k.clone(), g.get())).collect()
+    };
+    let histograms = {
+        let map = reg.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect()
+    };
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+impl Snapshot {
+    /// Activity between `base` (earlier) and `self` (later): counters
+    /// and histograms are subtracted; gauges keep their latest value.
+    /// Metrics absent from `base` appear with their full value.
+    pub fn delta_since(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                (
+                    k.clone(),
+                    v.saturating_sub(base.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let d = match base.histograms.get(k) {
+                    Some(b) => h.delta_since(b),
+                    None => h.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Counter value by name, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..HIST_BUCKETS {
+            let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let mut h = HistogramSnapshot::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p0 sits in the bucket of 1, p100 in the bucket of 100.
+        let (lo, _) = h.quantile_bounds(0.0).unwrap();
+        assert_eq!(lo, 1);
+        let (lo, hi) = h.quantile_bounds(1.0).unwrap();
+        assert!(lo <= 100 && 100 <= hi);
+        assert_eq!(h.max_bound(), Some(127));
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert!(HistogramSnapshot::new().quantile(0.5).is_none());
+    }
+}

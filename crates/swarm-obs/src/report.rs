@@ -1,0 +1,174 @@
+//! End-of-run text rendering of a metrics [`Snapshot`] delta: top spans
+//! by total wall time, counter deltas, gauge values and histogram
+//! quantiles. The output is a human-oriented table; machine consumers
+//! should read the JSON snapshot instead.
+
+use crate::metrics::{HistogramSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+/// Format a nanosecond quantity as a human duration.
+pub fn fmt_duration_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{:.1}M", v as f64 / 1e6)
+    } else if v >= 10_000 {
+        format!("{:.1}k", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+/// True when a histogram's observations are nanoseconds (span timings
+/// and any metric named with a `_ns` suffix) and should render as
+/// durations.
+fn is_duration_hist(name: &str) -> bool {
+    name.starts_with("span.") || name.ends_with("_ns")
+}
+
+/// Render the standard end-of-run telemetry table from a snapshot
+/// delta (see [`Snapshot::delta_since`]). Sections with no data are
+/// omitted; an entirely empty delta renders a single placeholder line.
+pub fn render_report(delta: &Snapshot) -> String {
+    let mut out = String::new();
+
+    // --- Top spans by total wall time -------------------------------
+    let mut spans: Vec<(&str, &HistogramSnapshot)> = delta
+        .histograms
+        .iter()
+        .filter(|(k, h)| k.starts_with("span.") && !h.is_empty())
+        .map(|(k, h)| (k.as_str(), h))
+        .collect();
+    spans.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then(a.0.cmp(b.0)));
+    if !spans.is_empty() {
+        out.push_str("top spans by total wall time\n");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12}",
+            "span", "count", "total", "mean"
+        );
+        for (name, h) in spans.iter().take(12) {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12}",
+                name.trim_start_matches("span."),
+                fmt_count(h.count),
+                fmt_duration_ns(h.sum),
+                fmt_duration_ns(h.mean() as u64),
+            );
+        }
+    }
+
+    // --- Counter deltas --------------------------------------------
+    let counters: Vec<(&str, u64)> = delta
+        .counters
+        .iter()
+        .filter(|(_, &v)| v > 0)
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    if !counters.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("counters\n");
+        for (name, v) in &counters {
+            let shown = if name.ends_with("_ns") {
+                fmt_duration_ns(*v)
+            } else {
+                fmt_count(*v)
+            };
+            let _ = writeln!(out, "  {name:<36} {shown:>12}");
+        }
+    }
+
+    // --- Gauges (latest values) ------------------------------------
+    let gauges: Vec<(&str, i64)> = delta
+        .gauges
+        .iter()
+        .filter(|(_, &v)| v != 0)
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    if !gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("gauges (latest)\n");
+        for (name, v) in &gauges {
+            let _ = writeln!(out, "  {name:<36} {v:>12}");
+        }
+    }
+
+    // --- Histogram quantiles (non-span) ----------------------------
+    let hists: Vec<(&str, &HistogramSnapshot)> = delta
+        .histograms
+        .iter()
+        .filter(|(k, h)| !k.starts_with("span.") && !h.is_empty())
+        .map(|(k, h)| (k.as_str(), h))
+        .collect();
+    if !hists.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("histogram quantiles (bucket upper bounds)\n");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &hists {
+            let q = |p: f64| h.quantile(p).unwrap_or(0);
+            let f = |v: u64| {
+                if is_duration_hist(name) {
+                    fmt_duration_ns(v)
+                } else {
+                    fmt_count(v)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                fmt_count(h.count),
+                f(q(0.50)),
+                f(q(0.90)),
+                f(q(0.99)),
+                f(h.max_bound().unwrap_or(0)),
+            );
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("no telemetry recorded\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration_ns(512), "512 ns");
+        assert_eq!(fmt_duration_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_duration_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_duration_ns(3_200_000_000), "3.20 s");
+    }
+
+    #[test]
+    fn empty_delta_renders_placeholder() {
+        let s = render_report(&Snapshot::default());
+        assert!(s.contains("no telemetry recorded"));
+    }
+}

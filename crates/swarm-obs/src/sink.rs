@@ -1,0 +1,208 @@
+//! Structured-event sink: a per-process flight recorder.
+//!
+//! [`emit`] appends an [`Event`] to a bounded in-memory ring (default
+//! 65 536 events; oldest dropped first, with a drop count). Events are
+//! stamped with a sequence number, microseconds since the recorder
+//! started, and the current job label from [`crate::span::job_scope`],
+//! so an orchestrator can [`drain_job`] each job's events into its own
+//! `telemetry.jsonl` and [`drain_all`] the rest at end of run.
+//!
+//! Serialization is JSONL — one `serde_json` object per line — and
+//! round-trips through [`parse_jsonl`].
+
+use serde_json::{Map, Value};
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One structured event. `fields` preserves emission order in memory;
+/// the JSON form nests them under `"fields"` (sorted by key — the
+/// vendored `serde_json::Map` is a `BTreeMap`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Sequence number over the whole process run (drops leave gaps in
+    /// the ring but `seq` stays contiguous at emission).
+    pub seq: u64,
+    /// Microseconds since the recorder first started.
+    pub ts_us: u64,
+    /// Event kind, e.g. `"span"`, `"log"`, `"mc.progress"`.
+    pub kind: String,
+    /// Job label active on the emitting thread, if any.
+    pub job: Option<String>,
+    pub fields: Vec<(String, Value)>,
+}
+
+/// Serialize any `serde::Serialize` value into a JSON [`Value`] for an
+/// event field. The vendored `to_value` cannot fail for these types.
+pub fn val<T: serde::Serialize>(v: T) -> Value {
+    serde_json::to_value(&v).expect("vendored to_value is infallible")
+}
+
+impl Event {
+    pub fn to_value(&self) -> Value {
+        let mut obj = Map::new();
+        obj.insert("seq".to_string(), val(self.seq));
+        obj.insert("ts_us".to_string(), val(self.ts_us));
+        obj.insert("kind".to_string(), val(&self.kind));
+        if let Some(job) = &self.job {
+            obj.insert("job".to_string(), val(job));
+        }
+        let mut fields = Map::new();
+        for (k, v) in &self.fields {
+            fields.insert(k.clone(), v.clone());
+        }
+        obj.insert("fields".to_string(), Value::Object(fields));
+        Value::Object(obj)
+    }
+
+    /// Parse back what [`Event::to_value`] produced. Field order comes
+    /// back sorted by key.
+    pub fn from_value(v: &Value) -> Option<Event> {
+        let obj = v.as_object()?;
+        Some(Event {
+            seq: obj.get("seq")?.as_u64()?,
+            ts_us: obj.get("ts_us")?.as_u64()?,
+            kind: obj.get("kind")?.as_str()?.to_string(),
+            job: match obj.get("job") {
+                Some(j) => Some(j.as_str()?.to_string()),
+                None => None,
+            },
+            fields: obj
+                .get("fields")?
+                .as_object()?
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        })
+    }
+
+    pub fn to_jsonl_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("value serializes")
+    }
+
+    /// A copy with `fields` sorted by key, the canonical order JSONL
+    /// round-trips produce.
+    pub fn sorted_fields(&self) -> Event {
+        let mut e = self.clone();
+        e.fields.sort_by(|a, b| a.0.cmp(&b.0));
+        e
+    }
+}
+
+/// Render events as JSONL (one JSON object per line, trailing newline).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_jsonl_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse JSONL produced by [`to_jsonl`]; blank lines are skipped.
+pub fn parse_jsonl(s: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(Event::from_value(&v).ok_or_else(|| format!("line {}: not an event", i + 1))?);
+    }
+    Ok(events)
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    cap: usize,
+    total: u64,
+    dropped: u64,
+}
+
+struct Recorder {
+    start: Instant,
+    ring: Mutex<Ring>,
+}
+
+fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        start: Instant::now(),
+        ring: Mutex::new(Ring {
+            buf: VecDeque::new(),
+            cap: 65_536,
+            total: 0,
+            dropped: 0,
+        }),
+    })
+}
+
+/// Append an event to the flight recorder (no-op unless
+/// [`crate::enabled`]). `fields` are copied; keep them small.
+pub fn emit(kind: &str, fields: &[(&str, Value)]) {
+    if !crate::enabled() {
+        return;
+    }
+    let rec = recorder();
+    let ts_us = rec.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let job = crate::span::current_job();
+    let mut ring = rec.ring.lock().unwrap_or_else(|e| e.into_inner());
+    let seq = ring.total;
+    ring.total += 1;
+    if ring.buf.len() >= ring.cap {
+        ring.buf.pop_front();
+        ring.dropped += 1;
+    }
+    ring.buf.push_back(Event {
+        seq,
+        ts_us,
+        kind: kind.to_string(),
+        job,
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    });
+}
+
+/// Resize the ring (oldest events beyond the new capacity are dropped).
+pub fn set_ring_capacity(cap: usize) {
+    let mut ring = recorder().ring.lock().unwrap_or_else(|e| e.into_inner());
+    ring.cap = cap.max(1);
+    while ring.buf.len() > ring.cap {
+        ring.buf.pop_front();
+        ring.dropped += 1;
+    }
+}
+
+/// Events evicted from the ring since process start.
+pub fn dropped_events() -> u64 {
+    recorder()
+        .ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .dropped
+}
+
+/// Remove and return the events tagged with job label `label`,
+/// preserving emission order. Other events stay in the ring.
+pub fn drain_job(label: &str) -> Vec<Event> {
+    let mut ring = recorder().ring.lock().unwrap_or_else(|e| e.into_inner());
+    let mut taken = Vec::new();
+    let mut kept = VecDeque::with_capacity(ring.buf.len());
+    for e in ring.buf.drain(..) {
+        if e.job.as_deref() == Some(label) {
+            taken.push(e);
+        } else {
+            kept.push_back(e);
+        }
+    }
+    ring.buf = kept;
+    taken
+}
+
+/// Remove and return every buffered event, preserving emission order.
+pub fn drain_all() -> Vec<Event> {
+    let mut ring = recorder().ring.lock().unwrap_or_else(|e| e.into_inner());
+    ring.buf.drain(..).collect()
+}

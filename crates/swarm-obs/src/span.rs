@@ -1,0 +1,140 @@
+//! RAII span timers with nesting, and the per-thread job label that
+//! partitions sink events between jobs.
+//!
+//! [`span`] starts a timer and pushes the span onto a thread-local
+//! stack; dropping the guard pops it, records the duration into the
+//! `span.<name>` histogram (nanoseconds) and emits a `"span"` event
+//! carrying `{name, id, parent, dur_us}` — `parent` is the id of the
+//! enclosing span on the same thread (0 at top level), so a drained
+//! event stream reconstructs the call tree.
+//!
+//! When recording is disabled the constructors return an inert guard:
+//! no clock read, no allocation, no TLS write.
+
+use crate::{metrics, sink};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static JOB: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Live span guard; records and emits on drop. Create with [`span`] or
+/// [`span_labeled`].
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    label: Option<String>,
+    id: u64,
+    parent: u64,
+    start: Option<Instant>,
+}
+
+/// Start a span named `name` (histogram key `span.<name>`).
+pub fn span(name: &'static str) -> Span {
+    span_inner(name, None)
+}
+
+/// Start a span with an instance label (e.g. the job or experiment id)
+/// that is attached to the emitted `"span"` event.
+pub fn span_labeled(name: &'static str, label: impl Into<String>) -> Span {
+    span_inner(name, Some(label.into()))
+}
+
+fn span_inner(name: &'static str, label: Option<String>) -> Span {
+    if !crate::enabled() {
+        return Span {
+            name,
+            label: None,
+            id: 0,
+            parent: 0,
+            start: None,
+        };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied().unwrap_or(0);
+        s.push(id);
+        parent
+    });
+    Span {
+        name,
+        label,
+        id,
+        parent,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Span {
+    /// This span's id (0 when recording was disabled at creation).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Id of the enclosing span on this thread, 0 at top level.
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.last() == Some(&self.id) {
+                s.pop();
+            } else {
+                // Out-of-order drop (spans moved across an early
+                // return); remove ours wherever it is.
+                s.retain(|&x| x != self.id);
+            }
+        });
+        metrics::histogram(&format!("span.{}", self.name)).record_duration(dur);
+        let mut fields = vec![
+            ("name", sink::val(self.name)),
+            ("id", sink::val(self.id)),
+            ("parent", sink::val(self.parent)),
+            ("dur_us", sink::val(dur.as_secs_f64() * 1e6)),
+        ];
+        if let Some(label) = &self.label {
+            fields.push(("label", sink::val(label)));
+        }
+        sink::emit("span", &fields);
+    }
+}
+
+/// Guard installing `label` as this thread's job label; restores the
+/// previous label on drop. See [`job_scope`].
+#[derive(Debug)]
+pub struct JobScope {
+    prev: Option<String>,
+}
+
+/// Tag everything emitted from this thread (until the guard drops) with
+/// a job label, so an orchestrator can split the flight recorder per
+/// job with [`crate::sink::drain_job`]. Nesting restores the outer
+/// label. Works even while recording is disabled (the label is cheap
+/// and orthogonal to the metrics switch).
+pub fn job_scope(label: impl Into<String>) -> JobScope {
+    let prev = JOB.with(|j| j.borrow_mut().replace(label.into()));
+    JobScope { prev }
+}
+
+/// The job label installed on this thread, if any.
+pub fn current_job() -> Option<String> {
+    JOB.with(|j| j.borrow().clone())
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        JOB.with(|j| *j.borrow_mut() = self.prev.take());
+    }
+}

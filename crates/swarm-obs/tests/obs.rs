@@ -1,0 +1,296 @@
+//! Integration tests for the observability substrate: exact concurrent
+//! counting, histogram merge/quantile properties, span nesting, and
+//! JSONL round-trips through `serde_json`.
+//!
+//! The registry, sink and enable switch are process-wide and the test
+//! harness runs tests on multiple threads, so every test uses its own
+//! metric names / job labels, and tests that drain the sink or toggle
+//! the switch serialize on a shared lock.
+
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use swarm_obs::{metrics, sink, span};
+
+/// Tests that toggle `set_enabled` or drain non-job events share this
+/// lock; `enabled` is restored on drop even if the test panics.
+fn obs_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct Enabled {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Enabled {
+    fn new() -> Self {
+        let guard = obs_guard();
+        swarm_obs::set_enabled(true);
+        Enabled { _guard: guard }
+    }
+}
+
+impl Drop for Enabled {
+    fn drop(&mut self) {
+        swarm_obs::set_enabled(false);
+    }
+}
+
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    let _on = Enabled::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let c = metrics::counter("test.concurrent.sum");
+    let before = c.get();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get() - before, THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn disabled_probes_record_nothing() {
+    let _guard = obs_guard();
+    swarm_obs::set_enabled(false);
+    let c = metrics::counter("test.disabled.counter");
+    let h = metrics::histogram("test.disabled.hist");
+    let g = metrics::gauge("test.disabled.gauge");
+    c.add(7);
+    h.record(9);
+    g.set(3);
+    sink::emit("test.disabled", &[]);
+    assert_eq!(c.get(), 0);
+    assert!(h.snapshot().is_empty());
+    assert_eq!(g.get(), 0);
+    // A span created while disabled is inert: id 0, no histogram entry.
+    let sp = span::span("test_disabled_span");
+    assert_eq!(sp.id(), 0);
+    drop(sp);
+    assert!(metrics::histogram("span.test_disabled_span")
+        .snapshot()
+        .is_empty());
+}
+
+#[test]
+fn gauge_set_max_is_a_high_water_mark() {
+    let _on = Enabled::new();
+    let g = metrics::gauge("test.gauge.peak");
+    g.set(5);
+    g.set_max(3);
+    assert_eq!(g.get(), 5);
+    g.set_max(11);
+    assert_eq!(g.get(), 11);
+}
+
+#[test]
+fn span_nesting_produces_well_formed_parent_child_records() {
+    let _on = Enabled::new();
+    let _job = span::job_scope("span-nest-test");
+    {
+        let outer = span::span("nest_outer");
+        assert_eq!(outer.parent(), 0);
+        {
+            let inner = span::span("nest_inner");
+            assert_eq!(inner.parent(), outer.id());
+            let innermost = span::span("nest_innermost");
+            assert_eq!(innermost.parent(), inner.id());
+        }
+        // Sibling after the nested pair closed: parent is `outer` again.
+        let sibling = span::span("nest_sibling");
+        assert_eq!(sibling.parent(), outer.id());
+    }
+    let events = sink::drain_job("span-nest-test");
+    let spans: Vec<_> = events.iter().filter(|e| e.kind == "span").collect();
+    assert_eq!(spans.len(), 4, "four spans closed: {events:?}");
+    let field = |e: &sink::Event, k: &str| {
+        e.fields
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    // Spans arrive in drop order: innermost, inner, sibling, outer.
+    let names: Vec<String> = spans
+        .iter()
+        .map(|e| field(e, "name").as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(
+        names,
+        ["nest_innermost", "nest_inner", "nest_sibling", "nest_outer"]
+    );
+    let id_of = |name: &str| {
+        spans
+            .iter()
+            .find(|e| field(e, "name").as_str().unwrap() == name)
+            .map(|e| field(e, "id").as_u64().unwrap())
+            .unwrap()
+    };
+    let parent_of = |name: &str| {
+        spans
+            .iter()
+            .find(|e| field(e, "name").as_str().unwrap() == name)
+            .map(|e| field(e, "parent").as_u64().unwrap())
+            .unwrap()
+    };
+    assert_eq!(parent_of("nest_outer"), 0);
+    assert_eq!(parent_of("nest_inner"), id_of("nest_outer"));
+    assert_eq!(parent_of("nest_innermost"), id_of("nest_inner"));
+    assert_eq!(parent_of("nest_sibling"), id_of("nest_outer"));
+    for name in ["nest_outer", "nest_inner", "nest_innermost"] {
+        assert!(
+            !metrics::histogram(&format!("span.{name}"))
+                .snapshot()
+                .is_empty(),
+            "span.{name} histogram recorded"
+        );
+    }
+}
+
+#[test]
+fn job_scope_nests_and_restores() {
+    assert_eq!(span::current_job(), None);
+    {
+        let _a = span::job_scope("outer-job");
+        assert_eq!(span::current_job().as_deref(), Some("outer-job"));
+        {
+            let _b = span::job_scope("inner-job");
+            assert_eq!(span::current_job().as_deref(), Some("inner-job"));
+        }
+        assert_eq!(span::current_job().as_deref(), Some("outer-job"));
+    }
+    assert_eq!(span::current_job(), None);
+}
+
+#[test]
+fn sink_round_trips_through_serde_json() {
+    let _on = Enabled::new();
+    let _job = span::job_scope("jsonl-roundtrip-test");
+    sink::emit(
+        "test.kinds",
+        &[
+            ("int", sink::val(42u64)),
+            ("neg", sink::val(-7i64)),
+            ("float", sink::val(1.5f64)),
+            ("text", sink::val("hello \"quoted\" \\ world")),
+            ("flag", sink::val(true)),
+            ("list", sink::val(vec![1u64, 2, 3])),
+        ],
+    );
+    sink::emit("test.empty", &[]);
+    let events = sink::drain_job("jsonl-roundtrip-test");
+    assert_eq!(events.len(), 2);
+    let jsonl = sink::to_jsonl(&events);
+    assert_eq!(jsonl.lines().count(), 2);
+    let parsed = sink::parse_jsonl(&jsonl).expect("round-trip parses");
+    let canonical: Vec<_> = events.iter().map(|e| e.sorted_fields()).collect();
+    assert_eq!(parsed, canonical, "JSONL round-trip preserves events");
+    assert_eq!(parsed[0].job.as_deref(), Some("jsonl-roundtrip-test"));
+    assert_eq!(
+        parsed[0]
+            .fields
+            .iter()
+            .find(|(k, _)| k == "text")
+            .and_then(|(_, v)| v.as_str().map(String::from)),
+        Some("hello \"quoted\" \\ world".to_string())
+    );
+}
+
+#[test]
+fn ring_drops_oldest_and_counts_drops() {
+    let _on = Enabled::new();
+    // Shrink, fill past capacity, then restore the default capacity.
+    sink::set_ring_capacity(8);
+    let before_drops = sink::dropped_events();
+    let _job = span::job_scope("ring-test");
+    for i in 0..20u64 {
+        sink::emit("test.ring", &[("i", sink::val(i))]);
+    }
+    let events = sink::drain_job("ring-test");
+    sink::set_ring_capacity(65_536);
+    assert!(events.len() <= 8, "ring bounded: {}", events.len());
+    assert!(sink::dropped_events() > before_drops);
+    // Survivors are the newest events, in order.
+    let is: Vec<u64> = events
+        .iter()
+        .map(|e| e.fields[0].1.as_u64().unwrap())
+        .collect();
+    let expect: Vec<u64> = (20 - is.len() as u64..20).collect();
+    assert_eq!(is, expect);
+}
+
+#[test]
+fn snapshot_delta_subtracts_counters_and_histograms() {
+    let _on = Enabled::new();
+    let c = metrics::counter("test.delta.counter");
+    let h = metrics::histogram("test.delta.hist");
+    c.add(3);
+    h.record(10);
+    let base = metrics::snapshot();
+    c.add(4);
+    h.record(20);
+    h.record(30);
+    let now = metrics::snapshot();
+    let delta = now.delta_since(&base);
+    assert_eq!(delta.counter("test.delta.counter"), 4);
+    let dh = &delta.histograms["test.delta.hist"];
+    assert_eq!(dh.count, 2);
+    assert_eq!(dh.sum, 50);
+}
+
+#[test]
+fn snapshot_serializes_and_deserializes() {
+    let _on = Enabled::new();
+    metrics::counter("test.serde.counter").add(5);
+    metrics::gauge("test.serde.gauge").set(-3);
+    metrics::histogram("test.serde.hist").record(1000);
+    let snap = metrics::snapshot();
+    let json = serde_json::to_string_pretty(&snap).expect("serializes");
+    let back: metrics::Snapshot = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back, snap);
+}
+
+proptest! {
+    /// Merging two histograms is equivalent to recording the
+    /// concatenated observations, and quantile bounds always contain
+    /// the true nearest-rank quantile of the raw data.
+    #[test]
+    fn histogram_merge_and_quantile_agree_with_raw_data(
+        xs in prop::collection::vec(0u64..1u64 << 40, 1..200),
+        ys in prop::collection::vec(0u64..1u64 << 40, 0..200),
+        q in 0.0f64..1.0f64,
+    ) {
+        let mut hx = metrics::HistogramSnapshot::new();
+        for &v in &xs { hx.record(v); }
+        let mut hy = metrics::HistogramSnapshot::new();
+        for &v in &ys { hy.record(v); }
+        let mut merged = hx.clone();
+        merged.merge(&hy);
+
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        let mut direct = metrics::HistogramSnapshot::new();
+        for &v in &all { direct.record(v); }
+        prop_assert_eq!(&merged, &direct);
+        prop_assert_eq!(merged.count as usize, all.len());
+        prop_assert_eq!(merged.sum, all.iter().sum::<u64>());
+
+        // Nearest-rank quantile of the raw data lands inside the
+        // reported bucket bounds.
+        all.sort_unstable();
+        let rank = (q * (all.len() - 1) as f64).round() as usize;
+        let true_q = all[rank];
+        let (lo, hi) = merged.quantile_bounds(q).unwrap();
+        prop_assert!(lo <= true_q && true_q <= hi,
+            "quantile {} of raw data {} outside bucket [{}, {}]", q, true_q, lo, hi);
+    }
+}

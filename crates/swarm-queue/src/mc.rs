@@ -116,6 +116,12 @@ pub fn simulate_busy_period<R: rand::Rng>(cfg: &McConfig, rng: &mut R) -> McBusy
 }
 
 /// Mean busy period and mean customers served over `reps` replications.
+///
+/// With telemetry enabled the kernel reports its throughput and
+/// convergence: counters `mc.reps` / `mc.served`, and ~8 `"mc.progress"`
+/// events per call carrying samples/sec and the running 95% CI
+/// half-width of the mean busy period. The instrumentation reads the
+/// per-replication sums it keeps anyway and never touches the RNG.
 pub fn mean_busy_period<R: rand::Rng>(
     cfg: &McConfig,
     reps: usize,
@@ -123,9 +129,14 @@ pub fn mean_busy_period<R: rand::Rng>(
     rng: &mut R,
 ) -> (f64, f64) {
     assert!(reps > 0, "need at least one replication");
+    let _span = swarm_obs::span("mc.mean_busy_period");
+    let obs = swarm_obs::enabled();
+    let t0 = obs.then(std::time::Instant::now);
+    let progress_every = (reps / 8).max(1);
     let mut sum_len = 0.0;
+    let mut sum_len_sq = 0.0;
     let mut sum_served = 0.0;
-    for _ in 0..reps {
+    for i in 0..reps {
         let initial = resample_initial(rng);
         let one = McConfig {
             beta: cfg.beta,
@@ -136,7 +147,35 @@ pub fn mean_busy_period<R: rand::Rng>(
         };
         let r = simulate_busy_period(&one, rng);
         sum_len += r.length;
+        sum_len_sq += r.length * r.length;
         sum_served += r.served as f64;
+        if obs && (i + 1) % progress_every == 0 {
+            let done = (i + 1) as f64;
+            let mean = sum_len / done;
+            // Unbiased sample variance → 95% CI half-width of the mean.
+            let half_width = if done > 1.0 {
+                let var = (sum_len_sq - done * mean * mean) / (done - 1.0);
+                1.96 * (var.max(0.0) / done).sqrt()
+            } else {
+                f64::INFINITY
+            };
+            let elapsed = t0.expect("clock started when obs on").elapsed();
+            let rate = done / elapsed.as_secs_f64().max(1e-9);
+            swarm_obs::emit(
+                "mc.progress",
+                &[
+                    ("done", swarm_obs::val((i + 1) as u64)),
+                    ("reps", swarm_obs::val(reps as u64)),
+                    ("mean", swarm_obs::val(mean)),
+                    ("ci_half_width", swarm_obs::val(half_width)),
+                    ("samples_per_sec", swarm_obs::val(rate)),
+                ],
+            );
+        }
+    }
+    if obs {
+        swarm_obs::counter("mc.reps").add(reps as u64);
+        swarm_obs::counter("mc.served").add(sum_served as u64);
     }
     (sum_len / reps as f64, sum_served / reps as f64)
 }

@@ -109,6 +109,33 @@ pub(crate) fn run_with_arrivals(config: &SimConfig, arrivals: Option<&[f64]>) ->
     Engine::new(config, arrivals).run()
 }
 
+/// Cached `swarm-obs` handles, resolved once at engine construction iff
+/// recording is enabled; the event loop then pays one `Option` check per
+/// probe site. Probes never touch the RNG or the event heap, so results
+/// are identical with recording on or off.
+struct SimProbes {
+    events: &'static swarm_obs::Counter,
+    arrivals: &'static swarm_obs::Counter,
+    completions: &'static swarm_obs::Counter,
+    avail_transitions: &'static swarm_obs::Counter,
+    busy_ms: &'static swarm_obs::Histogram,
+}
+
+impl SimProbes {
+    fn get() -> Option<SimProbes> {
+        if !swarm_obs::enabled() {
+            return None;
+        }
+        Some(SimProbes {
+            events: swarm_obs::counter("sim.events"),
+            arrivals: swarm_obs::counter("sim.arrivals"),
+            completions: swarm_obs::counter("sim.completions"),
+            avail_transitions: swarm_obs::counter("sim.availability.transitions"),
+            busy_ms: swarm_obs::histogram("sim.busy_period_ms"),
+        })
+    }
+}
+
 struct Engine<'c> {
     cfg: &'c SimConfig,
     /// Trace-driven arrivals: remaining times to replay (ascending). When
@@ -131,6 +158,7 @@ struct Engine<'c> {
     /// UntilFirstCompletion mode: publisher already left for good.
     publisher_retired: bool,
     timeline: Timeline,
+    probes: Option<SimProbes>,
 }
 
 impl<'c> Engine<'c> {
@@ -154,6 +182,7 @@ impl<'c> Engine<'c> {
             completions_total: 0,
             publisher_retired: false,
             timeline: Timeline::new(),
+            probes: SimProbes::get(),
         };
         // Prime arrivals and the publisher process.
         e.schedule_next_arrival();
@@ -282,6 +311,14 @@ impl<'c> Engine<'c> {
             return;
         }
         self.available = avail;
+        if let Some(p) = &self.probes {
+            p.avail_transitions.inc();
+            if !avail {
+                // Busy-period length in model milliseconds.
+                let len_ms = (self.now - self.availability_started) * 1e3;
+                p.busy_ms.record(len_ms.max(0.0) as u64);
+            }
+        }
         self.uptime
             .set(self.now.clamp(self.cfg.warmup, self.cfg.horizon), avail);
         if avail {
@@ -368,6 +405,9 @@ impl<'c> Engine<'c> {
         self.record_interval(peer_idx, EntityState::Active);
         let now = self.now;
         self.completions_total += 1;
+        if let Some(p) = &self.probes {
+            p.completions.inc();
+        }
         self.result
             .completion_curve
             .push((now, self.completions_total));
@@ -447,6 +487,7 @@ impl<'c> Engine<'c> {
     }
 
     fn run(mut self) -> SimResult {
+        let _span = swarm_obs::span("sim.run");
         let horizon = self.cfg.horizon;
         loop {
             let next_event_time = self
@@ -483,6 +524,9 @@ impl<'c> Engine<'c> {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
+        if let Some(p) = &self.probes {
+            p.events.inc();
+        }
         match kind {
             EventKind::PeerArrival => {
                 self.schedule_next_arrival();
@@ -567,6 +611,9 @@ impl<'c> Engine<'c> {
     }
 
     fn peer_arrives(&mut self) {
+        if let Some(p) = &self.probes {
+            p.arrivals.inc();
+        }
         let counted = self.now >= self.cfg.warmup;
         if counted {
             self.result.arrivals += 1;

@@ -23,8 +23,61 @@
 //! when the budget is exhausted. Because `run_indexed` is deterministic
 //! in its thread count, the clamping never changes results.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Per-thread tally of [`ThreadBudget::try_lease`] activity since the
+/// last [`reset_lease_stats`]. Orchestrators reset before a job and
+/// read with [`lease_stats`] after it to attribute budget pressure to
+/// the job that ran on this thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Number of `try_lease` calls.
+    pub calls: u64,
+    /// Total permits requested across calls.
+    pub requested: u64,
+    /// Total permits actually granted.
+    pub granted: u64,
+    /// Requested minus granted, summed (contention indicator).
+    pub shortfall: u64,
+    /// Largest single grant (peak extra threads a call obtained).
+    pub max_granted: usize,
+    /// Nanoseconds spent waiting on the budget lock.
+    pub wait_ns: u64,
+}
+
+impl LeaseStats {
+    const ZERO: LeaseStats = LeaseStats {
+        calls: 0,
+        requested: 0,
+        granted: 0,
+        shortfall: 0,
+        max_granted: 0,
+        wait_ns: 0,
+    };
+}
+
+impl Default for LeaseStats {
+    fn default() -> Self {
+        LeaseStats::ZERO
+    }
+}
+
+thread_local! {
+    static LEASE_STATS: RefCell<LeaseStats> = const { RefCell::new(LeaseStats::ZERO) };
+}
+
+/// Zero this thread's [`LeaseStats`].
+pub fn reset_lease_stats() {
+    LEASE_STATS.with(|s| *s.borrow_mut() = LeaseStats::ZERO);
+}
+
+/// This thread's [`LeaseStats`] accumulated since the last reset.
+pub fn lease_stats() -> LeaseStats {
+    LEASE_STATS.with(|s| *s.borrow())
+}
 
 /// A process-wide budget of compute threads, shared by every
 /// [`run_indexed`] call while installed via [`set_global_budget`].
@@ -39,6 +92,7 @@ use std::sync::{mpsc, Arc, Mutex};
 pub struct ThreadBudget {
     total: usize,
     available: Mutex<usize>,
+    peak_leased: AtomicUsize,
 }
 
 impl ThreadBudget {
@@ -48,6 +102,7 @@ impl ThreadBudget {
         ThreadBudget {
             total,
             available: Mutex::new(total),
+            peak_leased: AtomicUsize::new(0),
         }
     }
 
@@ -61,14 +116,42 @@ impl ThreadBudget {
         *self.available.lock().expect("budget lock")
     }
 
+    /// High-water mark of simultaneously leased permits over this
+    /// budget's lifetime.
+    pub fn peak_leased(&self) -> usize {
+        self.peak_leased.load(Ordering::Relaxed)
+    }
+
     /// Grant up to `want` permits without blocking. The grant may be
     /// smaller than `want` — including empty — when the budget is
     /// (nearly) exhausted; callers fall back to running on the thread
     /// they already own.
     pub fn try_lease(self: &Arc<Self>, want: usize) -> Lease {
+        let t0 = Instant::now();
         let mut avail = self.available.lock().expect("budget lock");
+        let wait = t0.elapsed();
         let granted = want.min(*avail);
         *avail -= granted;
+        let in_use = self.total - *avail;
+        drop(avail);
+        self.peak_leased.fetch_max(in_use, Ordering::Relaxed);
+        let wait_ns = wait.as_nanos().min(u64::MAX as u128) as u64;
+        LEASE_STATS.with(|s| {
+            let mut s = s.borrow_mut();
+            s.calls += 1;
+            s.requested += want as u64;
+            s.granted += granted as u64;
+            s.shortfall += (want - granted) as u64;
+            s.max_granted = s.max_granted.max(granted);
+            s.wait_ns += wait_ns;
+        });
+        if swarm_obs::enabled() {
+            swarm_obs::counter("stats.budget.leases").inc();
+            swarm_obs::counter("stats.budget.granted").add(granted as u64);
+            swarm_obs::counter("stats.budget.shortfall").add((want - granted) as u64);
+            swarm_obs::counter("stats.budget.lease_wait_ns").add(wait_ns);
+            swarm_obs::gauge("stats.budget.in_use").set_max(in_use as i64);
+        }
         Lease {
             budget: Arc::clone(self),
             granted,
@@ -225,5 +308,25 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn rejects_zero_budget() {
         ThreadBudget::new(0);
+    }
+
+    #[test]
+    fn lease_stats_track_grants_and_peak() {
+        reset_lease_stats();
+        let budget = Arc::new(ThreadBudget::new(4));
+        let a = budget.try_lease(3);
+        let b = budget.try_lease(3);
+        assert_eq!(budget.peak_leased(), 4, "3 then 1 more leased");
+        drop(a);
+        drop(b);
+        assert_eq!(budget.peak_leased(), 4, "peak survives returns");
+        let s = lease_stats();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.requested, 6);
+        assert_eq!(s.granted, 4);
+        assert_eq!(s.shortfall, 2);
+        assert_eq!(s.max_granted, 3);
+        reset_lease_stats();
+        assert_eq!(lease_stats(), LeaseStats::default());
     }
 }
