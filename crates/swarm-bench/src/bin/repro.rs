@@ -25,6 +25,17 @@
 //! carries per-job metric summaries, and the run ends with a rendered
 //! telemetry table on stdout. `--quiet` (or `SWARM_LOG=warn`) silences
 //! progress logging without touching the machine-readable output.
+//!
+//! Two offline subcommands analyze what a telemetry run wrote
+//! (implemented in `swarm-trace`):
+//!
+//! ```text
+//! repro trace <TELEMETRY_DIR>     # availability timelines, busy
+//!                                 # periods vs the closed-form model,
+//!                                 # collapsed-stack profile
+//! repro diff A B                  # regression-gate two runs' metrics
+//! repro diff --baseline F RUN     # ... or a run against a baseline
+//! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,7 +45,10 @@ use swarm_obs::{log_error, Level};
 
 const USAGE: &str = "usage: repro <list|all|EXPERIMENT...> \
 [--quick] [--jobs N] [--force] [--no-cache] [--out DIR] [--dry-run] \
-[--quiet] [--telemetry[=DIR]]";
+[--quiet] [--telemetry[=DIR]]
+       repro trace <TELEMETRY_DIR> [--flame PATH] [--width N]
+       repro diff <A> <B> [--max-rel R] [--metric NAME=R]
+       repro diff --baseline FILE <RUN> [--write-baseline]";
 
 struct Args {
     ids: Vec<String>,
@@ -133,6 +147,13 @@ fn inject_panic_spec() -> JobSpec {
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Offline analysis subcommands route straight into swarm-trace;
+    // they take no orchestrator flags.
+    match raw.first().map(String::as_str) {
+        Some("trace") => return ExitCode::from(swarm_trace::cli::trace_main(&raw[1..]) as u8),
+        Some("diff") => return ExitCode::from(swarm_trace::cli::diff_main(&raw[1..]) as u8),
+        _ => {}
+    }
     let wants_help = raw.iter().any(|a| a == "help" || a == "--help");
     let args = match parse(raw) {
         Ok(args) => args,

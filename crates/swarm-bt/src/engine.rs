@@ -34,6 +34,7 @@ use crate::metrics::{BtResult, PeerSpan};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const PUBLISHER: usize = 0;
 /// Peers below this many neighbors re-query the tracker on re-announce.
@@ -53,6 +54,19 @@ const REQUEST_TIMEOUT: u64 = 60;
 /// cost off the common tick (a tick is ~5-10 µs; two clock reads are
 /// ~100 ns, so 1-in-16 sampling holds the timing overhead under 0.2%).
 const TICK_SAMPLE: u64 = 16;
+/// Gauge-timeline event stride: with telemetry on, one tick in this
+/// many emits a `bt.tick` sink event (online/blocked/coverage gauges
+/// plus the run ordinal) for offline timeline reconstruction by
+/// `swarm-trace`. An event costs ~1 µs (ring lock + field clones), so a
+/// 64-tick stride keeps the emission overhead well under 0.1%.
+const TICK_EVENT_SAMPLE: u64 = 64;
+
+/// Process-wide engine-run ordinal. Telemetry events from concurrent
+/// replications interleave in the flight recorder; tagging every
+/// engine-scoped event with its run ordinal lets offline analysis
+/// reassemble per-run streams. Monotonic, never reused; 0 means
+/// "recording was off".
+static RUN_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Cached `swarm-obs` handles for the engine's probes, resolved once at
 /// engine construction *iff* recording is enabled — so the per-tick cost
@@ -279,7 +293,7 @@ pub fn run_with_inspector(
         engine.transfer_round(tick);
         engine.linger_expiry(tick);
         engine.availability_check(tick);
-        engine.record_tick_metrics(t0);
+        engine.record_tick_metrics(tick, t0);
         if tick % 60 == 0 {
             let snapshot: Vec<(u64, usize, f64, bool)> = engine
                 .nodes
@@ -349,6 +363,9 @@ struct BtEngine<'c> {
     // --- observability (see `BtProbes`) ---------------------------------
     /// Cached metric handles; `None` while recording is disabled.
     probes: Option<BtProbes>,
+    /// This run's ordinal from [`RUN_SEQ`] (0 while recording is off),
+    /// attached to every engine-scoped sink event.
+    run_ord: u64,
     /// Online non-publisher peers (incremental; includes lingering seeds).
     online_nonpub: usize,
     /// Online peers that completed and are lingering as seeds.
@@ -402,6 +419,48 @@ impl<'c> BtEngine<'c> {
             )),
             _ => None,
         };
+        let probes = BtProbes::get();
+        // Process-wide run ordinal: replication seeds collide across
+        // sweep points (`seed.wrapping_add(i)`), so trace analysis keys
+        // every engine-scoped event on this ordinal instead. Allocated
+        // only while recording, so uninstrumented runs stay untouched.
+        let run_ord = if probes.is_some() {
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        if probes.is_some() {
+            let (publisher_kind, on_mean, off_mean) = match cfg.publisher {
+                BtPublisher::AlwaysOn => ("always_on", 0.0, 0.0),
+                BtPublisher::UntilFirstCompletion => ("until_first_completion", 0.0, 0.0),
+                BtPublisher::OnOff {
+                    on_mean, off_mean, ..
+                } => ("on_off", on_mean, off_mean),
+            };
+            swarm_obs::emit(
+                "bt.run.start",
+                &[
+                    ("run", swarm_obs::val(run_ord)),
+                    ("k", swarm_obs::val(cfg.num_files as u64)),
+                    ("file_size", swarm_obs::val(cfg.file_size)),
+                    ("pieces", swarm_obs::val(num_pieces as u64)),
+                    ("arrival_rate", swarm_obs::val(cfg.arrival_rate)),
+                    ("horizon", swarm_obs::val(cfg.horizon)),
+                    ("drain_ticks", swarm_obs::val(cfg.drain_ticks)),
+                    ("seed", swarm_obs::val(cfg.seed)),
+                    ("publisher", swarm_obs::val(publisher_kind)),
+                    ("on_mean", swarm_obs::val(on_mean)),
+                    ("off_mean", swarm_obs::val(off_mean)),
+                    ("linger_mean", swarm_obs::val(cfg.linger_mean)),
+                    // Effective per-peer service rate for the M/G/inf
+                    // model mapping (mu), with the download cap applied.
+                    (
+                        "peer_upload_mean",
+                        swarm_obs::val(cfg.peer_capacity.mean_capped(cfg.download_cap)),
+                    ),
+                ],
+            );
+        }
         BtEngine {
             cfg,
             rng,
@@ -433,7 +492,8 @@ impl<'c> BtEngine<'c> {
             score: Vec::new(),
             score_stamp: Vec::new(),
             score_gen: 0,
-            probes: BtProbes::get(),
+            probes,
+            run_ord,
             online_nonpub: 0,
             lingering_online: 0,
             tick_bytes: 0.0,
@@ -472,7 +532,7 @@ impl<'c> BtEngine<'c> {
             self.transfer_round(tick);
             self.linger_expiry(tick);
             self.availability_check(tick);
-            self.record_tick_metrics(t0);
+            self.record_tick_metrics(tick, t0);
         }
         self.finalize()
     }
@@ -493,7 +553,7 @@ impl<'c> BtEngine<'c> {
     /// Publish the per-tick gauges/counters. A no-op (one branch) while
     /// recording is disabled.
     #[inline]
-    fn record_tick_metrics(&self, t0: Option<std::time::Instant>) {
+    fn record_tick_metrics(&self, tick: u64, t0: Option<std::time::Instant>) {
         let Some(p) = &self.probes else { return };
         p.ticks.inc();
         p.bytes.add(self.tick_bytes.round() as u64);
@@ -510,6 +570,29 @@ impl<'c> BtEngine<'c> {
         p.blocked_ticks.add(blocked as u64);
         if let Some(t0) = t0 {
             p.tick_ns.record_duration(t0.elapsed());
+        }
+        // Sparse tick stream for trace analysis: gauges above are
+        // last-write-wins, so timelines need periodic samples. Strided
+        // to stay under the CI overhead guard.
+        if tick.is_multiple_of(TICK_EVENT_SAMPLE) {
+            swarm_obs::emit(
+                "bt.tick",
+                &[
+                    ("run", swarm_obs::val(self.run_ord)),
+                    ("tick", swarm_obs::val(tick)),
+                    (
+                        "online",
+                        swarm_obs::val((self.online_nonpub + publisher_on) as u64),
+                    ),
+                    ("blocked", swarm_obs::val(blocked as u64)),
+                    ("covered", swarm_obs::val(self.rep.covered as u64)),
+                    (
+                        "min_replication",
+                        swarm_obs::val(self.rep.min_replication() as u64),
+                    ),
+                    ("publisher_on", swarm_obs::val(self.nodes[PUBLISHER].online)),
+                ],
+            );
         }
     }
 
@@ -1177,6 +1260,7 @@ impl<'c> BtEngine<'c> {
                 swarm_obs::emit(
                     "bt.availability",
                     &[
+                        ("run", swarm_obs::val(self.run_ord)),
                         ("tick", swarm_obs::val(tick)),
                         ("available", swarm_obs::val(available)),
                         ("covered", swarm_obs::val(peer_coverage as u64)),
@@ -1269,6 +1353,20 @@ impl<'c> BtEngine<'c> {
             max_flash = max_flash.max(sum);
         }
         self.result.max_flash_departures = max_flash;
+        if self.probes.is_some() {
+            swarm_obs::emit(
+                "bt.run.end",
+                &[
+                    ("run", swarm_obs::val(self.run_ord)),
+                    ("availability", swarm_obs::val(self.result.availability)),
+                    ("completions", swarm_obs::val(self.result.completions)),
+                    (
+                        "last_available_tick",
+                        swarm_obs::val(self.result.last_available_tick.unwrap_or(0)),
+                    ),
+                ],
+            );
+        }
         self.result
     }
 }

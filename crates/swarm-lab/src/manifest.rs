@@ -101,6 +101,16 @@ pub struct JobRecord {
 pub struct Manifest {
     /// Orchestrator crate version that produced this manifest.
     pub swarm_lab_version: String,
+    /// Process run id ([`swarm_obs::run_id`]) — matches the header of
+    /// every telemetry file this run wrote, so offline analysis can
+    /// correlate a manifest with its telemetry without mtimes. Empty
+    /// in manifests predating the field.
+    #[serde(default)]
+    pub run_id: String,
+    /// Wall-clock unix-epoch milliseconds at recorder start; 0 in
+    /// manifests predating the field.
+    #[serde(default)]
+    pub ts_unix_ms: u64,
     /// Code-version salt the cache was keyed with.
     pub salt: String,
     /// Quick (reduced-fidelity) mode.
@@ -159,6 +169,8 @@ mod tests {
     fn sample() -> Manifest {
         Manifest {
             swarm_lab_version: "0.1.0".to_string(),
+            run_id: "deadbeefdeadbeef".to_string(),
+            ts_unix_ms: 1_700_000_000_000,
             salt: "abc123".to_string(),
             quick: true,
             workers: 4,
@@ -208,6 +220,24 @@ mod tests {
         assert_eq!(m.failures().count(), 1);
         assert_eq!(m.failures().next().unwrap().id, "fig2");
         assert_eq!(m.cache_hits(), 0);
+    }
+
+    #[test]
+    fn manifests_predating_run_correlation_still_parse() {
+        // Manifests written before run_id/ts_unix_ms existed must keep
+        // loading (CI archives old ones); the fields default to empty.
+        let mut v = serde_json::to_value(sample()).expect("to_value");
+        match &mut v {
+            serde_json::Value::Object(obj) => {
+                obj.remove("run_id");
+                obj.remove("ts_unix_ms");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let raw = serde_json::to_string(&v).expect("to_string");
+        let m: Manifest = serde_json::from_str(&raw).expect("parse without new fields");
+        assert_eq!(m.run_id, "");
+        assert_eq!(m.ts_unix_ms, 0);
     }
 
     #[test]

@@ -308,6 +308,8 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
 
     let manifest = Manifest {
         swarm_lab_version: env!("CARGO_PKG_VERSION").to_string(),
+        run_id: swarm_obs::run_id().to_string(),
+        ts_unix_ms: swarm_obs::start_unix_ms(),
         salt: cfg.salt.clone(),
         quick: cfg.quick,
         workers,
@@ -323,9 +325,11 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
             .collect(),
     };
     let manifest_path = cfg.out_dir.join("manifest.json");
-    manifest.save(&manifest_path)?;
+    let manifest_saved = manifest.save(&manifest_path);
 
-    // The manifest is on disk before any end-of-run reporting happens.
+    // Run telemetry is flushed even when the manifest save failed: the
+    // event stream is the evidence needed to debug exactly that kind
+    // of late-run failure, so it must never be lost to one.
     let mut telemetry_report = None;
     if let Some(tdir) = cfg.telemetry.as_deref() {
         let delta = swarm_obs::snapshot().delta_since(&metrics_base);
@@ -336,6 +340,7 @@ pub fn run(jobs: &[JobSpec], cfg: &RunConfig) -> io::Result<RunReport> {
         telemetry_report = Some(report);
         swarm_obs::set_enabled(prev_enabled);
     }
+    manifest_saved?;
 
     Ok(RunReport {
         manifest,
@@ -355,7 +360,9 @@ fn write_job_telemetry(
 ) -> io::Result<()> {
     let job_dir = dir.join(id);
     std::fs::create_dir_all(&job_dir)?;
-    std::fs::write(job_dir.join("telemetry.jsonl"), swarm_obs::to_jsonl(events))?;
+    let mut jsonl = swarm_obs::header_line();
+    jsonl.push_str(&swarm_obs::to_jsonl(events));
+    std::fs::write(job_dir.join("telemetry.jsonl"), jsonl)?;
     let mut map = serde_json::Map::new();
     map.insert("id".to_string(), swarm_obs::val(id));
     map.insert(
@@ -372,7 +379,9 @@ fn write_job_telemetry(
 fn write_run_telemetry(dir: &Path, delta: &swarm_obs::Snapshot, report: &str) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let events = swarm_obs::drain_all();
-    std::fs::write(dir.join("telemetry.jsonl"), swarm_obs::to_jsonl(&events))?;
+    let mut jsonl = swarm_obs::header_line();
+    jsonl.push_str(&swarm_obs::to_jsonl(&events));
+    std::fs::write(dir.join("telemetry.jsonl"), jsonl)?;
     let json = serde_json::to_string_pretty(delta).map_err(io::Error::other)?;
     std::fs::write(dir.join("metrics.json"), json)?;
     std::fs::write(dir.join("report.txt"), report)
@@ -426,6 +435,23 @@ fn run_one(
         },
         Err(msg) => (JobStatus::Failed, Some(msg), Vec::new(), None),
     };
+
+    // A failed job leaves a marker in its own event stream: the job's
+    // telemetry.jsonl then ends with the failure cause right after the
+    // last pre-panic event, which is what post-mortems need. Emitted
+    // inside the caller's job scope so the drain tags it correctly.
+    if status == JobStatus::Failed {
+        swarm_obs::emit(
+            "job.failed",
+            &[
+                ("id", swarm_obs::val(&spec.id)),
+                (
+                    "error",
+                    swarm_obs::val(error.as_deref().unwrap_or("unknown")),
+                ),
+            ],
+        );
+    }
 
     let record = JobRecord {
         id: spec.id.clone(),

@@ -334,5 +334,54 @@ fn telemetry_run_writes_per_job_and_run_level_artifacts() {
     // The manifest on disk round-trips the new metrics fields.
     let loaded = Manifest::load(&report.manifest_path).expect("manifest readable");
     assert_eq!(loaded, report.manifest);
+
+    // Telemetry files and the manifest carry the same run identity, so
+    // offline analysis can pair them without mtimes.
+    assert_eq!(report.manifest.run_id, swarm_obs::run_id());
+    assert!(report.manifest.ts_unix_ms > 0);
+    let raw = std::fs::read_to_string(tdir.join("telemetry.jsonl")).expect("run telemetry");
+    let (header, _) = swarm_obs::parse_jsonl_with_header(&raw).expect("jsonl parses");
+    let header = header.expect("run telemetry starts with a header line");
+    assert_eq!(header.run_id, report.manifest.run_id);
+    assert_eq!(header.ts_unix_ms, report.manifest.ts_unix_ms);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn panicking_job_still_gets_its_telemetry_flushed() {
+    let out = temp_out("panic-telemetry");
+    let tdir = out.join("telemetry");
+    let cfg = RunConfig {
+        cache: CacheMode::Off,
+        telemetry: Some(tdir.clone()),
+        ..base_config(out.clone())
+    };
+    let doomed = JobSpec::new("doomed", "emits evidence, then dies", || {
+        swarm_obs::emit("test.prepanic", &[("progress", swarm_obs::val(3u64))]);
+        panic!("wrecked mid-flight")
+    });
+    let report = run(&[doomed], &cfg).expect("run survives the panic");
+    assert!(!report.all_ok());
+
+    // The dead job's event stream reached disk: header line, the
+    // events it emitted before dying, and a job.failed marker with the
+    // panic message.
+    let raw = std::fs::read_to_string(tdir.join("doomed").join("telemetry.jsonl"))
+        .expect("failed job still writes telemetry.jsonl");
+    let (header, events) = swarm_obs::parse_jsonl_with_header(&raw).expect("jsonl parses");
+    assert_eq!(header.expect("header line").run_id, report.manifest.run_id);
+    assert!(
+        events.iter().any(|e| e.kind == "test.prepanic"),
+        "pre-panic events survive"
+    );
+    let failed = events
+        .iter()
+        .find(|e| e.kind == "job.failed")
+        .expect("failure marker present");
+    assert!(failed
+        .fields
+        .iter()
+        .any(|(k, v)| k == "error" && v.as_str().unwrap_or("").contains("wrecked mid-flight")));
+    assert!(events.iter().all(|e| e.job.as_deref() == Some("doomed")));
     let _ = std::fs::remove_dir_all(&out);
 }

@@ -42,8 +42,8 @@ pub use metrics::{
 };
 pub use report::render_report;
 pub use sink::{
-    drain_all, drain_job, dropped_events, emit, parse_jsonl, set_ring_capacity, to_jsonl, val,
-    Event,
+    drain_all, drain_job, dropped_events, emit, header_line, parse_jsonl, parse_jsonl_with_header,
+    run_id, set_ring_capacity, start_unix_ms, to_jsonl, val, Event, Header,
 };
 pub use span::{current_job, job_scope, span, span_labeled, JobScope, Span};
 

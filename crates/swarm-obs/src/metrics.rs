@@ -231,25 +231,49 @@ impl HistogramSnapshot {
     /// The `(lo, hi)` bounds of the bucket holding the `q`-quantile
     /// observation (nearest-rank), or `None` when empty.
     pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        self.quantile_bucket(q)
+            .map(|(i, _, _)| Self::bucket_bounds(i))
+    }
+
+    /// Bucket index holding the `q`-quantile observation, with the
+    /// nearest-rank position and the cumulative count *before* that
+    /// bucket (the ingredients of within-bucket interpolation).
+    fn quantile_bucket(&self, q: f64) -> Option<(usize, u64, u64)> {
         if self.count == 0 {
             return None;
         }
         let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
         let mut cum = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
-            cum += b;
-            if cum > rank {
-                return Some(Self::bucket_bounds(i));
+            if cum + b > rank {
+                return Some((i, rank, cum));
             }
+            cum += b;
         }
         // Unreachable when counts are consistent; be forgiving if a
         // racy snapshot undercounted buckets relative to `count`.
-        Some(Self::bucket_bounds(HIST_BUCKETS - 1))
+        Some((HIST_BUCKETS - 1, rank, cum))
     }
 
-    /// Upper bound of the `q`-quantile bucket, or `None` when empty.
+    /// The `q`-quantile, linearly interpolated within the matched
+    /// power-of-two bucket (observations are assumed uniform across the
+    /// bucket, the usual fixed-bucket estimator); `None` when empty.
+    ///
+    /// The estimate always lies inside [`Self::quantile_bounds`], so it
+    /// refines — never contradicts — the raw bound the previous
+    /// implementation returned.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        self.quantile_bounds(q).map(|(_, hi)| hi)
+        let (i, rank, cum_before) = self.quantile_bucket(q)?;
+        let (lo, hi) = Self::bucket_bounds(i);
+        let in_bucket = self.buckets[i];
+        if in_bucket == 0 || hi == lo {
+            return Some(hi);
+        }
+        // Nearest-rank position within the bucket, placed at the
+        // midpoint of its 1/in_bucket slice of the value range.
+        let frac = (rank.saturating_sub(cum_before) as f64 + 0.5) / in_bucket as f64;
+        let est = lo as f64 + frac * (hi - lo) as f64;
+        Some((est.round() as u64).clamp(lo, hi))
     }
 
     /// Upper bound of the highest non-empty bucket (coarse max).

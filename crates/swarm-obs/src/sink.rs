@@ -9,11 +9,18 @@
 //!
 //! Serialization is JSONL — one `serde_json` object per line — and
 //! round-trips through [`parse_jsonl`].
+//!
+//! Every process gets a [`run_id`] (stable for the process lifetime)
+//! and a wall-clock anchor: [`header_line`] renders both as the
+//! `{"kind":"header", ...}` first line of a telemetry file, so offline
+//! analysis (`swarm-trace diff`) can correlate two runs without
+//! relying on file mtimes. `ts_unix_ms + ts_us/1000` converts any
+//! event's monotonic stamp back to wall-clock time.
 
 use serde_json::{Map, Value};
 use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// One structured event. `fields` preserves emission order in memory;
 /// the JSON form nests them under `"fields"` (sorted by key — the
@@ -99,17 +106,29 @@ pub fn to_jsonl(events: &[Event]) -> String {
     out
 }
 
-/// Parse JSONL produced by [`to_jsonl`]; blank lines are skipped.
+/// Parse JSONL produced by [`to_jsonl`]; blank lines and [`Header`]
+/// lines are skipped.
 pub fn parse_jsonl(s: &str) -> Result<Vec<Event>, String> {
+    parse_jsonl_with_header(s).map(|(_, events)| events)
+}
+
+/// Parse a telemetry JSONL stream into its header (if any line carries
+/// one; the first wins) and events.
+pub fn parse_jsonl_with_header(s: &str) -> Result<(Option<Header>, Vec<Event>), String> {
+    let mut header = None;
     let mut events = Vec::new();
     for (i, line) in s.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let v: Value = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(h) = Header::from_value(&v) {
+            header.get_or_insert(h);
+            continue;
+        }
         events.push(Event::from_value(&v).ok_or_else(|| format!("line {}: not an event", i + 1))?);
     }
-    Ok(events)
+    Ok((header, events))
 }
 
 struct Ring {
@@ -121,20 +140,90 @@ struct Ring {
 
 struct Recorder {
     start: Instant,
+    start_unix_ms: u64,
+    run_id: String,
     ring: Mutex<Ring>,
 }
 
 fn recorder() -> &'static Recorder {
     static RECORDER: OnceLock<Recorder> = OnceLock::new();
-    RECORDER.get_or_init(|| Recorder {
-        start: Instant::now(),
-        ring: Mutex::new(Ring {
-            buf: VecDeque::new(),
-            cap: 65_536,
-            total: 0,
-            dropped: 0,
-        }),
+    RECORDER.get_or_init(|| {
+        let start_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        // FNV-1a over (pid, wall clock): unique enough to tell two runs
+        // apart in a diff, cheap enough to need no external entropy.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in std::process::id()
+            .to_le_bytes()
+            .into_iter()
+            .chain(start_unix_ms.to_le_bytes())
+        {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Recorder {
+            start: Instant::now(),
+            start_unix_ms,
+            run_id: format!("{h:016x}"),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                cap: 65_536,
+                total: 0,
+                dropped: 0,
+            }),
+        }
     })
+}
+
+/// Process-unique run identifier (stable for the process lifetime).
+/// Every telemetry file this process writes carries it in its header,
+/// which is how `swarm-trace diff` matches up two runs.
+pub fn run_id() -> &'static str {
+    &recorder().run_id
+}
+
+/// Wall-clock unix-epoch milliseconds at recorder initialization — the
+/// anchor that converts event `ts_us` offsets back to absolute time.
+pub fn start_unix_ms() -> u64 {
+    recorder().start_unix_ms
+}
+
+/// The metadata line heading each telemetry JSONL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Process run id (see [`run_id`]).
+    pub run_id: String,
+    /// Wall-clock unix-epoch milliseconds at recorder start.
+    pub ts_unix_ms: u64,
+}
+
+impl Header {
+    /// Parse a `{"kind":"header",...}` JSON value; `None` when `v` is
+    /// anything else.
+    pub fn from_value(v: &Value) -> Option<Header> {
+        let obj = v.as_object()?;
+        if obj.get("kind")?.as_str()? != "header" {
+            return None;
+        }
+        Some(Header {
+            run_id: obj.get("run_id")?.as_str()?.to_string(),
+            ts_unix_ms: obj.get("ts_unix_ms")?.as_u64()?,
+        })
+    }
+}
+
+/// Render this process's header as one JSONL line (with trailing
+/// newline): `{"kind":"header","run_id":...,"ts_unix_ms":...}`.
+/// Writers prepend it to every `telemetry.jsonl`.
+pub fn header_line() -> String {
+    let mut obj = Map::new();
+    obj.insert("kind".to_string(), val("header"));
+    obj.insert("run_id".to_string(), val(run_id()));
+    obj.insert("ts_unix_ms".to_string(), val(start_unix_ms()));
+    let mut line = serde_json::to_string(&Value::Object(obj)).expect("value serializes");
+    line.push('\n');
+    line
 }
 
 /// Append an event to the flight recorder (no-op unless

@@ -1,0 +1,78 @@
+//! Ring-overflow accounting under concurrent emitters.
+//!
+//! This lives in its own integration-test binary (one process, one
+//! test) because it exercises the process-global flight recorder at its
+//! real 65 536-event capacity: no other test's emissions may interleave
+//! with the accounting. The invariant under test: however emissions
+//! race, `total emitted = drained + still buffered + dropped`, exactly.
+
+use std::collections::HashSet;
+use swarm_obs::{sink, span};
+
+const RING_CAP: usize = 65_536;
+const THREADS: u64 = 8;
+/// Each thread overshoots the whole ring on its own, so the ring wraps
+/// many times while all emitters are still running.
+const PER_THREAD: u64 = 3 * RING_CAP as u64 / 2;
+
+#[test]
+fn drop_counts_stay_exact_when_the_ring_wraps_concurrently() {
+    swarm_obs::set_enabled(true);
+    let base_dropped = sink::dropped_events();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let _job = span::job_scope(format!("ring-writer-{t}"));
+                for i in 0..PER_THREAD {
+                    sink::emit("overflow.test", &[("t", sink::val(t)), ("i", sink::val(i))]);
+                }
+            });
+        }
+    });
+    swarm_obs::set_enabled(false);
+
+    let emitted = THREADS * PER_THREAD;
+    let dropped = sink::dropped_events() - base_dropped;
+
+    // Drain per job first (order must be preserved per emitter), then
+    // sweep the rest: the two drain paths share the accounting.
+    let mut survivors = 0u64;
+    let mut seqs = HashSet::new();
+    for t in 0..THREADS {
+        let events = sink::drain_job(&format!("ring-writer-{t}"));
+        // Per-emitter order survives the wrap: `i` strictly increases.
+        let mut prev_i = None;
+        for e in &events {
+            let i = e
+                .fields
+                .iter()
+                .find(|(k, _)| k == "i")
+                .and_then(|(_, v)| v.as_u64())
+                .expect("i field");
+            if let Some(p) = prev_i {
+                assert!(i > p, "writer {t}: event order broken ({i} after {p})");
+            }
+            prev_i = Some(i);
+            assert!(seqs.insert(e.seq), "duplicate seq {}", e.seq);
+        }
+        survivors += events.len() as u64;
+    }
+    // Anything left (events from other kinds — none here) still counts.
+    survivors += sink::drain_all()
+        .iter()
+        .filter(|e| e.kind == "overflow.test")
+        .count() as u64;
+
+    assert!(
+        survivors <= RING_CAP as u64,
+        "ring bounded: {survivors} > {RING_CAP}"
+    );
+    assert_eq!(
+        survivors + dropped,
+        emitted,
+        "accounting must be exact: {survivors} drained + {dropped} dropped != {emitted} emitted"
+    );
+    // The ring wrapped: far more was dropped than retained.
+    assert!(dropped >= emitted - RING_CAP as u64);
+}

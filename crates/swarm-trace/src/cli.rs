@@ -1,0 +1,337 @@
+//! The `repro trace` / `repro diff` entry points.
+//!
+//! Kept in the library (not the `repro` binary) so the argument
+//! parsing and rendering are testable without spawning a process.
+//! Both return a process exit code: 0 success, 1 regression found
+//! (`diff` only), 2 usage or I/O error.
+
+use crate::diff::{self, Baseline, Thresholds};
+use crate::flame;
+use crate::timeline;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+const TRACE_USAGE: &str = "\
+usage: repro trace <TELEMETRY_DIR> [--flame PATH] [--width N]
+
+Analyze the telemetry tree a `repro ... --telemetry` run wrote:
+availability timeline and busy-period table per engine run (with the
+closed-form model prediction alongside), plus a collapsed-stack
+profile folded from every span event.
+
+  --flame PATH   where to write the collapsed stacks
+                 (default <TELEMETRY_DIR>/flame.folded)
+  --width N      timeline strip width in characters (default 72)
+";
+
+const DIFF_USAGE: &str = "\
+usage: repro diff <A> <B> [--max-rel R] [--metric NAME=R]
+       repro diff --baseline FILE <RUN> [--write-baseline [--description S]]
+
+Compare the deterministic counters of two runs' metrics.json (A, B and
+RUN may be the file itself or a directory containing it). Exits 1 when
+any relative delta exceeds its threshold, 2 on usage or I/O errors.
+
+  --max-rel R        default |relative delta| bound (default 0 = exact)
+  --metric NAME=R    per-metric override, repeatable
+  --baseline FILE    compare RUN against a committed baseline instead
+  --write-baseline   (re)write FILE from RUN's metrics and exit
+  --description S    description stored with --write-baseline
+";
+
+/// `repro trace` — see [`TRACE_USAGE`].
+pub fn trace_main(args: &[String]) -> i32 {
+    let mut dir: Option<PathBuf> = None;
+    let mut flame_path: Option<PathBuf> = None;
+    let mut width = 72usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--flame" => match it.next() {
+                Some(p) => flame_path = Some(PathBuf::from(p)),
+                None => return usage(TRACE_USAGE, "--flame needs a path"),
+            },
+            "--width" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(w) => width = w,
+                None => return usage(TRACE_USAGE, "--width needs a number"),
+            },
+            "--help" | "-h" => {
+                println!("{TRACE_USAGE}");
+                return 0;
+            }
+            _ if dir.is_none() && !arg.starts_with('-') => dir = Some(PathBuf::from(arg)),
+            _ => return usage(TRACE_USAGE, &format!("unexpected argument {arg}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage(TRACE_USAGE, "missing telemetry directory");
+    };
+
+    let files = telemetry_files(&dir);
+    if files.is_empty() {
+        eprintln!("error: no telemetry.jsonl under {}", dir.display());
+        return 2;
+    }
+
+    let mut all_events = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {}: {e}", file.display());
+                return 2;
+            }
+        };
+        let (header, events) = match swarm_obs::parse_jsonl_with_header(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {}: {e}", file.display());
+                return 2;
+            }
+        };
+        let rel = file.strip_prefix(&dir).unwrap_or(file);
+        match &header {
+            Some(h) => println!(
+                "== {} (run_id {}, started unix_ms {})",
+                rel.display(),
+                h.run_id,
+                h.ts_unix_ms
+            ),
+            None => println!("== {} (no header)", rel.display()),
+        }
+        for trace in timeline::collect_runs(&events) {
+            print_run(&trace, width);
+            if trace.model_check().is_some() {
+                checked += 1;
+            }
+        }
+        all_events.extend(events);
+    }
+
+    let folded = flame::collapse_spans(&all_events);
+    if !folded.is_empty() {
+        let out = flame_path.unwrap_or_else(|| dir.join("flame.folded"));
+        if let Err(e) = std::fs::write(&out, flame::to_folded(&folded)) {
+            eprintln!("error: writing {}: {e}", out.display());
+            return 2;
+        }
+        let mut top: Vec<_> = folded.iter().collect();
+        top.sort_by_key(|line| std::cmp::Reverse(line.self_us));
+        println!("\nhottest stacks (self time):");
+        for line in top.iter().take(10) {
+            println!("  {:>12} us  {}", line.self_us, line.stack);
+        }
+        println!(
+            "collapsed-stack profile ({} stacks) -> {}",
+            folded.len(),
+            out.display()
+        );
+    }
+    println!(
+        "\n{} telemetry file(s), {} run(s) model-checked",
+        files.len(),
+        checked
+    );
+    0
+}
+
+fn print_run(trace: &timeline::BtRunTrace, width: usize) {
+    let job = trace.job.as_deref().unwrap_or("-");
+    match &trace.info {
+        Some(info) => println!(
+            "run {:>3} [{job}] K={} lambda={:.4}/s publisher={} horizon={} seed={}",
+            trace.run, info.k, info.arrival_rate, info.publisher, info.horizon, info.seed
+        ),
+        None => println!("run {:>3} [{job}] (run.start evicted from ring)", trace.run),
+    }
+    println!("  avail |{}|", trace.ascii_timeline(width));
+    if let Some(frac) = trace.unavailable_fraction() {
+        let busy = trace.busy_periods();
+        let mean_busy = trace
+            .mean_busy_period()
+            .map(|b| format!("{b:.1}"))
+            .unwrap_or_else(|| "n/a (none completed)".into());
+        println!(
+            "  unavailable fraction {frac:.4}; {} completed busy period(s), mean {} ticks",
+            busy.len(),
+            mean_busy
+        );
+    }
+    if let Some(end) = &trace.end {
+        println!(
+            "  engine: availability {:.4}, {} completion(s), last available tick {}",
+            end.availability, end.completions, end.last_available_tick
+        );
+    }
+    if let Some(check) = trace.model_check() {
+        println!(
+            "  model-vs-trace: P_model={:.4} P_trace={:.4} |err|={:.4}  E[B]_model={} busy_trace={}",
+            check.model_unavailability,
+            check.trace_unavailability,
+            check.abs_error(),
+            seconds(check.model_busy_period),
+            check
+                .trace_mean_busy_period
+                .map(seconds)
+                .unwrap_or_else(|| "n/a".into()),
+        );
+    }
+}
+
+/// A duration in seconds, scientific above 10^6 — the model's busy
+/// period grows exponentially in swarm size, and a 40-digit integer
+/// tells the reader less than `1.2e38s`.
+fn seconds(s: f64) -> String {
+    if s.abs() >= 1e6 {
+        format!("{s:.2e}s")
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+/// `repro diff` — see [`DIFF_USAGE`].
+pub fn diff_main(args: &[String]) -> i32 {
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut thresholds = Thresholds::default();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut description = String::from("repro quick suite deterministic counters");
+    let mut max_rel_set = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-rel" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => {
+                    thresholds.default_max_rel = r;
+                    max_rel_set = true;
+                }
+                None => return usage(DIFF_USAGE, "--max-rel needs a number"),
+            },
+            "--metric" => match it.next().and_then(|v| parse_metric_override(v)) {
+                Some((name, r)) => {
+                    thresholds.per_metric.insert(name, r);
+                }
+                None => return usage(DIFF_USAGE, "--metric needs NAME=R"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(DIFF_USAGE, "--baseline needs a path"),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--description" => match it.next() {
+                Some(s) => description = s.clone(),
+                None => return usage(DIFF_USAGE, "--description needs text"),
+            },
+            "--help" | "-h" => {
+                println!("{DIFF_USAGE}");
+                return 0;
+            }
+            _ if !arg.starts_with('-') => positional.push(PathBuf::from(arg)),
+            _ => return usage(DIFF_USAGE, &format!("unexpected argument {arg}")),
+        }
+    }
+
+    match baseline_path {
+        Some(bpath) => {
+            let [run] = positional.as_slice() else {
+                return usage(DIFF_USAGE, "--baseline mode takes exactly one RUN path");
+            };
+            let current = match load_run_metrics(run) {
+                Ok(m) => m,
+                Err(e) => return fail(&e),
+            };
+            if write_baseline {
+                let max_rel = if max_rel_set {
+                    thresholds.default_max_rel
+                } else {
+                    0.0
+                };
+                let baseline = Baseline::from_metrics(&current, description, true, max_rel);
+                if let Err(e) = std::fs::write(&bpath, baseline.to_json() + "\n") {
+                    return fail(&format!("writing {}: {e}", bpath.display()));
+                }
+                println!(
+                    "wrote baseline {} ({} metrics, max_rel {max_rel})",
+                    bpath.display(),
+                    baseline.metrics.len()
+                );
+                return 0;
+            }
+            let text = match std::fs::read_to_string(&bpath) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("{}: {e}", bpath.display())),
+            };
+            let baseline = match Baseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => return fail(&e),
+            };
+            let report = baseline.check(&current);
+            print!("{}", report.render(true));
+            i32::from(!report.ok())
+        }
+        None => {
+            let [a, b] = positional.as_slice() else {
+                return usage(DIFF_USAGE, "need exactly two run paths (or --baseline)");
+            };
+            let (ma, mb) = match (load_run_metrics(a), load_run_metrics(b)) {
+                (Ok(ma), Ok(mb)) => (ma, mb),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let report = diff::diff(&ma, &mb, &thresholds);
+            print!("{}", report.render(true));
+            i32::from(!report.ok())
+        }
+    }
+}
+
+fn parse_metric_override(s: &str) -> Option<(String, f64)> {
+    let (name, r) = s.split_once('=')?;
+    Some((name.to_string(), r.parse().ok()?))
+}
+
+fn usage(text: &str, problem: &str) -> i32 {
+    eprintln!("error: {problem}\n{text}");
+    2
+}
+
+fn fail(problem: &str) -> i32 {
+    eprintln!("error: {problem}");
+    2
+}
+
+/// Accept either a `metrics.json` file or a directory containing one.
+fn load_run_metrics(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let file = if path.is_dir() {
+        path.join("metrics.json")
+    } else {
+        path.to_path_buf()
+    };
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+    diff::load_metrics_json(&text).map_err(|e| format!("{}: {e}", file.display()))
+}
+
+/// `telemetry.jsonl` files under `dir`: the run-level one plus each
+/// job subdirectory's, in sorted order.
+fn telemetry_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let top = dir.join("telemetry.jsonl");
+    if top.is_file() {
+        out.push(top);
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        let mut subs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        subs.sort();
+        for sub in subs {
+            let f = sub.join("telemetry.jsonl");
+            if f.is_file() {
+                out.push(f);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,34 @@
+//! Offline analysis of `swarm-obs` telemetry.
+//!
+//! The orchestrator ([`swarm-lab`]) writes one `telemetry.jsonl` per
+//! job plus run-level `metrics.json` summaries; this crate turns those
+//! artifacts back into answers:
+//!
+//! * [`timeline`] — groups the engine's `bt.run.start` / `bt.tick` /
+//!   `bt.availability` / `bt.run.end` events into per-run
+//!   [`timeline::BtRunTrace`]s, reconstructs the availability step
+//!   function, extracts busy/idle periods, and cross-checks the
+//!   trace-measured unavailability against the `swarm-core` closed
+//!   forms (model-vs-trace validation, §4.3 of the paper).
+//! * [`flame`] — folds `"span"` events into collapsed-stack lines
+//!   (`a;b;c <self-µs>`), the input format of inferno's
+//!   `flamegraph.pl` work-alikes and speedscope.
+//! * [`diff`] — compares the deterministic counters of two runs'
+//!   `metrics.json` (or a run against a committed baseline) under
+//!   per-metric relative-delta thresholds; the regression gate behind
+//!   `repro diff` and the `trace-regression` CI job.
+//! * [`cli`] — the `repro trace` / `repro diff` entry points.
+//!
+//! Everything here is read-only over artifacts on disk: the analysis
+//! runs in a different process (often on a different machine) than the
+//! experiments, correlated through the `{"kind":"header"}` line
+//! (`run_id`, `ts_unix_ms`) heading every telemetry file.
+
+pub mod cli;
+pub mod diff;
+pub mod flame;
+pub mod timeline;
+
+pub use diff::{Baseline, DiffReport, Thresholds};
+pub use flame::collapse_spans;
+pub use timeline::{collect_runs, BtRunTrace, ModelCheck};

@@ -1,0 +1,82 @@
+//! End-to-end: a real `swarm-bt` run's drained telemetry must
+//! reconstruct into a trace whose availability figure matches the
+//! engine's own, and whose spans fold into a non-empty profile.
+//!
+//! Own test binary: it owns the process-global `swarm-obs` state
+//! (enable switch + flight recorder), which must not race with other
+//! tests' drains.
+
+use swarm_bt::{run, BtConfig};
+use swarm_trace::flame;
+use swarm_trace::timeline::collect_runs;
+
+#[test]
+fn drained_engine_telemetry_reconstructs_the_run() {
+    swarm_obs::set_enabled(true);
+    let result = {
+        let _job = swarm_obs::job_scope("roundtrip");
+        run(&BtConfig::paper_section_4_3(1, 42))
+    };
+    swarm_obs::set_enabled(false);
+    let events = swarm_obs::drain_job("roundtrip");
+    assert!(!events.is_empty());
+
+    let runs = collect_runs(&events);
+    assert_eq!(runs.len(), 1, "one engine run, one trace");
+    let trace = &runs[0];
+    assert!(trace.run >= 1, "run ordinal is allocated from 1");
+    assert_eq!(trace.job.as_deref(), Some("roundtrip"));
+
+    let info = trace.info.as_ref().expect("bt.run.start captured");
+    assert_eq!(info.k, 1);
+    assert_eq!(info.horizon, 1200);
+    assert_eq!(info.publisher, "on_off");
+    assert!((info.peer_upload_mean - 50.0).abs() < 1e-9);
+
+    // The step function rebuilt from sparse transition events must
+    // reproduce the engine's own per-tick availability count exactly.
+    let end = trace.end.expect("bt.run.end captured");
+    assert!((end.availability - result.availability).abs() < 1e-12);
+    let frac = trace.unavailable_fraction().expect("transitions seen");
+    assert!(
+        (frac - (1.0 - result.availability)).abs() < 1e-9,
+        "reconstructed unavailable fraction {frac} vs engine {}",
+        1.0 - result.availability
+    );
+
+    // §4.3 parameters: the closed form predicts P in (0,1); the trace
+    // measurement must land in the same regime (single short run, so
+    // only a coarse agreement bound is meaningful).
+    let check = trace.model_check().expect("on_off publisher maps to model");
+    assert!(check.model_unavailability > 0.0 && check.model_unavailability < 1.0);
+    assert!(check.abs_error() < 0.5);
+
+    // Strided tick samples cover the run.
+    assert!(
+        trace.ticks.len() as u64 >= info.horizon / swarm_trace::timeline::TICK_EVENT_SAMPLE,
+        "expected tick samples across the horizon, got {}",
+        trace.ticks.len()
+    );
+    assert!(trace.ticks.iter().all(|t| t.covered <= info.pieces));
+
+    // The run's spans fold into a profile containing the engine span.
+    let folded = flame::collapse_spans(&events);
+    assert!(
+        folded.iter().any(|l| l.stack.contains("bt.run")),
+        "bt.run span missing from {folded:?}"
+    );
+
+    // Determinism cross-check: a second identical run (new ordinal)
+    // reconstructs the identical step function.
+    swarm_obs::set_enabled(true);
+    let _ = {
+        let _job = swarm_obs::job_scope("roundtrip2");
+        run(&BtConfig::paper_section_4_3(1, 42))
+    };
+    swarm_obs::set_enabled(false);
+    let events2 = swarm_obs::drain_job("roundtrip2");
+    let runs2 = collect_runs(&events2);
+    assert_eq!(runs2.len(), 1);
+    assert!(runs2[0].run > trace.run, "ordinals strictly increase");
+    assert_eq!(runs2[0].flips, trace.flips, "same seed, same step function");
+}

@@ -1,0 +1,355 @@
+//! swarm-trace unit tests: timeline reconstruction from synthetic
+//! event streams, model mapping, flamegraph folding and metric
+//! diffing. The end-to-end path over a real engine run lives in
+//! `engine_roundtrip.rs` (own binary: it owns the process-global
+//! flight recorder).
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use swarm_obs::Event;
+use swarm_trace::diff::{self, Baseline, Thresholds};
+use swarm_trace::flame;
+use swarm_trace::timeline::{collect_runs, Segment};
+
+fn ev(seq: u64, kind: &str, fields: &[(&str, Value)]) -> Event {
+    Event {
+        seq,
+        ts_us: seq,
+        kind: kind.to_string(),
+        job: Some("job-a".to_string()),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    }
+}
+
+fn run_start(seq: u64, run: u64, horizon: u64) -> Event {
+    ev(
+        seq,
+        "bt.run.start",
+        &[
+            ("run", swarm_obs::val(run)),
+            ("k", swarm_obs::val(4u64)),
+            ("file_size", swarm_obs::val(4000.0)),
+            ("pieces", swarm_obs::val(64u64)),
+            ("arrival_rate", swarm_obs::val(4.0 / 60.0)),
+            ("horizon", swarm_obs::val(horizon)),
+            ("drain_ticks", swarm_obs::val(100u64)),
+            ("seed", swarm_obs::val(7u64)),
+            ("publisher", swarm_obs::val("on_off")),
+            ("on_mean", swarm_obs::val(300.0)),
+            ("off_mean", swarm_obs::val(900.0)),
+            ("linger_mean", swarm_obs::val(Option::<f64>::None)),
+            ("peer_upload_mean", swarm_obs::val(50.0)),
+        ],
+    )
+}
+
+fn avail(seq: u64, run: u64, tick: u64, available: bool) -> Event {
+    ev(
+        seq,
+        "bt.availability",
+        &[
+            ("run", swarm_obs::val(run)),
+            ("tick", swarm_obs::val(tick)),
+            ("available", swarm_obs::val(available)),
+            ("covered", swarm_obs::val(0u64)),
+            ("min_replication", swarm_obs::val(0u64)),
+        ],
+    )
+}
+
+#[test]
+fn interleaved_runs_are_grouped_by_ordinal() {
+    // Two replications interleave in the stream (parallel jobs share
+    // the ring); ordinals pull them apart again.
+    let events = vec![
+        run_start(0, 1, 1000),
+        run_start(1, 2, 1000),
+        avail(2, 1, 0, true),
+        avail(3, 2, 0, false),
+        avail(4, 1, 400, false),
+        avail(5, 2, 250, true),
+    ];
+    let runs = collect_runs(&events);
+    assert_eq!(runs.len(), 2);
+    assert_eq!(runs[0].run, 1);
+    assert_eq!(runs[1].run, 2);
+    assert_eq!(runs[0].info.as_ref().unwrap().k, 4);
+    assert_eq!(runs[0].job.as_deref(), Some("job-a"));
+
+    // Run 1: available [0,400), unavailable [400,1000) -> P = 0.6.
+    assert!((runs[0].unavailable_fraction().unwrap() - 0.6).abs() < 1e-12);
+    // Run 2: unavailable [0,250), available [250,1000) -> P = 0.25.
+    assert!((runs[1].unavailable_fraction().unwrap() - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn segments_partition_the_window() {
+    let events = vec![
+        run_start(0, 1, 100),
+        avail(1, 1, 0, true),
+        avail(2, 1, 30, false),
+        avail(3, 1, 80, true),
+    ];
+    let runs = collect_runs(&events);
+    assert_eq!(
+        runs[0].segments(),
+        vec![
+            Segment {
+                start: 0,
+                end: 30,
+                available: true
+            },
+            Segment {
+                start: 30,
+                end: 80,
+                available: false
+            },
+            Segment {
+                start: 80,
+                end: 100,
+                available: true
+            },
+        ]
+    );
+    // Only [0,30) completed inside the window; [80,100) is censored.
+    let busy = runs[0].busy_periods();
+    assert_eq!(busy.len(), 1);
+    assert_eq!((busy[0].start, busy[0].end), (0, 30));
+    assert_eq!(runs[0].mean_busy_period(), Some(30.0));
+}
+
+#[test]
+fn post_horizon_transitions_are_clipped() {
+    let events = vec![
+        run_start(0, 1, 100),
+        avail(1, 1, 0, false),
+        avail(2, 1, 150, true), // during drain: outside the window
+    ];
+    let runs = collect_runs(&events);
+    assert_eq!(runs[0].segments().len(), 1);
+    assert!((runs[0].unavailable_fraction().unwrap() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn model_mapping_matches_closed_forms() {
+    let events = vec![run_start(0, 1, 1000), avail(1, 1, 0, true)];
+    let runs = collect_runs(&events);
+    let p = runs[0].model_params().unwrap();
+    assert!((p.lambda - 4.0 / 60.0).abs() < 1e-12);
+    assert!((p.size - 16_000.0).abs() < 1e-12);
+    assert!((p.mu - 50.0).abs() < 1e-12);
+    assert!((p.r - 1.0 / 900.0).abs() < 1e-12);
+    assert!((p.u - 300.0).abs() < 1e-12);
+
+    let check = runs[0].model_check().unwrap();
+    assert_eq!(
+        check.model_unavailability,
+        swarm_core::patient::unavailability(&p)
+    );
+    assert_eq!(
+        check.model_busy_period,
+        swarm_core::patient::busy_period(&p)
+    );
+    // Fully-available trace: error is exactly the predicted P.
+    assert!((check.trace_unavailability - 0.0).abs() < 1e-12);
+    assert!((check.abs_error() - check.model_unavailability).abs() < 1e-12);
+}
+
+#[test]
+fn always_on_runs_have_no_model_check() {
+    let mut start = run_start(0, 1, 1000);
+    for (k, v) in &mut start.fields {
+        if k == "publisher" {
+            *v = swarm_obs::val("always_on");
+        }
+    }
+    let runs = collect_runs(&[start, avail(1, 1, 0, true)]);
+    assert!(runs[0].model_check().is_none());
+}
+
+#[test]
+fn ascii_timeline_marks_states() {
+    let events = vec![
+        run_start(0, 1, 100),
+        avail(1, 1, 0, true),
+        avail(2, 1, 50, false),
+    ];
+    let runs = collect_runs(&events);
+    let strip = runs[0].ascii_timeline(10);
+    assert_eq!(strip, "#####.....");
+    // No transitions at all: unknown everywhere.
+    let unknown = collect_runs(&[run_start(0, 2, 100)]);
+    assert_eq!(unknown[0].ascii_timeline(4), "????");
+}
+
+// --- flame -----------------------------------------------------------
+
+fn span_ev(seq: u64, name: &str, id: u64, parent: u64, dur_us: f64, label: Option<&str>) -> Event {
+    let mut fields = vec![
+        ("name", swarm_obs::val(name)),
+        ("id", swarm_obs::val(id)),
+        ("parent", swarm_obs::val(parent)),
+        ("dur_us", swarm_obs::val(dur_us)),
+    ];
+    if let Some(l) = label {
+        fields.push(("label", swarm_obs::val(l)));
+    }
+    ev(seq, "span", &fields)
+}
+
+#[test]
+fn collapse_charges_self_time_not_total() {
+    // root(1000) -> child(600) -> leaf(100); self times 400/500/100.
+    let events = vec![
+        span_ev(0, "leaf", 3, 2, 100.0, None),
+        span_ev(1, "child", 2, 1, 600.0, None),
+        span_ev(2, "root", 1, 0, 1000.0, None),
+    ];
+    let folded: BTreeMap<String, u64> = flame::collapse_spans(&events)
+        .into_iter()
+        .map(|l| (l.stack, l.self_us))
+        .collect();
+    assert_eq!(folded["root"], 400);
+    assert_eq!(folded["root;child"], 500);
+    assert_eq!(folded["root;child;leaf"], 100);
+}
+
+#[test]
+fn collapse_aggregates_labels_and_orphans() {
+    let events = vec![
+        // Two jobs under the same run span: labels keep them apart.
+        span_ev(0, "job", 2, 1, 300.0, Some("a")),
+        span_ev(1, "job", 3, 1, 200.0, Some("a")),
+        span_ev(2, "job", 4, 1, 100.0, Some("b")),
+        span_ev(3, "run", 1, 0, 700.0, None),
+        // Parent id 99 never appears (evicted): rooted at (orphan).
+        span_ev(4, "lost", 5, 99, 50.0, None),
+    ];
+    let folded: BTreeMap<String, u64> = flame::collapse_spans(&events)
+        .into_iter()
+        .map(|l| (l.stack, l.self_us))
+        .collect();
+    assert_eq!(folded["run;job[a]"], 500);
+    assert_eq!(folded["run;job[b]"], 100);
+    assert_eq!(folded["run"], 100);
+    assert_eq!(folded["(orphan);lost"], 50);
+
+    let text = flame::to_folded(&flame::collapse_spans(&events));
+    assert!(text.contains("run;job[a] 500\n"), "{text}");
+}
+
+// --- diff ------------------------------------------------------------
+
+fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+#[test]
+fn deterministic_filter_drops_timing_and_scheduler_metrics() {
+    assert!(diff::is_deterministic("bt.ticks"));
+    assert!(diff::is_deterministic("sim.completions"));
+    assert!(diff::is_deterministic("mc.reps"));
+    assert!(!diff::is_deterministic("bt.tick_ns"));
+    assert!(!diff::is_deterministic("lab.workers.busy_ns"));
+    assert!(!diff::is_deterministic("lab.cache.hit"));
+    assert!(!diff::is_deterministic("span.bt.run"));
+    assert!(!diff::is_deterministic("stats.budget.leases"));
+}
+
+#[test]
+fn exact_match_passes_and_any_drift_fails_at_zero_threshold() {
+    let a = metrics(&[("bt.ticks", 1000.0), ("bt.completions", 40.0)]);
+    let same = diff::diff(&a, &a.clone(), &Thresholds::default());
+    assert!(same.ok());
+
+    let b = metrics(&[("bt.ticks", 1001.0), ("bt.completions", 40.0)]);
+    let drift = diff::diff(&a, &b, &Thresholds::default());
+    assert_eq!(drift.regressions(), 1);
+    let bad = drift.entries.iter().find(|e| e.regressed).unwrap();
+    assert_eq!(bad.name, "bt.ticks");
+    assert!(drift.render(false).contains("REGRESSED"));
+}
+
+#[test]
+fn thresholds_tolerate_small_drift_in_both_directions() {
+    let a = metrics(&[("bt.bytes_moved", 1000.0)]);
+    let up = metrics(&[("bt.bytes_moved", 1040.0)]);
+    let down = metrics(&[("bt.bytes_moved", 960.0)]);
+    let loose = Thresholds {
+        default_max_rel: 0.05,
+        per_metric: BTreeMap::new(),
+    };
+    assert!(diff::diff(&a, &up, &loose).ok());
+    assert!(diff::diff(&a, &down, &loose).ok());
+    let tight = Thresholds {
+        default_max_rel: 0.01,
+        per_metric: BTreeMap::new(),
+    };
+    assert!(!diff::diff(&a, &up, &tight).ok());
+    assert!(!diff::diff(&a, &down, &tight).ok());
+}
+
+#[test]
+fn per_metric_override_beats_default() {
+    let a = metrics(&[("bt.ticks", 100.0), ("bt.bytes_moved", 100.0)]);
+    let b = metrics(&[("bt.ticks", 100.0), ("bt.bytes_moved", 110.0)]);
+    let mut t = Thresholds::default();
+    t.per_metric.insert("bt.bytes_moved".to_string(), 0.2);
+    assert!(diff::diff(&a, &b, &t).ok());
+}
+
+#[test]
+fn missing_metric_fails_and_extra_metric_does_not() {
+    let a = metrics(&[("bt.ticks", 100.0), ("bt.completions", 5.0)]);
+    let b = metrics(&[("bt.ticks", 100.0), ("bt.arrivals", 9.0)]);
+    let report = diff::diff(&a, &b, &Thresholds::default());
+    assert_eq!(report.missing, vec!["bt.completions".to_string()]);
+    assert_eq!(report.extra, vec!["bt.arrivals".to_string()]);
+    assert_eq!(report.regressions(), 1);
+}
+
+#[test]
+fn appearing_from_zero_is_infinite_drift() {
+    assert_eq!(diff::rel_delta(0.0, 5.0), f64::INFINITY);
+    assert_eq!(diff::rel_delta(0.0, 0.0), 0.0);
+    let a = metrics(&[("bt.ticks", 0.0)]);
+    let b = metrics(&[("bt.ticks", 5.0)]);
+    // Even a huge finite threshold cannot absorb appearance-from-zero.
+    let loose = Thresholds {
+        default_max_rel: 1e9,
+        per_metric: BTreeMap::new(),
+    };
+    assert!(!diff::diff(&a, &b, &loose).ok());
+}
+
+#[test]
+fn baseline_round_trips_and_gates() {
+    let current = metrics(&[("bt.ticks", 4800.0), ("bt.completions", 77.0)]);
+    let baseline = Baseline::from_metrics(&current, "unit test", true, 0.0);
+    let parsed = Baseline::from_json(&baseline.to_json()).unwrap();
+    assert_eq!(parsed, baseline);
+    assert!(parsed.check(&current).ok());
+
+    let drifted = metrics(&[("bt.ticks", 4800.0), ("bt.completions", 78.0)]);
+    assert_eq!(parsed.check(&drifted).regressions(), 1);
+
+    // Metric gone entirely: also a failure.
+    let gone = metrics(&[("bt.ticks", 4800.0)]);
+    assert_eq!(parsed.check(&gone).regressions(), 1);
+}
+
+#[test]
+fn metrics_json_loader_reads_snapshot_deltas() {
+    let mut snap = swarm_obs::Snapshot::default();
+    snap.counters.insert("bt.ticks".to_string(), 123);
+    snap.counters.insert("bt.tick_ns".to_string(), 999);
+    snap.counters.insert("lab.cache.hit".to_string(), 4);
+    snap.gauges.insert("bt.peers.online".to_string(), 17);
+    let json = serde_json::to_string(&snap).unwrap();
+    let loaded = diff::load_metrics_json(&json).unwrap();
+    assert_eq!(loaded, metrics(&[("bt.ticks", 123.0)]));
+    assert!(diff::load_metrics_json("{not json").is_err());
+}

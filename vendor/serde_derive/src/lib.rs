@@ -4,8 +4,11 @@
 //! (the workspace only derives on plain non-generic structs and enums),
 //! and the impl is emitted as source text parsed back into a
 //! `TokenStream`. Supports named structs, tuple structs, and enums with
-//! unit / tuple / struct variants, plus the `#[serde(skip)]` field
-//! attribute. Anything fancier fails with a clear `compile_error!`.
+//! unit / tuple / struct variants, plus the `#[serde(skip)]` and
+//! `#[serde(default)]` field attributes (`default` fills a missing
+//! field from `Default::default()` on deserialize — the
+//! backward-compatibility knob for evolving on-disk formats). Anything
+//! fancier fails with a clear `compile_error!`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -33,6 +36,14 @@ fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
+}
+
+/// Field-level `#[serde(...)]` switches recognized by this derive.
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
 }
 
 enum Fields {
@@ -101,21 +112,21 @@ impl Cursor {
     }
 
     /// Skip leading attributes (`#[...]`, including expanded doc
-    /// comments); report whether any was `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> Result<bool, String> {
-        let mut skip = false;
+    /// comments); report which `#[serde(...)]` switches were present.
+    fn skip_attrs(&mut self) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
         while self.is_punct('#') {
             self.bump();
             match self.bump() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    if attr_is_serde_skip(&g.stream())? {
-                        skip = true;
-                    }
+                    let found = parse_serde_attr(&g.stream())?;
+                    attrs.skip |= found.skip;
+                    attrs.default |= found.default;
                 }
                 other => return Err(format!("serde derive: malformed attribute: {other:?}")),
             }
         }
-        Ok(skip)
+        Ok(attrs)
     }
 
     /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
@@ -130,28 +141,29 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: &TokenStream) -> Result<bool, String> {
+fn parse_serde_attr(stream: &TokenStream) -> Result<FieldAttrs, String> {
     let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
     let is_serde = matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
     if !is_serde {
-        return Ok(false); // doc comment or foreign attribute
+        return Ok(FieldAttrs::default()); // doc comment or foreign attribute
     }
     if let Some(TokenTree::Group(args)) = toks.get(1) {
-        let mut saw_skip = false;
+        let mut attrs = FieldAttrs::default();
         for t in args.stream() {
             if let TokenTree::Ident(id) = &t {
                 match id.to_string().as_str() {
-                    "skip" => saw_skip = true,
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
                     other => {
                         return Err(format!(
                             "serde derive (vendored): unsupported serde attribute `{other}` \
-                             (only `skip` is implemented)"
+                             (only `skip` and `default` are implemented)"
                         ))
                     }
                 }
             }
         }
-        return Ok(saw_skip);
+        return Ok(attrs);
     }
     Err("serde derive: malformed #[serde(...)] attribute".to_string())
 }
@@ -200,7 +212,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let skip = c.skip_attrs()?;
+        let attrs = c.skip_attrs()?;
         c.skip_vis();
         let name = c.expect_ident("field name")?;
         if !c.is_punct(':') {
@@ -223,7 +235,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             }
             c.bump();
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     Ok(fields)
 }
@@ -389,6 +405,13 @@ fn gen_deserialize(item: &Item) -> String {
                 let fname = &f.name;
                 if f.skip {
                     inits.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{fname}: match obj.get(\"{fname}\") {{\n\
+                         ::core::option::Option::Some(v) => {DE}(v)?,\n\
+                         ::core::option::Option::None => ::core::default::Default::default(),\n\
+                         }},\n"
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{fname}: {DE}(obj.get(\"{fname}\").ok_or_else(|| \
@@ -449,6 +472,14 @@ fn gen_deserialize(item: &Item) -> String {
                             if f.skip {
                                 inits.push_str(&format!(
                                     "{fname}: ::core::default::Default::default(),\n"
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{fname}: match obj.get(\"{fname}\") {{\n\
+                                     ::core::option::Option::Some(v) => {DE}(v)?,\n\
+                                     ::core::option::Option::None => \
+                                     ::core::default::Default::default(),\n\
+                                     }},\n"
                                 ));
                             } else {
                                 inits.push_str(&format!(
