@@ -98,6 +98,13 @@ pub struct BtConfig {
     pub seed: u64,
     /// Record per-entity timeline segments (Figure 5).
     pub record_timeline: bool,
+    /// Debugging escape hatch: execute every tick densely instead of
+    /// fast-forwarding across provably quiescent spans. The fast-forward
+    /// path is bit-for-bit equivalent to the dense loop (same RNG stream,
+    /// same `BtResult`, same telemetry counters), so this should only
+    /// matter when bisecting a suspected detector bug.
+    #[serde(default)]
+    pub disable_fast_forward: bool,
 }
 
 impl BtConfig {
@@ -132,6 +139,7 @@ impl BtConfig {
             warmup: 0,
             seed,
             record_timeline: false,
+            disable_fast_forward: false,
         }
     }
 
@@ -162,6 +170,7 @@ impl BtConfig {
             warmup: 0,
             seed,
             record_timeline: false,
+            disable_fast_forward: false,
         }
     }
 

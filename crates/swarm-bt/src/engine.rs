@@ -83,6 +83,8 @@ struct BtProbes {
     unchoke_churn: &'static swarm_obs::Counter,
     blocked_ticks: &'static swarm_obs::Counter,
     avail_transitions: &'static swarm_obs::Counter,
+    ticks_elided: &'static swarm_obs::Counter,
+    ff_jumps: &'static swarm_obs::Counter,
     online: &'static swarm_obs::Gauge,
     blocked: &'static swarm_obs::Gauge,
     covered: &'static swarm_obs::Gauge,
@@ -105,6 +107,8 @@ impl BtProbes {
             unchoke_churn: swarm_obs::counter("bt.rechoke.churn"),
             blocked_ticks: swarm_obs::counter("bt.leechers.blocked_ticks"),
             avail_transitions: swarm_obs::counter("bt.availability.transitions"),
+            ticks_elided: swarm_obs::counter("bt.ticks_elided"),
+            ff_jumps: swarm_obs::counter("bt.fastforward.jumps"),
             online: swarm_obs::gauge("bt.peers.online"),
             blocked: swarm_obs::gauge("bt.leechers.blocked"),
             covered: swarm_obs::gauge("bt.pieces.covered"),
@@ -260,7 +264,8 @@ pub fn run(cfg: &BtConfig) -> BtResult {
 
 /// Run with a per-tick inspector (diagnostics; not part of the stable
 /// API). The callback receives `(tick, per-peer (age, pieces_held,
-/// upload, online))` every 60 ticks.
+/// upload, online))` every 60 ticks. Always dense — the inspector wants
+/// to see every tick, so quiescent spans are not elided here.
 #[doc(hidden)]
 pub fn run_with_inspector(
     cfg: &BtConfig,
@@ -274,26 +279,7 @@ pub fn run_with_inspector(
         if tick >= cfg.horizon && !engine.any_leecher_online() {
             break;
         }
-        let t0 = engine.tick_clock(tick);
-        engine.publisher_transitions(tick);
-        if tick < cfg.horizon {
-            engine.arrivals(tick);
-        }
-        if tick % REANNOUNCE_INTERVAL == 0 && tick > 0 {
-            engine.reannounce();
-        }
-        if cfg.pex_interval > 0 && tick > 0 && tick % cfg.pex_interval == 0 {
-            engine.pex_round();
-        }
-        if engine.force_rechoke || tick % cfg.rechoke_interval == 0 {
-            engine.rechoke();
-            engine.force_rechoke = false;
-        }
-        engine.expire_requests(tick);
-        engine.transfer_round(tick);
-        engine.linger_expiry(tick);
-        engine.availability_check(tick);
-        engine.record_tick_metrics(tick, t0);
+        engine.tick_body(tick);
         if tick % 60 == 0 {
             let snapshot: Vec<(u64, usize, f64, bool)> = engine
                 .nodes
@@ -313,6 +299,9 @@ struct BtEngine<'c> {
     rng: ChaCha8Rng,
     nodes: Vec<Node>,
     num_pieces: usize,
+    /// Precomputed `1 / arrival_rate` — the mean of the exponential
+    /// inter-arrival gap, so the hot arrival loop never re-divides.
+    arrival_mean: f64,
     next_arrival: f64,
     next_toggle: Option<f64>,
     publisher_retired: bool,
@@ -335,6 +324,14 @@ struct BtEngine<'c> {
     injected: Vec<u64>,
     /// Incremental per-piece replication over online non-publisher peers.
     rep: ReplicationIndex,
+    /// Ids of the nodes with `online == true`, maintained at the six
+    /// membership-flip sites (arrival, departure, drain, publisher
+    /// toggle/retire). The quiescence detector's no-op proofs scan this
+    /// instead of every node that ever existed: `Node` is large, the
+    /// population only grows, and in the idle regimes worth eliding the
+    /// online subset is a sliver of it. Unordered — every reader takes a
+    /// minimum or an any(), so iteration order cannot leak into results.
+    online_ids: Vec<usize>,
     // --- reusable scratch (cleared before use; steady-state ticks do not
     //     allocate once these are warm) ----------------------------------
     /// Online node ids, ascending.
@@ -409,7 +406,8 @@ impl<'c> BtEngine<'c> {
             received_this_tick: 0.0,
             assigned: Vec::new(),
         };
-        let next_arrival = exp_sample(&mut rng, 1.0 / cfg.arrival_rate);
+        let arrival_mean = 1.0 / cfg.arrival_rate;
+        let next_arrival = exp_sample(&mut rng, arrival_mean);
         let next_toggle = match cfg.publisher {
             BtPublisher::OnOff {
                 on_mean, off_mean, ..
@@ -466,6 +464,7 @@ impl<'c> BtEngine<'c> {
             rng,
             nodes: vec![publisher],
             num_pieces,
+            arrival_mean,
             next_arrival,
             next_toggle,
             publisher_retired: false,
@@ -480,6 +479,11 @@ impl<'c> BtEngine<'c> {
             force_rechoke: true,
             injected: vec![0; num_pieces],
             rep: ReplicationIndex::new(num_pieces),
+            online_ids: if initially_on {
+                vec![PUBLISHER]
+            } else {
+                Vec::new()
+            },
             scratch_online: Vec::new(),
             scratch_ids: Vec::new(),
             scratch_nb: Vec::new(),
@@ -507,34 +511,49 @@ impl<'c> BtEngine<'c> {
     fn run(mut self) -> BtResult {
         let _span = swarm_obs::span("bt.run");
         let hard_end = self.cfg.horizon + self.cfg.drain_ticks;
-        for tick in 0..hard_end {
+        let fast_forward = !self.cfg.disable_fast_forward;
+        let mut tick = 0u64;
+        while tick < hard_end {
             // Past the horizon we only drain: no new arrivals, and once no
             // leecher is left in flight the run is over.
             if tick >= self.cfg.horizon && !self.any_leecher_online() {
                 break;
             }
-            let t0 = self.tick_clock(tick);
-            self.publisher_transitions(tick);
-            if tick < self.cfg.horizon {
-                self.arrivals(tick);
+            self.tick_body(tick);
+            tick += 1;
+            if fast_forward && tick < hard_end {
+                if let Some(wake) = self.quiescent_wake(tick, hard_end) {
+                    self.fast_forward(tick, wake);
+                    tick = wake;
+                }
             }
-            if tick % REANNOUNCE_INTERVAL == 0 && tick > 0 {
-                self.reannounce();
-            }
-            if self.cfg.pex_interval > 0 && tick > 0 && tick % self.cfg.pex_interval == 0 {
-                self.pex_round();
-            }
-            if self.force_rechoke || tick % self.cfg.rechoke_interval == 0 {
-                self.rechoke();
-                self.force_rechoke = false;
-            }
-            self.expire_requests(tick);
-            self.transfer_round(tick);
-            self.linger_expiry(tick);
-            self.availability_check(tick);
-            self.record_tick_metrics(tick, t0);
         }
         self.finalize()
+    }
+
+    /// One dense tick: every per-tick phase, in the order the engine has
+    /// always run them. Shared by [`run`] and [`run_with_inspector`].
+    fn tick_body(&mut self, tick: u64) {
+        let t0 = self.tick_clock(tick);
+        self.publisher_transitions(tick);
+        if tick < self.cfg.horizon {
+            self.arrivals(tick);
+        }
+        if tick.is_multiple_of(REANNOUNCE_INTERVAL) && tick > 0 {
+            self.reannounce();
+        }
+        if self.cfg.pex_interval > 0 && tick > 0 && tick.is_multiple_of(self.cfg.pex_interval) {
+            self.pex_round();
+        }
+        if self.force_rechoke || tick.is_multiple_of(self.cfg.rechoke_interval) {
+            self.rechoke();
+            self.force_rechoke = false;
+        }
+        self.expire_requests(tick);
+        self.transfer_round(tick);
+        self.linger_expiry(tick);
+        self.availability_check(tick);
+        self.record_tick_metrics(tick, t0);
     }
 
     // --- observability ---------------------------------------------------
@@ -632,6 +651,268 @@ impl<'c> BtEngine<'c> {
         }
     }
 
+    // --- quiescence fast-forward -----------------------------------------
+    //
+    // The paper's headline regimes are mostly idle: with a highly
+    // unavailable publisher the swarm spends the bulk of simulated time
+    // with no peer online, or with only blocked leechers that hold
+    // identical pieces and nothing to exchange. Executing those ticks
+    // densely costs a full phase sweep each for provably zero effect.
+    // When the engine can prove every tick in `[from, wake)` would be a
+    // no-op — on the RNG stream as well as on engine state — it jumps the
+    // clock straight to `wake`, the earliest tick at which anything can
+    // happen, and `fast_forward` replays the per-tick accounting the
+    // dense loop would have produced, exactly.
+    //
+    // Invariants the detector relies on (expanded in DESIGN.md):
+    //
+    // * A quiescent tick consumes no RNG. `shuffle` draws nothing for
+    //   slices shorter than two and `choose` draws nothing from an empty
+    //   slice, so a tick whose phases all degenerate to those leaves the
+    //   ChaCha stream bit-identical to the dense loop's.
+    // * State is frozen across the gap. No transfer means no bitfield,
+    //   progress, replication, membership or reciprocity change, so a
+    //   phase proven no-op at `from` stays no-op until the next event.
+    // * Every state change is anchored to a schedulable event: the next
+    //   Poisson arrival, publisher toggle, request-timeout expiry,
+    //   linger end, the next rechoke/PEX/re-announce boundary with live
+    //   work, or the horizon/drain boundary. `quiescent_wake` takes the
+    //   minimum over all of them.
+
+    /// The first tick ≥ `from` at which a non-elidable event can fire,
+    /// or `None` when tick `from` itself must be executed densely.
+    fn quiescent_wake(&self, from: u64, hard_end: u64) -> Option<u64> {
+        // The detector's proofs quantify over online peers only, via the
+        // maintained id list; in debug builds, verify it against the
+        // per-node flags it mirrors.
+        debug_assert_eq!(
+            self.online_ids.len(),
+            self.nodes.iter().filter(|n| n.online).count(),
+            "online_ids out of sync with node flags"
+        );
+        // The dense loop's drain break-check fires at `from`; let it.
+        if from >= self.cfg.horizon && !self.any_leecher_online() {
+            return None;
+        }
+        // Cheap disqualifiers first: a swarm that moved bytes last tick
+        // (or owes a forced rechoke) pays only these two compares.
+        if self.force_rechoke || self.tick_bytes > 0.0 {
+            return None;
+        }
+        if !self.transfer_is_noop() {
+            return None;
+        }
+        let mut wake = hard_end;
+        if from < self.cfg.horizon {
+            // The horizon is a semantic boundary — arrivals stop, the
+            // drain break-check arms, availability credit ends — so a
+            // jump never crosses it.
+            wake = wake.min(self.cfg.horizon);
+            // Arrivals fire at the first tick with `next_arrival <= t`.
+            wake = wake.min(self.next_arrival.ceil() as u64);
+        }
+        if let Some(t) = self.next_toggle {
+            wake = wake.min(t.ceil() as u64);
+        }
+        for &i in &self.online_ids {
+            let n = &self.nodes[i];
+            // Request-timeout expiries prune per-connection state.
+            for &(_, _, last) in &n.assigned {
+                wake = wake.min(last + REQUEST_TIMEOUT);
+            }
+            // A lingering seed departs when its linger runs out.
+            if let Some(until) = n.linger_until {
+                wake = wake.min(until);
+            }
+        }
+        if !self.rechoke_noop() {
+            wake = wake.min(next_multiple(from, self.cfg.rechoke_interval));
+        }
+        if self.cfg.pex_interval > 0 && !self.pex_noop() {
+            wake = wake.min(next_multiple(from, self.cfg.pex_interval));
+        }
+        if !self.reannounce_noop() {
+            wake = wake.min(next_multiple(from, REANNOUNCE_INTERVAL));
+        }
+        (wake > from).then_some(wake)
+    }
+
+    /// Would `transfer_round` plan zero allocations? Mirrors the plan
+    /// loop's liveness filter over the persistent unchoke table. With no
+    /// live pair the round shuffles an empty vector (no RNG), moves no
+    /// bytes and completes nobody. Liveness can only change through a
+    /// transfer or a membership event, so a dead table stays dead for
+    /// the whole gap.
+    fn transfer_is_noop(&self) -> bool {
+        for i in 0..self.unchoked_from.len() {
+            let u = self.unchoked_from[i];
+            if !self.nodes[u].active() || self.nodes[u].num_held == 0 {
+                continue;
+            }
+            for &d in &self.unchoked_flat[self.unchoked_off[i]..self.unchoked_off[i + 1]] {
+                let nd = &self.nodes[d];
+                if nd.active()
+                    && !nd.is_seed()
+                    && nd.bitfield.interested_in(&self.nodes[u].bitfield)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Would a rechoke at a boundary inside the gap change nothing?
+    /// Unlike [`transfer_is_noop`] this scans *all* neighbors (rechoke
+    /// rebuilds the table from scratch): any interested live pair means
+    /// a shuffle (RNG) and a fresh unchoke set. The reciprocity windows
+    /// of online peers must be empty, or the swap/clear a dense rechoke
+    /// performs would be observable at the next scoring pass. With
+    /// probes live, a leftover previous unchoke-pair set would be
+    /// swapped by churn accounting, so it must be empty too — then the
+    /// only dense effect left is the `bt.rechoke.count` increment,
+    /// which [`fast_forward`] replays.
+    fn rechoke_noop(&self) -> bool {
+        if self.probes.is_some() && !self.unchoke_pairs_prev.is_empty() {
+            return false;
+        }
+        for &i in &self.online_ids {
+            let n = &self.nodes[i];
+            if !n.recv_prev.is_empty() || !n.recv_cur.is_empty() {
+                return false;
+            }
+            if n.num_held == 0 {
+                continue;
+            }
+            for &d in &n.neighbors {
+                let nd = &self.nodes[d];
+                if nd.active()
+                    && !nd.is_publisher
+                    && !nd.is_seed()
+                    && nd.bitfield.interested_in(&n.bitfield)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Would a PEX round inside the gap change nothing? A gossiping peer
+    /// with at least one online neighbor draws a partner (`choose` on a
+    /// non-empty slice consumes RNG), so PEX is only elidable when every
+    /// online non-publisher is fully isolated.
+    fn pex_noop(&self) -> bool {
+        for &i in &self.online_ids {
+            if i != PUBLISHER && self.active_neighbor_count(i) > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Would a re-announce inside the gap change nothing? A lonely
+    /// online peer would re-query the tracker (RNG draws, new edges).
+    /// The prune pass needs care: dropping an offline-but-returnable
+    /// publisher from a live neighbor list is observable once the
+    /// publisher comes back, so that prune must run densely. Entries
+    /// for departed leechers are inert — they never reactivate and
+    /// every neighbor-list reader filters on `active` — so pruning
+    /// them can wait for the next dense re-announce.
+    fn reannounce_noop(&self) -> bool {
+        let prune_pending = matches!(self.cfg.publisher, BtPublisher::OnOff { .. })
+            && !self.nodes[PUBLISHER].online;
+        for &i in &self.online_ids {
+            if i != PUBLISHER && self.active_neighbor_count(i) < MIN_NEIGHBORS {
+                return false;
+            }
+            if prune_pending && self.nodes[i].neighbors.contains(&PUBLISHER) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Jump the clock across the provably quiescent span `[from, to)`,
+    /// replaying exactly the accounting the dense loop would have
+    /// produced: availability credit, flat timeline-curve points, the
+    /// per-tick counters and gauges, the counter effect of boundary
+    /// no-op rechokes, and the strided `bt.tick` events `swarm-trace`
+    /// reconstructs timelines from.
+    fn fast_forward(&mut self, from: u64, to: u64) {
+        let elided = to - from;
+        let available = self.nodes[PUBLISHER].online || self.rep.covered == self.num_pieces;
+        if available {
+            // Gaps never straddle the horizon (`quiescent_wake` caps
+            // there), so the whole span earns credit or none of it does.
+            if from < self.cfg.horizon {
+                self.available_ticks += elided;
+            }
+            self.result.last_available_tick = Some(to - 1);
+        }
+        if self.cfg.record_timeline {
+            // The curves are defined on the dense tick grid; the elided
+            // span contributes flat segments.
+            let covered = self.rep.covered;
+            let min_rep = self.rep.min_replication();
+            for t in from..to {
+                self.result.aggregate_rate_curve.push((t, 0.0));
+                self.result.peer_coverage_curve.push((t, covered));
+                self.result.min_replication_curve.push((t, min_rep));
+                if t.is_multiple_of(60) {
+                    self.result
+                        .replication_snapshots
+                        .push((t, self.rep.sorted_counts()));
+                }
+            }
+        }
+        let Some(p) = &self.probes else { return };
+        p.ticks_elided.add(elided);
+        p.ff_jumps.inc();
+        p.ticks.add(elided);
+        let publisher_on = usize::from(self.nodes[PUBLISHER].online);
+        p.online.set((self.online_nonpub + publisher_on) as i64);
+        p.covered.set(self.rep.covered as i64);
+        p.min_rep.set(self.rep.min_replication() as i64);
+        // No receiver in a quiescent span: every online leecher counts
+        // as blocked, exactly as the dense loop would have scored it.
+        let blocked = self.online_nonpub - self.lingering_online;
+        p.blocked.set(blocked as i64);
+        p.blocked_ticks.add(blocked as u64 * elided);
+        // Rechoke boundaries inside the gap were metrics-only no-ops
+        // (`rechoke_noop` holds, or the wake was capped before the first
+        // boundary); replay their counter effects.
+        let rechokes = count_multiples(from, to, self.cfg.rechoke_interval);
+        if rechokes > 0 {
+            p.rechokes.add(rechokes);
+            p.unchoke_pairs.set(0);
+        }
+        // The strided tick events, with payloads identical to the ones
+        // the dense loop would have emitted at the same ticks.
+        let mut t = next_multiple(from, TICK_EVENT_SAMPLE);
+        while t < to {
+            swarm_obs::emit(
+                "bt.tick",
+                &[
+                    ("run", swarm_obs::val(self.run_ord)),
+                    ("tick", swarm_obs::val(t)),
+                    (
+                        "online",
+                        swarm_obs::val((self.online_nonpub + publisher_on) as u64),
+                    ),
+                    ("blocked", swarm_obs::val(blocked as u64)),
+                    ("covered", swarm_obs::val(self.rep.covered as u64)),
+                    (
+                        "min_replication",
+                        swarm_obs::val(self.rep.min_replication() as u64),
+                    ),
+                    ("publisher_on", swarm_obs::val(self.nodes[PUBLISHER].online)),
+                ],
+            );
+            t += TICK_EVENT_SAMPLE;
+        }
+    }
+
     // --- membership -----------------------------------------------------
 
     fn any_leecher_online(&self) -> bool {
@@ -643,12 +924,13 @@ impl<'c> BtEngine<'c> {
 
     /// Refresh `scratch_online` with the online node ids, ascending.
     fn fill_online(&mut self) {
+        // Ascending id order is load-bearing: callers draw from the RNG
+        // per entry, so the order is part of the observable stream.
+        // `online_ids` holds exactly the active set but unordered — a
+        // sorted copy beats rescanning every node that ever arrived.
         self.scratch_online.clear();
-        for i in 0..self.nodes.len() {
-            if self.nodes[i].active() {
-                self.scratch_online.push(i);
-            }
-        }
+        self.scratch_online.extend_from_slice(&self.online_ids);
+        self.scratch_online.sort_unstable();
     }
 
     fn active_neighbor_count(&self, i: usize) -> usize {
@@ -692,7 +974,7 @@ impl<'c> BtEngine<'c> {
 
     fn arrivals(&mut self, tick: u64) {
         while self.next_arrival <= tick as f64 {
-            self.next_arrival += exp_sample(&mut self.rng, 1.0 / self.cfg.arrival_rate);
+            self.next_arrival += exp_sample(&mut self.rng, self.arrival_mean);
             let upload = self.cfg.peer_capacity.sample(&mut self.rng);
             let counted = tick >= self.cfg.warmup;
             if counted {
@@ -718,6 +1000,7 @@ impl<'c> BtEngine<'c> {
                 assigned: Vec::new(),
             });
             let id = self.nodes.len() - 1;
+            self.online_ids.push(id);
             self.online_nonpub += 1;
             if let Some(p) = &self.probes {
                 p.arrivals.inc();
@@ -729,12 +1012,21 @@ impl<'c> BtEngine<'c> {
     fn reannounce(&mut self) {
         // Drop connections to departed peers (in place: peers keep their
         // neighbor-list allocations), then let under-connected peers
-        // query the tracker again.
-        for i in 0..self.nodes.len() {
+        // query the tracker again. Only online nodes' lists need the
+        // prune: an offline node's list is read solely through
+        // active-filtered views (`active_neighbor_count`, rechoke/PEX
+        // candidate scans) and `connect`'s duplicate check, none of
+        // which can observe a stale entry for a departed peer — ids are
+        // never reused. The publisher prunes on its next online round.
+        for idx in 0..self.online_ids.len() {
+            let i = self.online_ids[idx];
             let mut neighbors = std::mem::take(&mut self.nodes[i].neighbors);
             neighbors.retain(|&n| self.nodes[n].active());
             self.nodes[i].neighbors = neighbors;
         }
+        // Ascending-id scan, not `online_ids`: each lonely peer's
+        // tracker query draws from the RNG, so the query order is part
+        // of the observable stream and `online_ids` is unordered.
         let mut lonely = std::mem::take(&mut self.scratch_nb);
         lonely.clear();
         for i in 1..self.nodes.len() {
@@ -801,12 +1093,14 @@ impl<'c> BtEngine<'c> {
             let was_online = self.nodes[PUBLISHER].online;
             if was_online {
                 self.nodes[PUBLISHER].online = false;
+                self.online_ids.retain(|&i| i != PUBLISHER);
                 if let Some(since) = self.publisher_online_since.take() {
                     self.result.publisher_intervals.push((since, tick));
                 }
                 self.next_toggle = Some(t + exp_sample(&mut self.rng, off_mean));
             } else {
                 self.nodes[PUBLISHER].online = true;
+                self.online_ids.push(PUBLISHER);
                 self.publisher_online_since = Some(tick);
                 self.next_toggle = Some(t + exp_sample(&mut self.rng, on_mean));
                 // Returning publisher re-announces and reconnects.
@@ -819,6 +1113,7 @@ impl<'c> BtEngine<'c> {
     fn retire_publisher(&mut self, tick: u64) {
         self.publisher_retired = true;
         self.nodes[PUBLISHER].online = false;
+        self.online_ids.retain(|&i| i != PUBLISHER);
         self.nodes[PUBLISHER].departed = Some(tick);
         if let Some(since) = self.publisher_online_since.take() {
             self.result.publisher_intervals.push((since, tick));
@@ -833,7 +1128,12 @@ impl<'c> BtEngine<'c> {
     /// persistence a publisher facing many stuck peers hands every peer an
     /// epsilon of capacity and nobody ever finishes a piece).
     fn rechoke(&mut self) {
-        for n in &mut self.nodes {
+        // Only online nodes need the window roll: departed leechers never
+        // come back (their windows are never read again) and the
+        // publisher — the one node that can re-join — never receives
+        // bytes, so its windows are always empty.
+        for idx in 0..self.online_ids.len() {
+            let n = &mut self.nodes[self.online_ids[idx]];
             // Swap instead of take: both windows keep their allocations.
             std::mem::swap(&mut n.recv_prev, &mut n.recv_cur);
             n.recv_cur.clear();
@@ -904,9 +1204,12 @@ impl<'c> BtEngine<'c> {
     /// Expire per-connection requests that have not received data within
     /// the request timeout, releasing their pieces to other connections.
     fn expire_requests(&mut self, tick: u64) {
-        for d in &mut self.nodes {
-            // Offline peers are never picked from again; skip them.
-            if d.online && !d.assigned.is_empty() {
+        // Offline peers are never picked from again, so only online ones
+        // need the sweep — via the id list, not a scan of every node that
+        // ever arrived.
+        for idx in 0..self.online_ids.len() {
+            let d = &mut self.nodes[self.online_ids[idx]];
+            if !d.assigned.is_empty() {
                 d.assigned
                     .retain(|&(_, _, last)| tick.saturating_sub(last) < REQUEST_TIMEOUT);
             }
@@ -1204,6 +1507,7 @@ impl<'c> BtEngine<'c> {
             }
             None => {
                 self.nodes[d].online = false;
+                self.online_ids.retain(|&i| i != d);
                 self.nodes[d].departed = Some(done_at);
                 self.rep.drop_holder(&self.nodes[d].bitfield);
                 self.online_nonpub -= 1;
@@ -1212,14 +1516,22 @@ impl<'c> BtEngine<'c> {
     }
 
     fn linger_expiry(&mut self, tick: u64) {
+        // Only lingering seeds can expire; skip the node scan entirely
+        // while nobody is lingering (the common case in blocked swarms,
+        // where this runs every tick over every node that ever arrived).
+        if self.lingering_online == 0 {
+            return;
+        }
         let mut expired = 0usize;
-        for n in &mut self.nodes {
+        for i in 0..self.nodes.len() {
+            let n = &mut self.nodes[i];
             if n.online && !n.is_publisher {
                 if let Some(until) = n.linger_until {
                     if until <= tick {
                         n.online = false;
                         n.departed = Some(tick);
                         self.rep.drop_holder(&n.bitfield);
+                        self.online_ids.retain(|&o| o != i);
                         expired += 1;
                     }
                 }
@@ -1375,6 +1687,26 @@ fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
     -(1.0 - rng.gen::<f64>()).ln() * mean
 }
 
+/// Smallest multiple of `interval` that is ≥ `from`.
+fn next_multiple(from: u64, interval: u64) -> u64 {
+    let r = from % interval;
+    if r == 0 {
+        from
+    } else {
+        from + (interval - r)
+    }
+}
+
+/// Number of multiples of `interval` in the half-open range `[from, to)`.
+fn count_multiples(from: u64, to: u64, interval: u64) -> u64 {
+    let first = next_multiple(from, interval);
+    if first >= to {
+        0
+    } else {
+        1 + (to - 1 - first) / interval
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1386,6 +1718,43 @@ mod tests {
             publisher: BtPublisher::AlwaysOn,
             ..BtConfig::paper_section_4_3(k, seed)
         }
+    }
+
+    #[test]
+    fn next_multiple_and_count() {
+        assert_eq!(next_multiple(1, 10), 10);
+        assert_eq!(next_multiple(10, 10), 10);
+        assert_eq!(next_multiple(11, 10), 20);
+        assert_eq!(next_multiple(7, 1), 7);
+        // Multiples of 10 in [from, to).
+        assert_eq!(count_multiples(1, 10, 10), 0);
+        assert_eq!(count_multiples(1, 11, 10), 1);
+        assert_eq!(count_multiples(10, 11, 10), 1);
+        assert_eq!(count_multiples(11, 30, 10), 1);
+        assert_eq!(count_multiples(11, 31, 10), 2);
+        assert_eq!(count_multiples(5, 5, 10), 0);
+        // Interval 1: every tick is a boundary.
+        assert_eq!(count_multiples(3, 9, 1), 6);
+    }
+
+    #[test]
+    fn fast_forward_preserves_golden_trace() {
+        // The elided engine must reproduce the dense golden trace
+        // byte-for-byte — same RNG stream, same curves.
+        let cfg = BtConfig {
+            record_timeline: true,
+            horizon: 600,
+            drain_ticks: 300,
+            linger_mean: Some(120.0),
+            ..BtConfig::paper_section_4_3(2, 42)
+        };
+        let dense = BtConfig {
+            disable_fast_forward: true,
+            ..cfg.clone()
+        };
+        let a = serde_json::to_string(&run(&dense)).expect("serialize");
+        let b = serde_json::to_string(&run(&cfg)).expect("serialize");
+        assert_eq!(a, b, "fast-forward must not change the golden trace");
     }
 
     #[test]

@@ -81,6 +81,29 @@ mod tests {
     }
 
     #[test]
+    fn uneven_split_equals_serial() {
+        // n not divisible by threads: 5 runs over 2 threads leaves one
+        // thread with an extra replication; order and pooling must not
+        // depend on how the work was chunked.
+        let s = replicate(&cfg(), 5, 1);
+        let p = replicate(&cfg(), 5, 2);
+        assert_eq!(s.download_times.values(), p.download_times.values());
+        assert_eq!(s.availability, p.availability);
+        assert_eq!(s.runs.len(), p.runs.len());
+    }
+
+    #[test]
+    fn more_threads_than_runs_equals_serial() {
+        // threads > n: the surplus threads have nothing to do and must
+        // not perturb ordering or results.
+        let s = replicate(&cfg(), 2, 1);
+        let p = replicate(&cfg(), 2, 8);
+        assert_eq!(s.download_times.values(), p.download_times.values());
+        assert_eq!(s.availability, p.availability);
+        assert_eq!(p.runs.len(), 2);
+    }
+
+    #[test]
     fn pools_across_runs() {
         let one = replicate(&cfg(), 1, 1);
         let four = replicate(&cfg(), 4, 2);

@@ -38,7 +38,7 @@ pub mod metrics;
 
 pub use bitfield::Bitfield;
 pub use capacity::CapacityDistribution;
-pub use config::{BtConfig, BtPublisher};
+pub use config::{BtConfig, BtPublisher, PieceSelection};
 pub use engine::run;
 pub use experiment::{replicate, BtReplicated};
 pub use metrics::{BtResult, PeerSpan};

@@ -1,0 +1,107 @@
+//! Telemetry equivalence of the quiescence fast-forward.
+//!
+//! Every deterministic `bt.*` counter — ticks, bytes, arrivals,
+//! completions, rechokes, churn, blocked ticks, availability
+//! transitions — must be *identical* between a dense and an elided run
+//! of the same config. Only the two fast-forward counters themselves
+//! (`bt.ticks_elided`, `bt.fastforward.jumps`) may differ: zero under
+//! the dense loop, positive once elision engages.
+//!
+//! Own test binary: it owns the process-global `swarm-obs` state
+//! (enable switch + counter registry), which must not race with other
+//! tests' runs.
+
+use std::collections::BTreeMap;
+use swarm_bt::{run, BtConfig, BtPublisher};
+
+/// The counters introduced by the fast-forward path; everything else
+/// under `bt.` must match a dense run exactly.
+const FF_COUNTERS: [&str; 2] = ["bt.ticks_elided", "bt.fastforward.jumps"];
+
+fn bt_counters(snap: &swarm_obs::Snapshot) -> BTreeMap<String, u64> {
+    snap.counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("bt.") && !k.ends_with("_ns") && !k.ends_with("_ms"))
+        .map(|(k, &v)| (k.clone(), v))
+        .collect()
+}
+
+#[test]
+fn deterministic_counters_match_dense() {
+    // An idle-heavy §4.3 run with lingering: off-periods, linger-expiry
+    // wakes and peer-sustained availability all in play.
+    let cfg = BtConfig {
+        arrival_rate: 1.0 / 120.0,
+        publisher: BtPublisher::OnOff {
+            on_mean: 120.0,
+            off_mean: 900.0,
+            initially_on: true,
+        },
+        linger_mean: Some(60.0),
+        horizon: 2_400,
+        drain_ticks: 1_200,
+        ..BtConfig::paper_section_4_3(1, 97)
+    };
+    let dense_cfg = BtConfig {
+        disable_fast_forward: true,
+        ..cfg.clone()
+    };
+
+    swarm_obs::set_enabled(true);
+    let s0 = swarm_obs::snapshot();
+    let dense = serde_json::to_string(&run(&dense_cfg)).expect("serialize");
+    let s1 = swarm_obs::snapshot();
+    let elided = serde_json::to_string(&run(&cfg)).expect("serialize");
+    let s2 = swarm_obs::snapshot();
+    swarm_obs::set_enabled(false);
+
+    assert_eq!(dense, elided, "results must match under telemetry too");
+
+    let dense_delta = bt_counters(&s1.delta_since(&s0));
+    let elided_delta = bt_counters(&s2.delta_since(&s1));
+
+    for (name, &dense_v) in &dense_delta {
+        if FF_COUNTERS.contains(&name.as_str()) {
+            continue;
+        }
+        let elided_v = elided_delta.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            dense_v, elided_v,
+            "counter {name} diverged: dense {dense_v} vs elided {elided_v}"
+        );
+    }
+    for (name, &elided_v) in &elided_delta {
+        if FF_COUNTERS.contains(&name.as_str()) {
+            continue;
+        }
+        assert!(
+            dense_delta.contains_key(name),
+            "counter {name} ({elided_v}) appeared only under fast-forward"
+        );
+    }
+
+    // The dense run must not elide; the elided run must actually jump.
+    assert_eq!(dense_delta.get("bt.ticks_elided").copied().unwrap_or(0), 0);
+    assert_eq!(
+        dense_delta
+            .get("bt.fastforward.jumps")
+            .copied()
+            .unwrap_or(0),
+        0
+    );
+    let skipped = elided_delta.get("bt.ticks_elided").copied().unwrap_or(0);
+    let jumps = elided_delta
+        .get("bt.fastforward.jumps")
+        .copied()
+        .unwrap_or(0);
+    assert!(skipped > 0, "idle-heavy run must elide ticks");
+    assert!(jumps > 0, "idle-heavy run must take jumps");
+    // Sanity: elided + executed == dense tick count.
+    let dense_ticks = dense_delta["bt.ticks"];
+    let elided_ticks = elided_delta["bt.ticks"];
+    assert_eq!(dense_ticks, elided_ticks, "bt.ticks must match exactly");
+    assert!(
+        skipped < dense_ticks,
+        "cannot elide more ticks than the run has"
+    );
+}

@@ -105,7 +105,12 @@ mod tests {
             threshold: 0,
             max_time: 1e8,
         };
-        let (mc, _) = mean_busy_period(&cfg, 20_000, |rng| vec![initiator.sample(rng)], &mut rng);
+        let (mc, _) = mean_busy_period(
+            &cfg,
+            20_000,
+            |buf, rng| buf.push(initiator.sample(rng)),
+            &mut rng,
+        );
         let analytic = busy_period(&p);
         assert!(
             ((mc - analytic) / analytic).abs() < 0.05,

@@ -365,7 +365,12 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mc, _) = mean_busy_period(&cfg, 30_000, |rng| vec![initiator.sample(rng)], &mut rng);
+        let (mc, _) = mean_busy_period(
+            &cfg,
+            30_000,
+            |buf, rng| buf.push(initiator.sample(rng)),
+            &mut rng,
+        );
         assert!(
             ((mc - analytic) / analytic).abs() < 0.04,
             "MC {mc} vs analytic {analytic}"

@@ -9,17 +9,30 @@ use crate::dist::ResidenceTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Total order on f64 departure times for the event heap. Residence times
-/// are finite by construction, so `partial_cmp` cannot fail.
-#[derive(PartialEq, PartialOrd)]
+/// Total order on f64 departure times for the event heap, via IEEE 754
+/// `total_cmp`. Residence times are finite by construction, so the only
+/// place `total_cmp` differs from the naive `partial_cmp` order (NaN,
+/// signed zero) is never exercised — but the heap no longer needs a
+/// panicking `expect` or a lint suppression to say so.
 struct Departure(f64);
+
+impl PartialEq for Departure {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
 
 impl Eq for Departure {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for Departure {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Ord for Departure {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("finite departure times")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -57,10 +70,26 @@ pub struct McBusyPeriod {
 /// If `initial.len() <= threshold` (the busy period would be over before it
 /// starts) or the simulation exceeds `max_time`.
 pub fn simulate_busy_period<R: rand::Rng>(cfg: &McConfig, rng: &mut R) -> McBusyPeriod {
+    let mut departures = BinaryHeap::new();
+    run_busy_period(cfg, &cfg.initial, &mut departures, rng)
+}
+
+/// The simulation kernel behind [`simulate_busy_period`]: one busy period
+/// with the initial population given by `initial` (overriding
+/// `cfg.initial`) and the event heap's storage borrowed from the caller.
+/// The heap is cleared on entry, so [`mean_busy_period`] can allocate it
+/// once and reuse its backing buffer across tens of thousands of
+/// replications.
+fn run_busy_period<R: rand::Rng>(
+    cfg: &McConfig,
+    initial: &[f64],
+    departures: &mut BinaryHeap<Reverse<Departure>>,
+    rng: &mut R,
+) -> McBusyPeriod {
     assert!(
-        cfg.initial.len() > cfg.threshold,
+        initial.len() > cfg.threshold,
         "initial population {} must exceed threshold {}",
-        cfg.initial.len(),
+        initial.len(),
         cfg.threshold
     );
     assert!(
@@ -68,17 +97,14 @@ pub fn simulate_busy_period<R: rand::Rng>(cfg: &McConfig, rng: &mut R) -> McBusy
         "beta must be nonnegative"
     );
 
-    let mut departures: BinaryHeap<Reverse<Departure>> = cfg
-        .initial
-        .iter()
-        .map(|&t| {
-            assert!(
-                t >= 0.0 && t.is_finite(),
-                "initial residence must be finite"
-            );
-            Reverse(Departure(t))
-        })
-        .collect();
+    departures.clear();
+    departures.extend(initial.iter().map(|&t| {
+        assert!(
+            t >= 0.0 && t.is_finite(),
+            "initial residence must be finite"
+        );
+        Reverse(Departure(t))
+    }));
     let mut now = 0.0_f64;
     let mut served = 0u64;
     let mut next_arrival = if cfg.beta > 0.0 {
@@ -117,6 +143,13 @@ pub fn simulate_busy_period<R: rand::Rng>(cfg: &McConfig, rng: &mut R) -> McBusy
 
 /// Mean busy period and mean customers served over `reps` replications.
 ///
+/// `resample_initial` redraws the initial population for each
+/// replication by pushing *remaining* residence times into the provided
+/// buffer, which arrives empty; `cfg.initial` is ignored. The buffer and
+/// the departure event heap are allocated once and their storage reused
+/// across all replications, so the estimator's hot loop is
+/// allocation-free regardless of `reps`.
+///
 /// With telemetry enabled the kernel reports its throughput and
 /// convergence: counters `mc.reps` / `mc.served`, and ~8 `"mc.progress"`
 /// events per call carrying samples/sec and the running 95% CI
@@ -125,7 +158,7 @@ pub fn simulate_busy_period<R: rand::Rng>(cfg: &McConfig, rng: &mut R) -> McBusy
 pub fn mean_busy_period<R: rand::Rng>(
     cfg: &McConfig,
     reps: usize,
-    mut resample_initial: impl FnMut(&mut R) -> Vec<f64>,
+    mut resample_initial: impl FnMut(&mut Vec<f64>, &mut R),
     rng: &mut R,
 ) -> (f64, f64) {
     assert!(reps > 0, "need at least one replication");
@@ -136,16 +169,12 @@ pub fn mean_busy_period<R: rand::Rng>(
     let mut sum_len = 0.0;
     let mut sum_len_sq = 0.0;
     let mut sum_served = 0.0;
+    let mut initial = Vec::new();
+    let mut departures = BinaryHeap::new();
     for i in 0..reps {
-        let initial = resample_initial(rng);
-        let one = McConfig {
-            beta: cfg.beta,
-            service: cfg.service,
-            initial,
-            threshold: cfg.threshold,
-            max_time: cfg.max_time,
-        };
-        let r = simulate_busy_period(&one, rng);
+        initial.clear();
+        resample_initial(&mut initial, rng);
+        let r = run_busy_period(cfg, &initial, &mut departures, rng);
         sum_len += r.length;
         sum_len_sq += r.length * r.length;
         sum_served += r.served as f64;
@@ -215,7 +244,12 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean, _) = mean_busy_period(&cfg, REPS, |rng| vec![service.sample(rng)], &mut rng);
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |buf, rng| buf.push(service.sample(rng)),
+            &mut rng,
+        );
         close(mean, classical_busy_period(beta, alpha), 0.03);
     }
 
@@ -232,7 +266,12 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean, _) = mean_busy_period(&cfg, REPS, |rng| vec![initiator.sample(rng)], &mut rng);
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |buf, rng| buf.push(initiator.sample(rng)),
+            &mut rng,
+        );
         close(mean, exceptional_busy_period(beta, &initiator, alpha), 0.03);
     }
 
@@ -255,7 +294,12 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean, _) = mean_busy_period(&cfg, REPS, |rng| vec![initiator.sample(rng)], &mut rng);
+        let (mean, _) = mean_busy_period(
+            &cfg,
+            REPS,
+            |buf, rng| buf.push(initiator.sample(rng)),
+            &mut rng,
+        );
         close(mean, p.expected(), 0.03);
     }
 
@@ -276,7 +320,7 @@ mod tests {
         let (mean, _) = mean_busy_period(
             &cfg,
             REPS,
-            |rng| (0..n).map(|_| service.sample(rng)).collect(),
+            |buf, rng| buf.extend((0..n).map(|_| service.sample(rng))),
             &mut rng,
         );
         close(mean, residual_busy_period(n, lambda, alpha), 0.03);
@@ -297,7 +341,7 @@ mod tests {
         let (mean, _) = mean_busy_period(
             &cfg,
             REPS,
-            |rng| (0..n).map(|_| service.sample(rng)).collect(),
+            |buf, rng| buf.extend((0..n).map(|_| service.sample(rng))),
             &mut rng,
         );
         close(
@@ -321,8 +365,12 @@ mod tests {
             threshold: 0,
             max_time: 1e7,
         };
-        let (mean_len, mean_served) =
-            mean_busy_period(&cfg, REPS, |rng| vec![service.sample(rng)], &mut rng);
+        let (mean_len, mean_served) = mean_busy_period(
+            &cfg,
+            REPS,
+            |buf, rng| buf.push(service.sample(rng)),
+            &mut rng,
+        );
         let expected_served = 1.0 + beta * mean_len;
         close(mean_served, expected_served, 0.03);
     }

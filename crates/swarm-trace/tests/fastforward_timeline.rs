@@ -1,0 +1,81 @@
+//! Elided spans must not distort reconstructed timelines.
+//!
+//! `swarm-trace` rebuilds a run's availability step function from the
+//! sparse `bt.availability` transition events and reads swarm shape
+//! from the strided `bt.tick` samples. The engine's quiescence
+//! fast-forward skips dense ticks but synthesizes the same strided
+//! samples with identical payloads, so a dense and an elided run of the
+//! same config must reconstruct into identical timelines — flip for
+//! flip, segment for segment, sample for sample.
+//!
+//! Own test binary: it owns the process-global `swarm-obs` state
+//! (enable switch + flight recorder), which must not race with other
+//! tests' drains.
+
+use swarm_bt::{run, BtConfig, BtPublisher};
+use swarm_trace::timeline::{collect_runs, BtRunTrace};
+
+fn traced(job: &str, cfg: &BtConfig) -> (BtRunTrace, f64) {
+    swarm_obs::set_enabled(true);
+    let result = {
+        let _job = swarm_obs::job_scope(job);
+        run(cfg)
+    };
+    swarm_obs::set_enabled(false);
+    let events = swarm_obs::drain_job(job);
+    let mut runs = collect_runs(&events);
+    assert_eq!(runs.len(), 1, "one engine run, one trace");
+    (runs.remove(0), result.availability)
+}
+
+#[test]
+fn elided_run_reconstructs_identically() {
+    // Idle-heavy §4.3 config: long off-periods make for big jumps, and
+    // enough on-periods for several availability flips.
+    let cfg = BtConfig {
+        arrival_rate: 1.0 / 90.0,
+        publisher: BtPublisher::OnOff {
+            on_mean: 150.0,
+            off_mean: 600.0,
+            initially_on: true,
+        },
+        horizon: 2_400,
+        drain_ticks: 1_200,
+        ..BtConfig::paper_section_4_3(1, 42)
+    };
+    let dense_cfg = BtConfig {
+        disable_fast_forward: true,
+        ..cfg.clone()
+    };
+
+    let (dense, dense_avail) = traced("ff-dense", &dense_cfg);
+    let (elided, elided_avail) = traced("ff-elided", &cfg);
+    assert!(elided.run > dense.run, "ordinals strictly increase");
+
+    // The availability step function is reconstructed from transition
+    // events only; elision must leave every corner point in place.
+    assert!(!dense.flips.is_empty(), "config must produce transitions");
+    assert_eq!(dense.flips, elided.flips, "step-function corner points");
+    assert_eq!(dense.segments(), elided.segments(), "step function");
+    assert_eq!(
+        dense.unavailable_fraction(),
+        elided.unavailable_fraction(),
+        "measured unavailability"
+    );
+    assert_eq!(dense.busy_periods(), elided.busy_periods());
+
+    // The strided tick samples are synthesized during elided spans with
+    // payloads identical to what the dense loop emits.
+    assert!(!dense.ticks.is_empty());
+    assert_eq!(dense.ticks, elided.ticks, "strided bt.tick samples");
+
+    // Both reconstructions agree with the engines' own figures, which
+    // are themselves equal (dense-vs-elided BtResult equivalence).
+    assert_eq!(dense_avail, elided_avail);
+    let frac = elided.unavailable_fraction().expect("transitions seen");
+    assert!(
+        (frac - (1.0 - elided_avail)).abs() < 1e-9,
+        "reconstructed unavailable fraction {frac} vs engine {}",
+        1.0 - elided_avail
+    );
+}
