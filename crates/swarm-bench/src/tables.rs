@@ -5,6 +5,7 @@ use crate::output::{table2, Report};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde_json::json;
+use swarm_catalog::{book_stats_live, friends_case_live, run_catalog, CatalogRunConfig};
 use swarm_measurement::{
     book_stats, bundling_extent, generate_catalog, show_case_study, CatalogConfig, Category,
 };
@@ -65,6 +66,20 @@ pub fn books_table(quick: bool) -> Report {
     let mut rng = ChaCha8Rng::seed_from_u64(2004);
     let stats = book_stats(&catalog, &mut rng);
 
+    // Live contrast: run the catalog through the sharded runtime as a
+    // snapshot continuation and measure seed presence and downloads
+    // instead of sampling the stationary law.
+    let live_run = run_catalog(
+        &catalog,
+        &CatalogRunConfig {
+            catalog_seed: 2006,
+            months: 7,
+            threads: crate::catalog_live::worker_threads(),
+            start_at_generated_age: true,
+        },
+    );
+    let live = book_stats_live(&catalog, &live_run);
+
     report.block(table2(
         ("metric", "value (paper)"),
         &[
@@ -90,9 +105,32 @@ pub fn books_table(quick: bool) -> Report {
                     stats.downloads_typical, stats.downloads_collections
                 ),
             ),
+            (
+                "live: no seed".into(),
+                format!(
+                    "all {:.0}%, colls {:.0}%, effective {:.0}%",
+                    live.unavailable_all * 100.0,
+                    live.unavailable_collections * 100.0,
+                    live.unavailable_collections_effective * 100.0
+                ),
+            ),
+            (
+                "live: downloads".into(),
+                format!(
+                    "typical {:.0} vs collections {:.0} (measured)",
+                    live.downloads_typical, live.downloads_collections
+                ),
+            ),
         ],
     ));
-    report.set_data(serde_json::to_value(stats).expect("serializable"));
+    let mut data = serde_json::to_value(stats).expect("serializable");
+    if let serde_json::Value::Object(map) = &mut data {
+        map.insert(
+            "live".into(),
+            serde_json::to_value(live).expect("serializable"),
+        );
+    }
+    report.set_data(data);
     report
 }
 
@@ -106,6 +144,9 @@ pub fn friends_table(_quick: bool) -> Report {
     // Paper: 52 swarms, 28 bundles (21 + 7); 23 available of which 21
     // bundles. Bundle share 28/52.
     let s = show_case_study(52, 28.0 / 52.0, &mut rng);
+    // The same case study with the snapshot simulated by the catalog
+    // runtime instead of sampled from the stationary law.
+    let live = friends_case_live(52, 28.0 / 52.0, 2005, crate::catalog_live::worker_threads());
     report.block(table2(
         ("metric", "value (paper)"),
         &[
@@ -119,9 +160,23 @@ pub fn friends_table(_quick: bool) -> Report {
                 "unavail. bundles".into(),
                 format!("{} (7)", s.unavailable_bundles),
             ),
+            (
+                "live snapshot".into(),
+                format!(
+                    "{} available ({} bundles), {} unavailable bundles",
+                    live.available, live.available_bundles, live.unavailable_bundles
+                ),
+            ),
         ],
     ));
-    report.set_data(serde_json::to_value(s).expect("serializable"));
+    let mut data = serde_json::to_value(s).expect("serializable");
+    if let serde_json::Value::Object(map) = &mut data {
+        map.insert(
+            "live".into(),
+            serde_json::to_value(live).expect("serializable"),
+        );
+    }
+    report.set_data(data);
     report
 }
 

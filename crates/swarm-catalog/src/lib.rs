@@ -1,0 +1,43 @@
+//! Catalog-scale sharded multi-swarm runtime.
+//!
+//! The measurement crate reproduces the paper's §2 study by *sampling*:
+//! every experiment walks the generated catalog serially, drawing each
+//! swarm's hourly seed-presence from one shared RNG. That caps the
+//! population size an experiment can afford and welds the results to a
+//! single visit order. This crate lifts the same seed-presence model to
+//! catalog scale:
+//!
+//! * [`runtime`] — the sharded engine. The whole catalog is partitioned
+//!   across a work-stealing shard pool (built on
+//!   `swarm_stats::parallel::run_stealing`, which leases its workers
+//!   from the process-wide [`ThreadBudget`]). Each swarm advances
+//!   *event-driven*: seed-present/seedless dwell times are drawn
+//!   directly from the alternating-renewal process instead of being
+//!   sampled hour by hour, so a quiescent swarm — months of seedless
+//!   time — costs one exponential draw per parameter-refresh window.
+//!   That is the measurement-layer analog of the swarm-bt engine's
+//!   quiescence fast-forward.
+//! * Determinism: every swarm owns a private ChaCha8 stream derived
+//!   from `(catalog_seed, swarm_id)` via SplitMix64, so results are
+//!   bit-identical no matter how many shards run or how work is stolen
+//!   between them.
+//! * [`obsbatch`] — shard-local telemetry batching: plain (non-atomic)
+//!   counters and histogram snapshots accumulated per shard, flushed to
+//!   the global `swarm-obs` registry once at the shard barrier, with
+//!   per-swarm tick latencies aggregated into fixed-size windows.
+//! * [`study`] — the paper's E1–E3 analyses (Figure 1 CDFs, the books
+//!   contrast, the "Friends" case study) recomputed from a *live* run's
+//!   measured seed-time and download counts instead of stationary
+//!   samples.
+//!
+//! [`ThreadBudget`]: swarm_stats::parallel::ThreadBudget
+
+pub mod obsbatch;
+pub mod runtime;
+pub mod study;
+
+pub use obsbatch::{ShardObs, TICK_WINDOW};
+pub use runtime::{
+    run_catalog, swarm_stream, CatalogRun, CatalogRunConfig, SwarmSummary, DEFAULT_CATALOG_SEED,
+};
+pub use study::{availability_study_live, book_stats_live, friends_case_live};

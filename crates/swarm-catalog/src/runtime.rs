@@ -1,0 +1,342 @@
+//! The sharded catalog engine.
+//!
+//! One [`SwarmSummary`] per catalog swarm, produced by an event-driven
+//! walk of the swarm's seed process over the monitoring horizon. The
+//! walk mirrors `swarm_measurement::observe::monitor` — same
+//! [`seed_process`] parameterization, same weekly parameter refresh,
+//! same stationary initial draw — but replaces the hourly Bernoulli
+//! toggle with exact exponential dwell times, and additionally counts
+//! the peers that arrive (and the completers that linger as seeds)
+//! while the swarm is available. An idle swarm therefore costs one RNG
+//! draw per week of simulated time instead of 168.
+//!
+//! # Determinism
+//!
+//! Every swarm draws from a private ChaCha8 stream keyed by
+//! `(catalog_seed, swarm_id)` (see [`swarm_stream`]), and every field of
+//! [`SwarmSummary`] is accumulated sequentially inside that swarm's own
+//! walk. Shard assignment, shard count and steal order therefore cannot
+//! perturb any summary: a run at 8 threads is bit-identical to a
+//! 1-thread run. Anything aggregated *across* swarms must either be an
+//! integer sum (order-independent) or be computed serially in id order
+//! from the returned summaries — which is what [`CatalogRun`]'s
+//! accessors do.
+
+use crate::obsbatch::ShardObs;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use swarm_measurement::observe::{
+    demand_decay, seed_process, HOURS_PER_MONTH, PARAM_REFRESH_HOURS,
+};
+use swarm_measurement::Swarm;
+use swarm_stats::parallel::run_stealing;
+
+/// Default root seed for per-swarm streams.
+pub const DEFAULT_CATALOG_SEED: u64 = 0xCA7A_1065;
+
+/// Configuration of one catalog run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogRunConfig {
+    /// Root seed all per-swarm streams derive from.
+    pub catalog_seed: u64,
+    /// Monitoring horizon in 30-day months (≥ 1).
+    pub months: u32,
+    /// Worker threads to request (≥ 1 effective; extra workers beyond
+    /// the first are leased from the global [`ThreadBudget`] and the
+    /// pool degrades gracefully when the budget grants fewer).
+    ///
+    /// [`ThreadBudget`]: swarm_stats::parallel::ThreadBudget
+    pub threads: usize,
+    /// When true, each swarm starts at its generated `age_days` (a
+    /// snapshot continuation, as in the §2.3.2 case studies); when
+    /// false all swarms start at creation (age 0), as in Figure 1.
+    pub start_at_generated_age: bool,
+}
+
+impl Default for CatalogRunConfig {
+    fn default() -> Self {
+        CatalogRunConfig {
+            catalog_seed: DEFAULT_CATALOG_SEED,
+            months: 7,
+            threads: 1,
+            start_at_generated_age: false,
+        }
+    }
+}
+
+/// Per-swarm outcome of a catalog run. Every field is deterministic in
+/// `(catalog_seed, swarm_id, config)` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwarmSummary {
+    /// Swarm id (== index into [`CatalogRun::per_swarm`]).
+    pub id: u64,
+    /// Hours with at least one seed online, over the whole horizon.
+    pub on_hours: f64,
+    /// Hours with a seed online during the first month.
+    pub first_month_on_hours: f64,
+    /// ON↔OFF transitions of the seed process.
+    pub toggles: u64,
+    /// Peers that arrived while a seed was present — i.e. downloads
+    /// served. (Arrivals during seedless time find nothing to fetch and
+    /// are not counted, matching the impatient-peer reading of §2.)
+    pub arrivals: u64,
+    /// Arrived peers that stayed to seed after completing (the
+    /// altruists feeding the swarm's own seed process).
+    pub lingered: u64,
+    /// Dwell segments processed (the engine's event count).
+    pub events: u64,
+    /// Was a seed present at the end of the horizon?
+    pub final_on: bool,
+}
+
+impl SwarmSummary {
+    /// Fraction of the horizon with a seed available.
+    pub fn availability(&self, horizon_hours: f64) -> f64 {
+        self.on_hours / horizon_hours
+    }
+
+    /// Fraction of the first month with a seed available.
+    pub fn first_month_availability(&self) -> f64 {
+        self.first_month_on_hours / HOURS_PER_MONTH
+    }
+}
+
+/// Outcome of ticking the whole catalog.
+#[derive(Debug, Clone)]
+pub struct CatalogRun {
+    /// The configuration that produced this run.
+    pub config: CatalogRunConfig,
+    /// Monitoring horizon in hours.
+    pub horizon_hours: f64,
+    /// One summary per swarm, indexed by swarm id.
+    pub per_swarm: Vec<SwarmSummary>,
+    /// Wall-clock time of the sharded execution.
+    pub wall: Duration,
+}
+
+impl CatalogRun {
+    /// Total downloads served across the catalog.
+    pub fn total_arrivals(&self) -> u64 {
+        self.per_swarm.iter().map(|s| s.arrivals).sum()
+    }
+
+    /// Total seed-process transitions across the catalog.
+    pub fn total_toggles(&self) -> u64 {
+        self.per_swarm.iter().map(|s| s.toggles).sum()
+    }
+
+    /// End-of-horizon seed presence per swarm — the live analog of the
+    /// stationary snapshot sample used by `book_stats`.
+    pub fn seeded_flags(&self) -> Vec<bool> {
+        self.per_swarm.iter().map(|s| s.final_on).collect()
+    }
+}
+
+/// SplitMix64 — the standard 64-bit mixer, used here to expand
+/// `(catalog_seed, swarm_id)` into a 256-bit ChaCha key.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The private RNG stream of one swarm: ChaCha8 keyed by a SplitMix64
+/// expansion of `(catalog_seed, swarm_id)`. Streams for distinct ids
+/// are statistically independent, and a swarm's stream never depends on
+/// which shard simulates it.
+pub fn swarm_stream(catalog_seed: u64, swarm_id: u64) -> ChaCha8Rng {
+    let mut state = catalog_seed ^ swarm_id.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut key = [0u8; 32];
+    for chunk in key.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(key)
+}
+
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    Exp::new(rate).expect("positive rate").sample(rng)
+}
+
+/// Event-driven walk of one swarm's seed process over the horizon.
+///
+/// Time advances in weekly segments (the [`PARAM_REFRESH_HOURS`]
+/// discretization shared with the hourly monitor): within a segment the
+/// hazards are constant, so dwell times are exponential and truncation
+/// at the segment boundary is exact by memorylessness. While a seed is
+/// present, peer arrivals are generated from their exponential
+/// inter-arrival times at the (age-decayed) demand, and each arrival
+/// lingers as a seed with probability `altruist_rate / demand`.
+pub fn simulate_swarm(swarm: &Swarm, cfg: &CatalogRunConfig) -> SwarmSummary {
+    assert!(cfg.months >= 1, "must run for at least one month");
+    let mut rng = swarm_stream(cfg.catalog_seed, swarm.id);
+    let horizon = cfg.months as f64 * HOURS_PER_MONTH;
+    let start_age = if cfg.start_at_generated_age {
+        swarm.age_days
+    } else {
+        0.0
+    };
+    let refresh = PARAM_REFRESH_HOURS as f64;
+    let linger_p = (swarm.altruist_rate / swarm.demand).clamp(0.0, 1.0);
+
+    let p0 = seed_process(swarm, start_age);
+    let mut on = rng.gen::<f64>() < p0.on_mean / (p0.on_mean + p0.off_mean);
+
+    let mut out = SwarmSummary {
+        id: swarm.id,
+        on_hours: 0.0,
+        first_month_on_hours: 0.0,
+        toggles: 0,
+        arrivals: 0,
+        lingered: 0,
+        events: 0,
+        final_on: on,
+    };
+
+    let mut t = 0.0f64;
+    while t < horizon {
+        let seg_end = (((t / refresh).floor() + 1.0) * refresh).min(horizon);
+        let age_days = start_age + t / 24.0;
+        let params = seed_process(swarm, age_days);
+        let lambda = (swarm.demand * demand_decay(age_days)).max(1e-12);
+        while t < seg_end {
+            let mean = if on { params.on_mean } else { params.off_mean };
+            let until = (t + sample_exp(&mut rng, 1.0 / mean)).min(seg_end);
+            if on {
+                out.on_hours += until - t;
+                let fm_end = HOURS_PER_MONTH.min(horizon);
+                if t < fm_end {
+                    out.first_month_on_hours += until.min(fm_end) - t;
+                }
+                // Peers arriving while the content is fetchable.
+                let mut next = t + sample_exp(&mut rng, lambda);
+                while next < until {
+                    out.arrivals += 1;
+                    if rng.gen::<f64>() < linger_p {
+                        out.lingered += 1;
+                    }
+                    next += sample_exp(&mut rng, lambda);
+                }
+            }
+            out.events += 1;
+            t = until;
+            if until < seg_end {
+                on = !on;
+                out.toggles += 1;
+            }
+        }
+    }
+    out.final_on = on;
+    out
+}
+
+/// Tick the entire catalog.
+///
+/// Swarms are partitioned in contiguous blocks across the shard pool;
+/// idle shards steal from busy ones, and each shard batches its
+/// telemetry locally, flushing to the global registry exactly once at
+/// the shard barrier (see [`ShardObs`]). Swarm ids must be dense and
+/// equal to their index (the catalog generator guarantees this).
+pub fn run_catalog(swarms: &[Swarm], cfg: &CatalogRunConfig) -> CatalogRun {
+    for (i, s) in swarms.iter().enumerate() {
+        assert_eq!(s.id, i as u64, "catalog ids must be dense");
+    }
+    let start = Instant::now();
+    let per_swarm = run_stealing(
+        swarms.len(),
+        cfg.threads,
+        ShardObs::new,
+        |obs, i| {
+            let tick = Instant::now();
+            let summary = simulate_swarm(&swarms[i], cfg);
+            obs.record_swarm(&summary, tick.elapsed());
+            summary
+        },
+        |_shard, obs| obs.flush(),
+    );
+    CatalogRun {
+        config: *cfg,
+        horizon_hours: cfg.months as f64 * HOURS_PER_MONTH,
+        per_swarm,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_measurement::{generate_catalog, CatalogConfig};
+
+    fn small_catalog() -> Vec<Swarm> {
+        generate_catalog(&CatalogConfig {
+            scale: 0.001,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn streams_are_keyed_by_seed_and_id() {
+        let mut a = swarm_stream(1, 2);
+        let mut b = swarm_stream(1, 2);
+        let mut c = swarm_stream(1, 3);
+        let mut d = swarm_stream(2, 2);
+        let (xa, xb, xc, xd) = (
+            a.gen::<u64>(),
+            b.gen::<u64>(),
+            c.gen::<u64>(),
+            d.gen::<u64>(),
+        );
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+        assert_ne!(xa, xd);
+    }
+
+    #[test]
+    fn summary_is_internally_consistent() {
+        for s in small_catalog().iter().take(40) {
+            let cfg = CatalogRunConfig {
+                months: 2,
+                ..CatalogRunConfig::default()
+            };
+            let out = simulate_swarm(s, &cfg);
+            let horizon = 2.0 * HOURS_PER_MONTH;
+            assert!(out.on_hours >= 0.0 && out.on_hours <= horizon + 1e-9);
+            assert!(out.first_month_on_hours <= HOURS_PER_MONTH + 1e-9);
+            assert!(out.first_month_on_hours <= out.on_hours + 1e-9);
+            assert!(out.lingered <= out.arrivals);
+            assert!(out.events >= out.toggles);
+            // A walk covering the horizon needs at least one dwell per
+            // refresh segment.
+            assert!(out.events as f64 >= horizon / PARAM_REFRESH_HOURS as f64);
+        }
+    }
+
+    #[test]
+    fn rerun_is_bit_identical() {
+        let swarms = small_catalog();
+        let cfg = CatalogRunConfig {
+            months: 2,
+            ..CatalogRunConfig::default()
+        };
+        let a = run_catalog(&swarms, &cfg);
+        let b = run_catalog(&swarms, &cfg);
+        assert_eq!(a.per_swarm, b.per_swarm);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one month")]
+    fn zero_months_rejected() {
+        let swarms = small_catalog();
+        simulate_swarm(
+            &swarms[0],
+            &CatalogRunConfig {
+                months: 0,
+                ..CatalogRunConfig::default()
+            },
+        );
+    }
+}

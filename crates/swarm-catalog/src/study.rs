@@ -1,0 +1,176 @@
+//! E1–E3 analyses recomputed from a live catalog run.
+//!
+//! The measurement crate's experiment pipeline samples each statistic
+//! from closed forms (stationary availability, expected downloads).
+//! Here the same analyses are fed *measured* quantities from a
+//! [`CatalogRun`]: seed-time fractions for the Figure 1 CDFs, measured
+//! download counts and end-of-run seed presence for the §2.3.2
+//! contrasts. Aggregation happens serially in swarm-id order over the
+//! deterministic per-swarm summaries, so every number here inherits the
+//! runtime's shard-count invariance.
+
+use crate::runtime::{run_catalog, CatalogRun, CatalogRunConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use swarm_measurement::{
+    book_stats_with, friends_population, show_case_counts, AvailabilityStudy, BookStats,
+    ShowCaseStudy, Swarm,
+};
+use swarm_stats::Ecdf;
+
+/// The Figure 1 pipeline over a live run: per-swarm seed-availability
+/// fractions (first month and whole horizon) as ECDFs, in id order.
+pub fn availability_study_live(run: &CatalogRun) -> AvailabilityStudy {
+    let first: Vec<f64> = run
+        .per_swarm
+        .iter()
+        .map(|s| s.first_month_availability())
+        .collect();
+    let whole: Vec<f64> = run
+        .per_swarm
+        .iter()
+        .map(|s| s.availability(run.horizon_hours))
+        .collect();
+    AvailabilityStudy {
+        first_month: Ecdf::new(first),
+        whole_trace: Ecdf::new(whole),
+        months: run.config.months,
+    }
+}
+
+/// The §2.3.2 books contrast over a live run: seed presence is the
+/// measured end-of-horizon state and download volume is the measured
+/// arrival count, instead of a stationary sample and the closed-form
+/// expectation.
+pub fn book_stats_live(swarms: &[Swarm], run: &CatalogRun) -> BookStats {
+    assert_eq!(swarms.len(), run.per_swarm.len());
+    let seeded = run.seeded_flags();
+    book_stats_with(swarms, &seeded, |s| {
+        run.per_swarm[s.id as usize].arrivals as f64
+    })
+}
+
+/// The "Friends" case study over a live run: generate the show's
+/// population, run it through the sharded engine as a one-month
+/// snapshot continuation from the generated ages, and tally the
+/// end-of-run seed presence.
+pub fn friends_case_live(
+    total: u64,
+    bundle_share: f64,
+    seed: u64,
+    threads: usize,
+) -> ShowCaseStudy {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let population = friends_population(total, bundle_share, &mut rng);
+    let swarms: Vec<Swarm> = population.iter().map(|(s, _)| s.clone()).collect();
+    let run = run_catalog(
+        &swarms,
+        &CatalogRunConfig {
+            catalog_seed: seed ^ 0x5EED_F00D,
+            months: 1,
+            threads,
+            start_at_generated_age: true,
+        },
+    );
+    show_case_counts(&population, &run.seeded_flags())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_measurement::{generate_catalog, CatalogConfig, Category};
+
+    #[test]
+    fn live_study_reproduces_figure_1_calibration() {
+        let swarms = generate_catalog(&CatalogConfig {
+            scale: 0.004,
+            seed: 17,
+        });
+        let run = run_catalog(
+            &swarms,
+            &CatalogRunConfig {
+                months: 7,
+                ..CatalogRunConfig::default()
+            },
+        );
+        let study = availability_study_live(&run);
+
+        // Same calibration window the sampled pipeline asserts: fewer
+        // than ~45% of swarms fully seeded in their first month, but
+        // some are; most swarms mostly unavailable over the whole trace.
+        let always = study.always_available_first_month();
+        assert!(always < 0.45, "always-available share too high: {always}");
+        assert!(always > 0.05, "some swarms must be fully seeded: {always}");
+        let mostly_off = study.mostly_unavailable_whole_trace(0.2);
+        assert!(
+            mostly_off > 0.55,
+            "whole-trace unavailability too low: {mostly_off}"
+        );
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            assert!(
+                study.whole_trace.eval(q) >= study.first_month.eval(q) - 0.05,
+                "whole-trace CDF must lie above first-month at {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_book_contrast_matches_paper_direction() {
+        let swarms = generate_catalog(&CatalogConfig {
+            scale: 0.02,
+            seed: 41,
+        });
+        let run = run_catalog(
+            &swarms,
+            &CatalogRunConfig {
+                months: 7,
+                start_at_generated_age: true,
+                ..CatalogRunConfig::default()
+            },
+        );
+        assert!(
+            swarms.iter().any(|s| s.category == Category::Books),
+            "catalog must include books"
+        );
+        let stats = book_stats_live(&swarms, &run);
+        assert!(
+            stats.unavailable_all > stats.unavailable_collections,
+            "collections must be more available: {} vs {}",
+            stats.unavailable_all,
+            stats.unavailable_collections
+        );
+        assert!(stats.unavailable_collections_effective <= stats.unavailable_collections);
+        assert!(
+            stats.downloads_collections > stats.downloads_typical,
+            "collections must out-download typical swarms: {} vs {}",
+            stats.downloads_collections,
+            stats.downloads_typical
+        );
+    }
+
+    #[test]
+    fn live_friends_availability_concentrates_in_bundles() {
+        // Average over trials as the sampled test does; the live engine
+        // replaces the stationary coin flip with simulated dynamics.
+        let mut avail_bundle_frac = 0.0;
+        let mut unavail_bundle_frac = 0.0;
+        let trials = 30;
+        for t in 0..trials {
+            let s = friends_case_live(52, 0.54, 47 + t, 1);
+            if s.available > 0 {
+                avail_bundle_frac += s.available_bundles as f64 / s.available as f64;
+            }
+            let unavailable = s.total - s.available;
+            if unavailable > 0 {
+                unavail_bundle_frac += s.unavailable_bundles as f64 / unavailable as f64;
+            }
+        }
+        avail_bundle_frac /= trials as f64;
+        unavail_bundle_frac /= trials as f64;
+        assert!(
+            avail_bundle_frac > unavail_bundle_frac + 0.15,
+            "available swarms must be predominantly bundles: \
+             {avail_bundle_frac} vs {unavail_bundle_frac}"
+        );
+    }
+}

@@ -39,18 +39,33 @@ pub struct BookStats {
 /// has its generated age. Seed presence is sampled from the stationary
 /// availability of each swarm's seed process.
 pub fn book_stats<R: Rng + ?Sized>(swarms: &[Swarm], rng: &mut R) -> BookStats {
+    // Sample the snapshot seed-presence of every book swarm once.
+    let mut seeded = vec![false; swarms.len()];
+    for s in swarms.iter().filter(|s| s.category == Category::Books) {
+        let p = stationary_availability(s, s.age_days);
+        seeded[s.id as usize] = rng.gen::<f64>() < p;
+    }
+    book_stats_with(swarms, &seeded, |s| expected_downloads(s, 7))
+}
+
+/// The book contrast over externally supplied snapshot observations:
+/// `seeded[id]` says whether swarm `id` had a seed at the snapshot and
+/// `downloads` scores each swarm's download volume. [`book_stats`] feeds
+/// it stationary samples and the closed-form expectation; the live
+/// catalog runtime (`swarm-catalog`) feeds it the *measured* end-of-run
+/// seed state and download counts — same folding and aggregation either
+/// way.
+pub fn book_stats_with(
+    swarms: &[Swarm],
+    seeded: &[bool],
+    downloads: impl Fn(&Swarm) -> f64,
+) -> BookStats {
+    assert_eq!(seeded.len(), swarms.len(), "one seed flag per swarm");
     let books: Vec<&Swarm> = swarms
         .iter()
         .filter(|s| s.category == Category::Books)
         .collect();
     assert!(!books.is_empty(), "catalog has no book swarms");
-
-    // Sample the snapshot seed-presence of every book swarm once.
-    let mut seeded = vec![false; swarms.len()];
-    for s in &books {
-        let p = stationary_availability(s, s.age_days);
-        seeded[s.id as usize] = rng.gen::<f64>() < p;
-    }
 
     let mut total = 0u64;
     let mut unavailable = 0u64;
@@ -66,7 +81,7 @@ pub fn book_stats<R: Rng + ?Sized>(swarms: &[Swarm], rng: &mut R) -> BookStats {
         if !has_seed {
             unavailable += 1;
         }
-        let dl = expected_downloads(s, 7);
+        let dl = downloads(s);
         if is_collection(s) {
             coll_total += 1;
             dl_coll.0 += dl;
@@ -121,40 +136,70 @@ pub fn show_case_study<R: Rng + ?Sized>(
     bundle_share: f64,
     rng: &mut R,
 ) -> ShowCaseStudy {
+    let population = friends_population(total, bundle_share, rng);
+    let seeded: Vec<bool> = population
+        .iter()
+        .map(|(swarm, _)| {
+            let p = stationary_availability(swarm, swarm.age_days);
+            rng.gen::<f64>() < p
+        })
+        .collect();
+    show_case_counts(&population, &seeded)
+}
+
+/// Generate the Friends-style population itself: `total` swarms for one
+/// TV show, each flagged as a season bundle or a single episode. Split
+/// out of [`show_case_study`] so the live catalog runtime can run the
+/// same population through its sharded engine and derive the snapshot
+/// from *simulated* seed presence instead of a stationary sample.
+pub fn friends_population<R: Rng + ?Sized>(
+    total: u64,
+    bundle_share: f64,
+    rng: &mut R,
+) -> Vec<(Swarm, bool)> {
     assert!(total > 0);
     assert!((0.0..=1.0).contains(&bundle_share));
+    (0..total)
+        .map(|i| {
+            let is_bundle = rng.gen::<f64>() < bundle_share;
+            let episodes = if is_bundle { rng.gen_range(6..=24) } else { 1 };
+            let demand = 0.15 * episodes as f64; // per-episode demand aggregated
+            let commit = if is_bundle { 4.0 } else { 1.0 };
+            let swarm = Swarm {
+                id: i,
+                category: Category::Tv,
+                title: format!("friends-{i}"),
+                files: Vec::new(),
+                age_days: 200.0,
+                demand,
+                publisher_rate: commit * 0.8,
+                publisher_residence: commit * 15.0,
+                altruist_rate: 0.05 * demand,
+                altruist_residence: 2.0,
+                subset_of: None,
+            };
+            (swarm, is_bundle)
+        })
+        .collect()
+}
+
+/// Tally a Friends population against per-swarm snapshot seed flags
+/// (`seeded[i]` corresponds to `population[i]`).
+pub fn show_case_counts(population: &[(Swarm, bool)], seeded: &[bool]) -> ShowCaseStudy {
+    assert_eq!(population.len(), seeded.len());
     let mut stats = ShowCaseStudy {
-        total,
+        total: population.len() as u64,
         available: 0,
         available_bundles: 0,
         unavailable_bundles: 0,
     };
-    for i in 0..total {
-        let is_bundle = rng.gen::<f64>() < bundle_share;
-        let episodes = if is_bundle { rng.gen_range(6..=24) } else { 1 };
-        let demand = 0.15 * episodes as f64; // per-episode demand aggregated
-        let commit = if is_bundle { 4.0 } else { 1.0 };
-        let swarm = Swarm {
-            id: i,
-            category: Category::Tv,
-            title: format!("friends-{i}"),
-            files: Vec::new(),
-            age_days: 200.0,
-            demand,
-            publisher_rate: commit * 0.8,
-            publisher_residence: commit * 15.0,
-            altruist_rate: 0.05 * demand,
-            altruist_residence: 2.0,
-            subset_of: None,
-        };
-        let p = stationary_availability(&swarm, swarm.age_days);
-        let seeded = rng.gen::<f64>() < p;
-        if seeded {
+    for ((_, is_bundle), &has_seed) in population.iter().zip(seeded) {
+        if has_seed {
             stats.available += 1;
-            if is_bundle {
+            if *is_bundle {
                 stats.available_bundles += 1;
             }
-        } else if is_bundle {
+        } else if *is_bundle {
             stats.unavailable_bundles += 1;
         }
     }

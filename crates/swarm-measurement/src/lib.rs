@@ -40,7 +40,10 @@ pub mod observe;
 pub mod popularity;
 pub mod population;
 
-pub use analysis::{book_stats, show_case_study, BookStats, ShowCaseStudy};
+pub use analysis::{
+    book_stats, book_stats_with, friends_population, show_case_counts, show_case_study, BookStats,
+    ShowCaseStudy,
+};
 pub use availability::{availability_study, AvailabilityStudy};
 pub use bias::{bias_study, BiasStudy, Observer};
 pub use bundling::{bundling_extent, is_bundle, is_collection, BundlingExtent};

@@ -18,6 +18,12 @@ use swarm_queue::busy::TwoPhaseBusyPeriod;
 /// Hours per "month" of monitoring (30 days).
 pub const HOURS_PER_MONTH: f64 = 720.0;
 
+/// How often (in hours) the slowly-varying seed-process parameters are
+/// refreshed: weekly. Shared by the hourly [`monitor`] agents and the
+/// event-driven catalog runtime (`swarm-catalog`), so both discretize
+/// the age-decay the same way.
+pub const PARAM_REFRESH_HOURS: usize = 24 * 7;
+
 /// Age-dependent effective parameters of a swarm's seed process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SeedProcessParams {
@@ -88,7 +94,7 @@ pub fn monitor<R: Rng + ?Sized>(swarm: &Swarm, months: u32, rng: &mut R) -> Vec<
     let mut on = rng.gen::<f64>() < p0.on_mean / (p0.on_mean + p0.off_mean);
     let mut params = p0;
     for hour in 0..horizon_hours {
-        if hour % (24 * 7) == 0 && hour > 0 {
+        if hour % PARAM_REFRESH_HOURS == 0 && hour > 0 {
             params = seed_process(swarm, hour as f64 / 24.0);
         }
         let mean = if on { params.on_mean } else { params.off_mean };

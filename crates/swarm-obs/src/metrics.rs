@@ -134,6 +134,34 @@ impl Histogram {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Merge an externally accumulated [`HistogramSnapshot`] into this
+    /// registry histogram in one pass.
+    ///
+    /// This is the flush half of per-shard metric batching: a shard
+    /// worker records into its own plain `HistogramSnapshot` (no
+    /// atomics, no registry contention) and merges the whole thing at
+    /// its barrier. Observations land in exactly the buckets a direct
+    /// [`Histogram::record`] of each value would have used, so a
+    /// batched multi-shard run and a single-threaded run produce
+    /// identical registry snapshots for deterministic value streams.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        if !crate::enabled() || snap.count == 0 {
+            return;
+        }
+        assert_eq!(
+            snap.buckets.len(),
+            HIST_BUCKETS,
+            "snapshot bucket layout mismatch"
+        );
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        for (b, &v) in self.buckets.iter().zip(&snap.buckets) {
+            if v > 0 {
+                b.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),

@@ -300,6 +300,47 @@ proptest! {
             "interpolated quantile {} outside its bucket [{}, {}]", est, lo, hi);
     }
 
+    /// Per-shard batching round-trip: splitting a value stream across k
+    /// shards, each recording into its own plain snapshot and merging
+    /// into the registry at its barrier, leaves the registry histogram
+    /// identical to a single-threaded run that recorded every value
+    /// directly. This is the invariant the catalog runtime's shard
+    /// flush relies on.
+    #[test]
+    fn sharded_snapshot_merges_equal_single_threaded_registry(
+        xs in prop::collection::vec(0u64..1u64 << 40, 1..300),
+        shards in 1usize..8,
+    ) {
+        // Enabled::new() takes obs_guard() itself — acquiring it here
+        // too would self-deadlock on the non-reentrant mutex.
+        let _on = Enabled::new();
+        // Registry histograms are process-global: uniquify per case so
+        // earlier proptest cases cannot leak observations into this one.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let sharded = metrics::histogram(&format!("test.shardmerge.{case}.sharded"));
+        let single = metrics::histogram(&format!("test.shardmerge.{case}.single"));
+
+        // Shard i takes every shards-th value (any partition works —
+        // the merge is order- and assignment-independent).
+        for s in 0..shards {
+            let mut local = metrics::HistogramSnapshot::new();
+            for &v in xs.iter().skip(s).step_by(shards) {
+                local.record(v);
+            }
+            sharded.merge_snapshot(&local);
+        }
+        for &v in &xs {
+            single.record(v);
+        }
+        prop_assert_eq!(sharded.snapshot(), single.snapshot());
+
+        // Merging an empty shard is a no-op.
+        sharded.merge_snapshot(&metrics::HistogramSnapshot::new());
+        prop_assert_eq!(sharded.snapshot(), single.snapshot());
+    }
+
     /// Interpolated quantiles are monotone in `q` and exact at the
     /// extremes of a single-bucket histogram.
     #[test]

@@ -24,6 +24,7 @@
 //! in its thread count, the clamping never changes results.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
@@ -96,9 +97,10 @@ pub struct ThreadBudget {
 }
 
 impl ThreadBudget {
-    /// A budget of `total >= 1` compute threads.
+    /// A budget of `total` compute threads. A zero budget is legal and
+    /// simply grants nothing: every [`run_indexed`]/[`run_stealing`]
+    /// call degrades to an inline run on the caller's own thread.
     pub fn new(total: usize) -> Self {
-        assert!(total >= 1, "budget needs at least one thread");
         ThreadBudget {
             total,
             available: Mutex::new(total),
@@ -249,6 +251,146 @@ where
         .collect()
 }
 
+/// Per-worker task deques for [`run_stealing`]: worker `w` owns deque
+/// `w`, pops its own tasks from the front, and — when empty — steals
+/// from the *back* of a victim's deque (the classic owner/thief split
+/// that keeps contention off the hot end).
+///
+/// The deques are plain mutex-protected `VecDeque`s rather than a
+/// lock-free Chase–Lev structure: tasks here are whole swarm or
+/// replication simulations (microseconds to milliseconds each), so one
+/// short uncontended lock per task is noise, and the mutex keeps the
+/// invariant obvious — every index is executed exactly once.
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicUsize,
+}
+
+impl StealQueues {
+    /// Partition `0..n` into `workers` contiguous blocks, one deque per
+    /// worker. Contiguity matters for cache locality of whatever the
+    /// caller indexes by task id.
+    fn partition(n: usize, workers: usize) -> StealQueues {
+        let mut queues: Vec<Mutex<VecDeque<usize>>> = Vec::with_capacity(workers);
+        let base = n / workers;
+        let extra = n % workers;
+        let mut next = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            queues.push(Mutex::new((next..next + len).collect()));
+            next += len;
+        }
+        debug_assert_eq!(next, n);
+        StealQueues {
+            queues,
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Next task for worker `w`: its own front, else steal from the
+    /// back of the first non-empty victim (scanning `w+1, w+2, ...`
+    /// round-robin). `None` means every deque is empty — since tasks
+    /// are never re-enqueued, the worker can exit.
+    fn next_task(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.queues[w].lock().expect("steal deque").pop_front() {
+            return Some(i);
+        }
+        let k = self.queues.len();
+        for off in 1..k {
+            let victim = (w + off) % k;
+            if let Some(i) = self.queues[victim].lock().expect("steal deque").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Run `job` over tasks `0..n` on a work-stealing shard pool and return
+/// the results in index order.
+///
+/// Each worker (shard) gets a contiguous block of tasks in its own
+/// deque and steals from other shards when its block drains, so skewed
+/// per-task costs (one huge swarm in an otherwise idle shard) cannot
+/// serialize the run. Like [`run_indexed`], the extra `threads - 1`
+/// workers are leased from the global [`ThreadBudget`] when one is
+/// installed, and the output is identical to the serial
+/// `(0..n).map(...)` regardless of thread count or steal order.
+///
+/// Sharded callers carry per-worker state: `init_shard(w)` builds it
+/// when worker `w` starts, `job(&mut state, i)` may batch into it, and
+/// `finish_shard(w, state)` runs when the worker's deque (and every
+/// victim's) is empty — the shard barrier at which batched telemetry
+/// is flushed to the process-wide registry. `finish_shard` is called
+/// exactly once per started worker, inline workers included.
+///
+/// Total steals across the run are recorded on the
+/// `stats.steal.count` counter (scheduler-dependent, excluded from
+/// determinism gates).
+pub fn run_stealing<T, S, IS, F, FS>(
+    n: usize,
+    threads: usize,
+    init_shard: IS,
+    job: F,
+    finish_shard: FS,
+) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    IS: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+    FS: Fn(usize, S) + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let extra_wanted = threads.saturating_sub(1).min(n.saturating_sub(1));
+    let lease = match global_budget() {
+        Some(budget) if extra_wanted > 0 => Some(budget.try_lease(extra_wanted)),
+        _ => None,
+    };
+    let threads = lease.as_ref().map_or(threads, |l| 1 + l.granted());
+    if threads == 1 || n <= 1 {
+        let mut state = init_shard(0);
+        let out = (0..n).map(|i| job(&mut state, i)).collect();
+        finish_shard(0, state);
+        return out;
+    }
+
+    let workers = threads.min(n);
+    let queues = StealQueues::partition(n, workers);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for w in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let init_shard = &init_shard;
+            let job = &job;
+            let finish_shard = &finish_shard;
+            scope.spawn(move || {
+                let mut state = init_shard(w);
+                while let Some(i) = queues.next_task(w) {
+                    tx.send((i, job(&mut state, i))).expect("collector alive");
+                }
+                finish_shard(w, state);
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    drop(lease);
+    let steals = queues.steals.load(Ordering::Relaxed);
+    if steals > 0 && swarm_obs::enabled() {
+        swarm_obs::counter("stats.steal.count").add(steals as u64);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was dispatched exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,9 +447,149 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn rejects_zero_budget() {
-        ThreadBudget::new(0);
+    fn zero_total_budget_grants_nothing() {
+        // A zero budget used to be rejected outright; it is now a legal
+        // "no extra threads anywhere" configuration. Leasing from it —
+        // including the degenerate want = 0 — must neither underflow
+        // the availability counter nor spin.
+        let budget = Arc::new(ThreadBudget::new(0));
+        assert_eq!(budget.total(), 0);
+        assert_eq!(budget.available(), 0);
+        let a = budget.try_lease(0);
+        assert_eq!(a.granted(), 0);
+        let b = budget.try_lease(5);
+        assert_eq!(b.granted(), 0);
+        drop(a);
+        drop(b);
+        assert_eq!(
+            budget.available(),
+            0,
+            "returns must not inflate a zero budget"
+        );
+        assert_eq!(budget.peak_leased(), 0);
+    }
+
+    #[test]
+    fn zero_want_lease_is_a_noop() {
+        reset_lease_stats();
+        let budget = Arc::new(ThreadBudget::new(3));
+        let l = budget.try_lease(0);
+        assert_eq!(l.granted(), 0);
+        assert_eq!(budget.available(), 3);
+        drop(l);
+        assert_eq!(budget.available(), 3);
+        let s = lease_stats();
+        assert_eq!((s.calls, s.requested, s.granted, s.shortfall), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn zero_budget_degrades_runs_to_inline() {
+        let budget = Arc::new(ThreadBudget::new(0));
+        let prev = set_global_budget(Some(Arc::clone(&budget)));
+        let indexed = run_indexed(13, 8, |i| i * 2);
+        let stolen = run_stealing(13, 8, |_| (), |_, i| i * 2, |_, _| ());
+        set_global_budget(prev);
+        assert_eq!(indexed, (0..13).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(stolen, indexed);
+        assert_eq!(budget.available(), 0);
+    }
+
+    #[test]
+    fn stealing_matches_serial_in_index_order() {
+        let serial = run_stealing(29, 1, |_| (), |_, i| i * 7 + 1, |_, _| ());
+        let parallel = run_stealing(29, 6, |_| (), |_, i| i * 7 + 1, |_, _| ());
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 22);
+        assert_eq!(
+            run_stealing(0, 4, |_| (), |_, i| i, |_, _| ()),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn stealing_drains_a_skewed_partition() {
+        // All the work lands in shard 0's block; with stealing the
+        // other workers must still execute some of it, and every task
+        // runs exactly once.
+        use std::sync::atomic::AtomicU64;
+        let executed = AtomicU64::new(0);
+        let queues = StealQueues::partition(64, 4);
+        // Empty every queue but 0 to force thieves onto shard 0.
+        let hoard: Vec<usize> = (1..4)
+            .flat_map(|w| {
+                let mut q = queues.queues[w].lock().unwrap();
+                std::mem::take(&mut *q).into_iter()
+            })
+            .collect();
+        queues.queues[0].lock().unwrap().extend(hoard);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let queues = &queues;
+                let executed = &executed;
+                scope.spawn(move || {
+                    while let Some(_i) = queues.next_task(w) {
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 64);
+        assert!(
+            queues.steals.load(Ordering::Relaxed) > 0,
+            "thieves must have stolen from the hoarding shard"
+        );
+    }
+
+    #[test]
+    fn shard_hooks_run_once_per_worker_and_see_all_tasks() {
+        use std::sync::atomic::AtomicU64;
+        let finished = AtomicU64::new(0);
+        let task_total = AtomicU64::new(0);
+        let out = run_stealing(
+            40,
+            4,
+            |_w| 0u64,
+            |acc, i| {
+                *acc += i as u64;
+                i
+            },
+            |_w, acc| {
+                finished.fetch_add(1, Ordering::Relaxed);
+                task_total.fetch_add(acc, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+        // Shard-batched state, flushed at the barrier, must cover every
+        // task exactly once no matter who stole what.
+        assert_eq!(task_total.load(Ordering::Relaxed), (0..40u64).sum::<u64>());
+        let f = finished.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&f), "one finish per started worker: {f}");
+    }
+
+    #[test]
+    fn stealing_partition_covers_all_indices() {
+        for (n, workers) in [(1usize, 3usize), (7, 3), (8, 3), (64, 5)] {
+            let q = StealQueues::partition(n, workers);
+            let mut seen: Vec<usize> = q
+                .queues
+                .iter()
+                .flat_map(|m| m.lock().unwrap().iter().copied().collect::<Vec<_>>())
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn budgeted_stealing_is_identical_and_releases_permits() {
+        let unbudgeted = run_stealing(23, 8, |_| (), |_, i| 3 * i + 1, |_, _| ());
+        let budget = Arc::new(ThreadBudget::new(2));
+        let prev = set_global_budget(Some(Arc::clone(&budget)));
+        let budgeted = run_stealing(23, 8, |_| (), |_, i| 3 * i + 1, |_, _| ());
+        set_global_budget(prev);
+        assert_eq!(unbudgeted, budgeted);
+        assert_eq!(budget.available(), budget.total());
     }
 
     #[test]

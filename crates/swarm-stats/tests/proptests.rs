@@ -97,8 +97,40 @@ proptest! {
     }
 
     #[test]
+    fn stealing_equals_serial_under_any_shape(
+        n in 0usize..80,
+        threads in 1usize..9,
+        salt in 0u64..1_000,
+    ) {
+        // Work-stealing must be invisible in the results: any task
+        // count and thread count yields the serial map in index order,
+        // and shard-batched accumulators cover every task exactly once.
+        let expected: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(salt) ^ i).collect();
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        let got = swarm_stats::parallel::run_stealing(
+            n,
+            threads,
+            |_w| 0u64,
+            |acc, i| {
+                let v = (i as u64).wrapping_mul(salt) ^ i as u64;
+                *acc = acc.wrapping_add(v);
+                v
+            },
+            |_w, acc| {
+                sum.fetch_add(acc, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        prop_assert_eq!(&got, &expected);
+        let mut want = 0u64;
+        for v in &expected {
+            want = want.wrapping_add(*v);
+        }
+        prop_assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), want);
+    }
+
+    #[test]
     fn thread_budget_never_exceeds_total(
-        total in 1usize..32,
+        total in 0usize..32,
         ops in prop::collection::vec((0usize..16, 0usize..8), 1..100),
     ) {
         // Random interleaving of lease requests and releases: the sum of

@@ -23,11 +23,15 @@ use std::collections::BTreeMap;
 use swarm_obs::Snapshot;
 
 /// Is this metric expected to be bit-identical across machines for a
-/// fixed seed? Engine/simulator/Monte-Carlo counters are; anything
-/// timing-derived (`*_ns`, `*_ms`) or scheduler-dependent (`lab.*`,
-/// `stats.*`, `span.*`, gauges) is not.
+/// fixed seed? Engine/simulator/Monte-Carlo counters are, as are the
+/// catalog runtime's shard-batched counters (integer sums over
+/// per-swarm RNG streams, invariant in shard count and steal order);
+/// anything timing-derived (`*_ns`, `*_ms`) or scheduler-dependent
+/// (`lab.*`, `stats.*`, `span.*`, gauges) is not.
 pub fn is_deterministic(name: &str) -> bool {
-    let deterministic_domain = ["bt.", "sim.", "mc."].iter().any(|p| name.starts_with(p));
+    let deterministic_domain = ["bt.", "sim.", "mc.", "catalog."]
+        .iter()
+        .any(|p| name.starts_with(p));
     deterministic_domain && !name.ends_with("_ns") && !name.ends_with("_ms")
 }
 

@@ -252,6 +252,9 @@ fn deterministic_filter_drops_timing_and_scheduler_metrics() {
     assert!(diff::is_deterministic("bt.ticks"));
     assert!(diff::is_deterministic("sim.completions"));
     assert!(diff::is_deterministic("mc.reps"));
+    assert!(diff::is_deterministic("catalog.peers.arrived"));
+    assert!(!diff::is_deterministic("catalog.tick_latency_ns"));
+    assert!(!diff::is_deterministic("stats.catalog.shard_flushes"));
     assert!(!diff::is_deterministic("bt.tick_ns"));
     assert!(!diff::is_deterministic("lab.workers.busy_ns"));
     assert!(!diff::is_deterministic("lab.cache.hit"));

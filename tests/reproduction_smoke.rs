@@ -37,7 +37,10 @@ fn experiment_registry_is_complete_and_unique() {
         // Dispatch resolves for every registered id (execution is covered
         // by per-module tests and the fast loop above).
         assert!(
-            id.starts_with("fig") || id.starts_with("table-") || id.starts_with("ablation-"),
+            id.starts_with("fig")
+                || id.starts_with("table-")
+                || id.starts_with("ablation-")
+                || id.starts_with("catalog-"),
             "unexpected id shape: {id}"
         );
     }
