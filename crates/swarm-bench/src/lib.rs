@@ -16,6 +16,7 @@
 //! | `fig5` | Figure 5 — arrival/departure timelines |
 //! | `fig6a`..`fig6c` | Figure 6 — download time vs bundling strategy |
 //! | `fig7` | Figure 7 — arrival patterns |
+//! | `net-live` | E12 — sim-vs-live equivalence on the networked engine |
 //! | `ablation-*` | A1–A6 from DESIGN.md |
 
 pub mod ablations;
@@ -28,6 +29,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod lab;
+pub mod net_live;
 pub mod output;
 pub mod tables;
 
@@ -49,6 +51,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig6b",
     "fig6c",
     "fig7",
+    "net-live",
     "ablation-threshold",
     "ablation-lingering",
     "ablation-zipf",
@@ -79,6 +82,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Report> {
         "fig6b" => fig6::fig6b(quick),
         "fig6c" => fig6::fig6c(quick),
         "fig7" => fig7::run(quick),
+        "net-live" => net_live::run(quick),
         "ablation-threshold" => ablations::threshold_sensitivity(quick),
         "ablation-lingering" => ablations::lingering_ablation(quick),
         "ablation-zipf" => ablations::zipf_ablation(quick),

@@ -35,6 +35,20 @@ pub enum BtPublisher {
     /// Stays until the first peer completes the full content, then leaves
     /// forever — §4.2's seedless-swarm experiment (Figure 4).
     UntilFirstCompletion,
+    /// Deterministic square wave: online for `on_ticks`, offline for
+    /// `off_ticks`, repeating. Unlike [`BtPublisher::OnOff`] this draws
+    /// nothing from the RNG, so two runtimes with different RNG streams
+    /// (the tick simulator and `swarm-net`'s live mode) share an
+    /// identical availability schedule — the sim-vs-live equivalence
+    /// scenarios are built on it.
+    Periodic {
+        /// Ticks per online phase.
+        on_ticks: u64,
+        /// Ticks per offline phase.
+        off_ticks: u64,
+        /// Online at t = 0?
+        initially_on: bool,
+    },
 }
 
 /// Configuration of one block-level swarm run.
@@ -105,6 +119,15 @@ pub struct BtConfig {
     /// matter when bisecting a suspected detector bug.
     #[serde(default)]
     pub disable_fast_forward: bool,
+    /// Scripted arrival schedule: explicit `(tick, upload_capacity)`
+    /// pairs consumed in ascending tick order, replacing the Poisson
+    /// process entirely (no arrival-time or capacity RNG draws). `None`
+    /// (the default) keeps the stochastic process — and the RNG stream —
+    /// exactly as before. Used by the sim-vs-live equivalence scenarios,
+    /// which need both runtimes to see the same peers at the same ticks
+    /// with the same capacities.
+    #[serde(default)]
+    pub scripted_arrivals: Option<Vec<(u64, f64)>>,
 }
 
 impl BtConfig {
@@ -140,6 +163,7 @@ impl BtConfig {
             seed,
             record_timeline: false,
             disable_fast_forward: false,
+            scripted_arrivals: None,
         }
     }
 
@@ -171,6 +195,7 @@ impl BtConfig {
             seed,
             record_timeline: false,
             disable_fast_forward: false,
+            scripted_arrivals: None,
         }
     }
 
@@ -214,7 +239,24 @@ impl BtConfig {
                 assert!(on_mean > 0.0 && on_mean.is_finite());
                 assert!(off_mean > 0.0 && off_mean.is_finite());
             }
+            BtPublisher::Periodic {
+                on_ticks,
+                off_ticks,
+                ..
+            } => {
+                assert!(on_ticks >= 1, "periodic on-phase must last a tick");
+                assert!(off_ticks >= 1, "periodic off-phase must last a tick");
+            }
             BtPublisher::AlwaysOn | BtPublisher::UntilFirstCompletion => {}
+        }
+        if let Some(script) = &self.scripted_arrivals {
+            let mut prev = 0u64;
+            for &(tick, upload) in script {
+                assert!(tick >= prev, "scripted arrivals must be tick-sorted");
+                assert!(tick < self.horizon, "scripted arrival past horizon");
+                assert!(upload > 0.0 && upload.is_finite());
+                prev = tick;
+            }
         }
     }
 }
@@ -244,6 +286,46 @@ mod tests {
     fn arrival_rate_sums_per_file_demand() {
         let c3 = BtConfig::paper_section_4_3(3, 0);
         assert!((c3.arrival_rate - 3.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_publisher_and_scripted_arrivals_validate() {
+        let mut c = BtConfig::paper_section_4_3(1, 0);
+        c.publisher = BtPublisher::Periodic {
+            on_ticks: 150,
+            off_ticks: 60,
+            initially_on: true,
+        };
+        c.scripted_arrivals = Some(vec![(0, 50.0), (3, 40.0), (3, 40.0), (10, 25.0)]);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tick-sorted")]
+    fn rejects_unsorted_script() {
+        let mut c = BtConfig::paper_section_4_3(1, 0);
+        c.scripted_arrivals = Some(vec![(10, 50.0), (3, 40.0)]);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "past horizon")]
+    fn rejects_script_past_horizon() {
+        let mut c = BtConfig::paper_section_4_3(1, 0);
+        c.scripted_arrivals = Some(vec![(c.horizon, 50.0)]);
+        c.validate();
+    }
+
+    #[test]
+    fn scripted_arrivals_default_to_none_in_serde() {
+        // Old serialized configs (without the field) must keep decoding.
+        let c = BtConfig::paper_section_4_3(1, 7);
+        let mut v = serde_json::to_value(&c).expect("encode");
+        if let serde_json::Value::Object(map) = &mut v {
+            map.remove("scripted_arrivals");
+        }
+        let back: BtConfig = serde_json::from_value(v).expect("decode");
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -303,6 +303,9 @@ struct BtEngine<'c> {
     /// inter-arrival gap, so the hot arrival loop never re-divides.
     arrival_mean: f64,
     next_arrival: f64,
+    /// Next unconsumed entry of `cfg.scripted_arrivals` (always 0 for
+    /// stochastic runs, where `next_arrival` drives the process).
+    scripted_cursor: usize,
     next_toggle: Option<f64>,
     publisher_retired: bool,
     publisher_online_since: Option<u64>,
@@ -385,7 +388,8 @@ impl<'c> BtEngine<'c> {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let initially_on = match cfg.publisher {
             BtPublisher::AlwaysOn | BtPublisher::UntilFirstCompletion => true,
-            BtPublisher::OnOff { initially_on, .. } => initially_on,
+            BtPublisher::OnOff { initially_on, .. }
+            | BtPublisher::Periodic { initially_on, .. } => initially_on,
         };
         let publisher = Node {
             online: initially_on,
@@ -407,7 +411,14 @@ impl<'c> BtEngine<'c> {
             assigned: Vec::new(),
         };
         let arrival_mean = 1.0 / cfg.arrival_rate;
-        let next_arrival = exp_sample(&mut rng, arrival_mean);
+        // Scripted runs drive arrivals off the schedule cursor alone; the
+        // stochastic path (and its RNG draw here) is untouched when the
+        // script is absent, keeping golden traces bit-identical.
+        let next_arrival = if cfg.scripted_arrivals.is_some() {
+            f64::INFINITY
+        } else {
+            exp_sample(&mut rng, arrival_mean)
+        };
         let next_toggle = match cfg.publisher {
             BtPublisher::OnOff {
                 on_mean, off_mean, ..
@@ -415,6 +426,11 @@ impl<'c> BtEngine<'c> {
                 &mut rng,
                 if initially_on { on_mean } else { off_mean },
             )),
+            BtPublisher::Periodic {
+                on_ticks,
+                off_ticks,
+                ..
+            } => Some(if initially_on { on_ticks } else { off_ticks } as f64),
             _ => None,
         };
         let probes = BtProbes::get();
@@ -431,6 +447,11 @@ impl<'c> BtEngine<'c> {
             let (publisher_kind, on_mean, off_mean) = match cfg.publisher {
                 BtPublisher::AlwaysOn => ("always_on", 0.0, 0.0),
                 BtPublisher::UntilFirstCompletion => ("until_first_completion", 0.0, 0.0),
+                BtPublisher::Periodic {
+                    on_ticks,
+                    off_ticks,
+                    ..
+                } => ("periodic", on_ticks as f64, off_ticks as f64),
                 BtPublisher::OnOff {
                     on_mean, off_mean, ..
                 } => ("on_off", on_mean, off_mean),
@@ -466,6 +487,7 @@ impl<'c> BtEngine<'c> {
             num_pieces,
             arrival_mean,
             next_arrival,
+            scripted_cursor: 0,
             next_toggle,
             publisher_retired: false,
             publisher_online_since: initially_on.then_some(0),
@@ -708,8 +730,18 @@ impl<'c> BtEngine<'c> {
             // drain break-check arms, availability credit ends — so a
             // jump never crosses it.
             wake = wake.min(self.cfg.horizon);
-            // Arrivals fire at the first tick with `next_arrival <= t`.
-            wake = wake.min(self.next_arrival.ceil() as u64);
+            match &self.cfg.scripted_arrivals {
+                // Scripted arrivals fire exactly at their listed ticks;
+                // entries at or before the current tick were consumed by
+                // the dense tick that just ran.
+                Some(script) => {
+                    if let Some(&(t, _)) = script.get(self.scripted_cursor) {
+                        wake = wake.min(t);
+                    }
+                }
+                // Arrivals fire at the first tick with `next_arrival <= t`.
+                None => wake = wake.min(self.next_arrival.ceil() as u64),
+            }
         }
         if let Some(t) = self.next_toggle {
             wake = wake.min(t.ceil() as u64);
@@ -820,8 +852,10 @@ impl<'c> BtEngine<'c> {
     /// every neighbor-list reader filters on `active` — so pruning
     /// them can wait for the next dense re-announce.
     fn reannounce_noop(&self) -> bool {
-        let prune_pending = matches!(self.cfg.publisher, BtPublisher::OnOff { .. })
-            && !self.nodes[PUBLISHER].online;
+        let prune_pending = matches!(
+            self.cfg.publisher,
+            BtPublisher::OnOff { .. } | BtPublisher::Periodic { .. }
+        ) && !self.nodes[PUBLISHER].online;
         for &i in &self.online_ids {
             if i != PUBLISHER && self.active_neighbor_count(i) < MIN_NEIGHBORS {
                 return false;
@@ -973,40 +1007,61 @@ impl<'c> BtEngine<'c> {
     }
 
     fn arrivals(&mut self, tick: u64) {
+        // `cfg` is a shared borrow with its own lifetime, so reading the
+        // script does not freeze `self` for the `spawn_peer` calls below.
+        let cfg = self.cfg;
+        if let Some(script) = &cfg.scripted_arrivals {
+            // Scripted schedule: consume every entry due at this tick.
+            // No arrival-time or capacity draws — the only RNG use is the
+            // tracker join inside `spawn_peer`, same as stochastic mode.
+            while self.scripted_cursor < script.len() && script[self.scripted_cursor].0 <= tick {
+                let upload = script[self.scripted_cursor].1;
+                self.scripted_cursor += 1;
+                self.spawn_peer(tick, upload);
+            }
+            return;
+        }
         while self.next_arrival <= tick as f64 {
             self.next_arrival += exp_sample(&mut self.rng, self.arrival_mean);
             let upload = self.cfg.peer_capacity.sample(&mut self.rng);
-            let counted = tick >= self.cfg.warmup;
-            if counted {
-                self.result.arrivals += 1;
-            }
-            self.nodes.push(Node {
-                online: true,
-                is_publisher: false,
-                bitfield: Bitfield::new(self.num_pieces),
-                num_held: 0,
-                progress: vec![0.0; self.num_pieces],
-                upload,
-                neighbors: Vec::new(),
-                arrived: tick,
-                completed: None,
-                departed: None,
-                linger_until: None,
-                counted,
-                recv_prev: Vec::new(),
-                recv_cur: Vec::new(),
-                recv_tick: u64::MAX,
-                received_this_tick: 0.0,
-                assigned: Vec::new(),
-            });
-            let id = self.nodes.len() - 1;
-            self.online_ids.push(id);
-            self.online_nonpub += 1;
-            if let Some(p) = &self.probes {
-                p.arrivals.inc();
-            }
-            self.tracker_join(id);
+            self.spawn_peer(tick, upload);
         }
+    }
+
+    /// Admit one leecher with the given upload capacity: node record,
+    /// active-set bookkeeping, probes, and the tracker join (which draws
+    /// from the RNG). Shared by the stochastic and scripted arrival paths.
+    fn spawn_peer(&mut self, tick: u64, upload: f64) {
+        let counted = tick >= self.cfg.warmup;
+        if counted {
+            self.result.arrivals += 1;
+        }
+        self.nodes.push(Node {
+            online: true,
+            is_publisher: false,
+            bitfield: Bitfield::new(self.num_pieces),
+            num_held: 0,
+            progress: vec![0.0; self.num_pieces],
+            upload,
+            neighbors: Vec::new(),
+            arrived: tick,
+            completed: None,
+            departed: None,
+            linger_until: None,
+            counted,
+            recv_prev: Vec::new(),
+            recv_cur: Vec::new(),
+            recv_tick: u64::MAX,
+            received_this_tick: 0.0,
+            assigned: Vec::new(),
+        });
+        let id = self.nodes.len() - 1;
+        self.online_ids.push(id);
+        self.online_nonpub += 1;
+        if let Some(p) = &self.probes {
+            p.arrivals.inc();
+        }
+        self.tracker_join(id);
     }
 
     fn reannounce(&mut self) {
@@ -1080,29 +1135,40 @@ impl<'c> BtEngine<'c> {
     // --- publisher ------------------------------------------------------
 
     fn publisher_transitions(&mut self, tick: u64) {
-        let BtPublisher::OnOff {
-            on_mean, off_mean, ..
-        } = self.cfg.publisher
-        else {
-            return;
-        };
+        match self.cfg.publisher {
+            BtPublisher::OnOff { .. } | BtPublisher::Periodic { .. } => {}
+            _ => return,
+        }
         while let Some(t) = self.next_toggle {
             if t > tick as f64 {
                 break;
             }
             let was_online = self.nodes[PUBLISHER].online;
+            // Dwell of the phase being entered. OnOff draws here in the
+            // exact order the stochastic engine always has; Periodic is
+            // RNG-free by design.
+            let dwell = match self.cfg.publisher {
+                BtPublisher::OnOff {
+                    on_mean, off_mean, ..
+                } => exp_sample(&mut self.rng, if was_online { off_mean } else { on_mean }),
+                BtPublisher::Periodic {
+                    on_ticks,
+                    off_ticks,
+                    ..
+                } => (if was_online { off_ticks } else { on_ticks }) as f64,
+                _ => unreachable!("matched above"),
+            };
+            self.next_toggle = Some(t + dwell);
             if was_online {
                 self.nodes[PUBLISHER].online = false;
                 self.online_ids.retain(|&i| i != PUBLISHER);
                 if let Some(since) = self.publisher_online_since.take() {
                     self.result.publisher_intervals.push((since, tick));
                 }
-                self.next_toggle = Some(t + exp_sample(&mut self.rng, off_mean));
             } else {
                 self.nodes[PUBLISHER].online = true;
                 self.online_ids.push(PUBLISHER);
                 self.publisher_online_since = Some(tick);
-                self.next_toggle = Some(t + exp_sample(&mut self.rng, on_mean));
                 // Returning publisher re-announces and reconnects.
                 self.tracker_join(PUBLISHER);
                 self.force_rechoke = true;
@@ -1169,27 +1235,28 @@ impl<'c> BtEngine<'c> {
             // Tit-for-tat ranking by bytes received from each candidate
             // over the last rechoke window; the publisher has no
             // self-interest and unchokes uniformly at random (mainline
-            // seed behavior).
-            interested.shuffle(&mut self.rng);
-            if !self.nodes[u].is_publisher {
+            // seed behavior). The decision itself lives in
+            // `policy::rechoke_order`, shared with the live runtime; the
+            // stamp-cleared score table stays engine-owned.
+            let uploader_is_publisher = self.nodes[u].is_publisher;
+            if !uploader_is_publisher {
                 self.score_gen += 1;
                 let gen = self.score_gen;
                 for &(peer, bytes) in &self.nodes[u].recv_prev {
                     self.score[peer] = bytes;
                     self.score_stamp[peer] = gen;
                 }
-                let (score, stamp) = (&self.score, &self.score_stamp);
-                // Stable sort: ties stay in shuffled order.
-                interested.sort_by(|&a, &b| {
-                    let ra = if stamp[a] == gen { score[a] } else { 0.0 };
-                    let rb = if stamp[b] == gen { score[b] } else { 0.0 };
-                    rb.partial_cmp(&ra).expect("finite byte counts")
-                });
             }
-            let regular = self.cfg.unchoke_slots.min(interested.len());
-            // Optimistic unchoke: random picks from the remainder.
-            interested[regular..].shuffle(&mut self.rng);
-            let chosen = regular + self.cfg.optimistic_slots.min(interested.len() - regular);
+            let gen = self.score_gen;
+            let (score, stamp) = (&self.score, &self.score_stamp);
+            let chosen = crate::policy::rechoke_order(
+                &mut interested,
+                uploader_is_publisher,
+                |p| if stamp[p] == gen { score[p] } else { 0.0 },
+                self.cfg.unchoke_slots,
+                self.cfg.optimistic_slots,
+                &mut self.rng,
+            );
             self.unchoked_from.push(u);
             self.unchoked_off.push(self.unchoked_flat.len());
             self.unchoked_flat.extend_from_slice(&interested[..chosen]);
@@ -1400,16 +1467,10 @@ impl<'c> BtEngine<'c> {
             // piece, maximizing unique-piece injection into the swarm.
             // Partially transferred pieces are finished first — abandoning
             // them would litter the downloader with fragments.
-            let pick = free
-                .iter()
-                .copied()
-                .filter(|&p| self.nodes[d].progress[p] > 0.0)
-                .max_by(|&a, &b| {
-                    self.nodes[d].progress[a]
-                        .partial_cmp(&self.nodes[d].progress[b])
-                        .expect("finite progress")
-                })
-                .unwrap_or_else(|| {
+            let progress = &self.nodes[d].progress;
+            let pick = match crate::policy::most_complete_partial(&free, |p| progress[p]) {
+                Some(p) => p,
+                None => {
                     let fresh = free
                         .iter()
                         .copied()
@@ -1417,22 +1478,17 @@ impl<'c> BtEngine<'c> {
                         .expect("free nonempty");
                     self.injected[fresh] += 1;
                     fresh
-                });
+                }
+            };
             Some(pick)
         } else if free.is_empty() {
             // Endgame: every interesting piece is already being fetched
             // from someone; double up on the most complete one.
             endgame_best
-        } else if let Some(partial) = free
-            .iter()
-            .copied()
-            .filter(|&p| self.nodes[d].progress[p] > 0.0)
-            .max_by(|&a, &b| {
-                self.nodes[d].progress[a]
-                    .partial_cmp(&self.nodes[d].progress[b])
-                    .expect("finite progress")
-            })
-        {
+        } else if let Some(partial) = {
+            let progress = &self.nodes[d].progress;
+            crate::policy::most_complete_partial(&free, |p| progress[p])
+        } {
             // Resume the most-complete orphaned partial before starting a
             // fresh piece: short unchoke windows otherwise litter the peer
             // with fragments of many pieces and it completes none.
@@ -1449,24 +1505,8 @@ impl<'c> BtEngine<'c> {
             // neighborhood's bitfields. (Seeds hold every piece and shift
             // all counts uniformly; the publisher is excluded — so the
             // induced ordering reflects leecher-side scarcity.)
-            let mut best_piece = None;
-            let mut best_count = u32::MAX;
-            let mut ties = 0u32;
-            for &p in &free {
-                let count = self.rep.counts[p];
-                if count < best_count {
-                    best_count = count;
-                    best_piece = Some(p);
-                    ties = 1;
-                } else if count == best_count {
-                    // Reservoir-sample among ties for an unbiased pick.
-                    ties += 1;
-                    if self.rng.gen_range(0..ties) == 0 {
-                        best_piece = Some(p);
-                    }
-                }
-            }
-            best_piece
+            let counts = &self.rep.counts;
+            crate::policy::rarest_first(&free, |p| counts[p], &mut self.rng)
         };
         self.scratch_free = free;
         if let Some(p) = choice {
@@ -1755,6 +1795,66 @@ mod tests {
         let a = serde_json::to_string(&run(&dense)).expect("serialize");
         let b = serde_json::to_string(&run(&cfg)).expect("serialize");
         assert_eq!(a, b, "fast-forward must not change the golden trace");
+    }
+
+    #[test]
+    fn periodic_publisher_follows_square_wave() {
+        // Deterministic schedule: on [0,150) ∪ [210,360), off [150,210).
+        // With scripted arrivals that all complete inside the first ON
+        // phase and no lingering, availability is exactly the publisher
+        // schedule and the off span is the only unavailable stretch.
+        let mut cfg = always_on(1, 9);
+        cfg.publisher = BtPublisher::Periodic {
+            on_ticks: 150,
+            off_ticks: 60,
+            initially_on: true,
+        };
+        cfg.horizon = 360;
+        cfg.drain_ticks = 0;
+        cfg.file_size = 1_000.0; // 4 pieces — everyone finishes fast
+        cfg.publisher_capacity = 200.0;
+        cfg.scripted_arrivals = Some((0..8).map(|i| (i as u64, 100.0)).collect());
+        let r = run(&cfg);
+        assert_eq!(r.arrivals, 8);
+        assert_eq!(r.completions, 8, "everyone finishes in the first ON phase");
+        assert_eq!(
+            r.publisher_intervals,
+            vec![(0, 150), (210, 360)],
+            "square wave must toggle exactly at the configured boundaries"
+        );
+        let expected = (360.0 - 60.0) / 360.0;
+        assert!(
+            (r.availability - expected).abs() < 1e-12,
+            "availability {} != {}",
+            r.availability,
+            expected
+        );
+    }
+
+    #[test]
+    fn scripted_arrivals_are_exact_and_fast_forward_safe() {
+        // The scripted schedule admits peers at the listed ticks with the
+        // listed capacities, dense and elided runs agree byte-for-byte,
+        // and two runs are deterministic.
+        let mut cfg = always_on(1, 3);
+        cfg.horizon = 400;
+        cfg.drain_ticks = 0;
+        cfg.record_timeline = true;
+        cfg.scripted_arrivals = Some(vec![(0, 50.0), (5, 80.0), (5, 30.0), (120, 60.0)]);
+        let dense = BtConfig {
+            disable_fast_forward: true,
+            ..cfg.clone()
+        };
+        let a = serde_json::to_string(&run(&cfg)).expect("serialize");
+        let b = serde_json::to_string(&run(&dense)).expect("serialize");
+        assert_eq!(a, b, "fast-forward must not change scripted runs");
+        let r = run(&cfg);
+        assert_eq!(r.arrivals, 4);
+        assert_eq!(r.spans.len(), 4, "one span per scripted peer");
+        assert_eq!(
+            r.spans.iter().map(|s| s.arrived).collect::<Vec<_>>(),
+            vec![0, 5, 5, 120]
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
+pub mod policy;
 
 pub use bitfield::Bitfield;
 pub use capacity::CapacityDistribution;

@@ -1,0 +1,206 @@
+//! Pure protocol policy functions shared by the tick simulator and the
+//! live networked runtime (`swarm-net`).
+//!
+//! Each function is a side-effect-free decision rule over caller-owned
+//! state: the engine (and the live peer loop) supply candidate sets,
+//! lookup closures and an RNG, and get back the mainline-BitTorrent
+//! choice. The RNG draw sequence of every function is part of its
+//! contract — `swarm-bt`'s golden-trace tests pin the exact stream, so
+//! any change here that adds, removes or reorders a draw is a behavior
+//! change even if the returned values look equivalent.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Order `interested` into unchoke priority and return how many leading
+/// entries are unchoked this round.
+///
+/// Mainline's rechoke decision: shuffle the interested set (random
+/// tie-break baseline), then — unless the uploader is the publisher,
+/// which has no self-interest and unchokes uniformly at random — stably
+/// sort by descending reciprocity score so ties keep their shuffled
+/// order. The top `unchoke_slots` are the regular unchokes; the
+/// remainder is shuffled again and `optimistic_slots` of it become
+/// optimistic unchokes. The unchoked set is `interested[..returned]`.
+///
+/// Draw sequence: one `shuffle` over the full set, then one `shuffle`
+/// over the post-regular remainder (a slice shorter than two draws
+/// nothing). The sort never touches the RNG.
+pub fn rechoke_order<R: Rng + ?Sized>(
+    interested: &mut [usize],
+    uploader_is_publisher: bool,
+    score_of: impl Fn(usize) -> f64,
+    unchoke_slots: usize,
+    optimistic_slots: usize,
+    rng: &mut R,
+) -> usize {
+    interested.shuffle(rng);
+    if !uploader_is_publisher {
+        // Stable sort: ties stay in shuffled order.
+        interested.sort_by(|&a, &b| {
+            score_of(b)
+                .partial_cmp(&score_of(a))
+                .expect("finite byte counts")
+        });
+    }
+    let regular = unchoke_slots.min(interested.len());
+    interested[regular..].shuffle(rng);
+    regular + optimistic_slots.min(interested.len() - regular)
+}
+
+/// Rarest-first piece choice over `free` by the replication count
+/// `replication(piece)`, breaking ties by reservoir sampling for an
+/// unbiased uniform pick among the minima.
+///
+/// Draw sequence: one `gen_range(0..ties)` per candidate that ties the
+/// current minimum (the first holder of a new minimum draws nothing).
+pub fn rarest_first<R: Rng + ?Sized>(
+    free: &[usize],
+    replication: impl Fn(usize) -> u32,
+    rng: &mut R,
+) -> Option<usize> {
+    let mut best_piece = None;
+    let mut best_count = u32::MAX;
+    let mut ties = 0u32;
+    for &p in free {
+        let count = replication(p);
+        if count < best_count {
+            best_count = count;
+            best_piece = Some(p);
+            ties = 1;
+        } else if count == best_count {
+            // Reservoir-sample among ties for an unbiased pick.
+            ties += 1;
+            if rng.gen_range(0..ties) == 0 {
+                best_piece = Some(p);
+            }
+        }
+    }
+    best_piece
+}
+
+/// The candidate with the most partial progress, or `None` when every
+/// candidate is untouched. Resuming the most-complete orphaned partial
+/// before starting a fresh piece keeps short unchoke windows from
+/// littering a peer with fragments of many pieces.
+///
+/// Tie-break: the *last* maximum wins, matching `Iterator::max_by`.
+/// No RNG involved.
+pub fn most_complete_partial(free: &[usize], progress: impl Fn(usize) -> f64) -> Option<usize> {
+    free.iter()
+        .copied()
+        .filter(|&p| progress(p) > 0.0)
+        .max_by(|&a, &b| {
+            progress(a)
+                .partial_cmp(&progress(b))
+                .expect("finite progress")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rechoke_orders_by_score_for_leechers() {
+        let mut r = rng(7);
+        let mut interested = vec![1, 2, 3, 4, 5];
+        let scores = [0.0, 10.0, 50.0, 20.0, 40.0, 30.0];
+        let chosen = rechoke_order(&mut interested, false, |p| scores[p], 2, 1, &mut r);
+        assert_eq!(chosen, 3);
+        // Regular slots are the top scorers regardless of shuffle order.
+        assert_eq!(&interested[..2], &[2, 4]);
+        // The optimistic slot comes from the remainder {1, 3, 5}.
+        assert!([1, 3, 5].contains(&interested[2]));
+    }
+
+    #[test]
+    fn rechoke_publisher_ignores_scores() {
+        // With equal slots and a full shuffle, a publisher must be able to
+        // unchoke a zero-score peer ahead of the top scorer sometimes.
+        let scores = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut saw_low_first = false;
+        for seed in 0..32 {
+            let mut r = rng(seed);
+            let mut interested = vec![1, 2, 3, 4];
+            rechoke_order(&mut interested, true, |p| scores[p], 1, 0, &mut r);
+            if interested[0] != 4 {
+                saw_low_first = true;
+            }
+        }
+        assert!(saw_low_first, "publisher rechoke should not rank by score");
+    }
+
+    #[test]
+    fn rechoke_stable_ties_follow_shuffle() {
+        // All-equal scores: the sort must preserve the shuffled order, so
+        // two RNG clones produce identical orderings through the sort.
+        let mut r1 = rng(11);
+        let mut r2 = rng(11);
+        let mut a = vec![1, 2, 3, 4, 5, 6];
+        let mut b = a.clone();
+        rechoke_order(&mut a, false, |_| 1.0, 3, 1, &mut r1);
+        b.shuffle(&mut r2);
+        let regular = 3;
+        b[regular..].shuffle(&mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rechoke_counts_respect_slot_caps() {
+        let mut r = rng(3);
+        let mut few = vec![1, 2];
+        assert_eq!(rechoke_order(&mut few, false, |_| 0.0, 4, 1, &mut r), 2);
+        let mut some = vec![1, 2, 3, 4, 5, 6, 7];
+        assert_eq!(rechoke_order(&mut some, false, |_| 0.0, 4, 1, &mut r), 5);
+        let mut empty: Vec<usize> = Vec::new();
+        assert_eq!(rechoke_order(&mut empty, false, |_| 0.0, 4, 1, &mut r), 0);
+    }
+
+    #[test]
+    fn rarest_first_picks_unique_minimum() {
+        let mut r = rng(1);
+        let counts = [5u32, 2, 9, 7];
+        let free = [0, 1, 2, 3];
+        assert_eq!(rarest_first(&free, |p| counts[p], &mut r), Some(1));
+    }
+
+    #[test]
+    fn rarest_first_tie_break_is_roughly_uniform() {
+        // Three tied minima: over many seeds each should win sometimes.
+        let counts = [1u32, 1, 1, 8];
+        let free = [0, 1, 2, 3];
+        let mut wins = [0u32; 3];
+        for seed in 0..300 {
+            let mut r = rng(seed);
+            let p = rarest_first(&free, |p| counts[p], &mut r).unwrap();
+            assert!(p < 3, "never picks a non-minimum");
+            wins[p] += 1;
+        }
+        for &w in &wins {
+            assert!(w > 50, "tie-break skewed: {wins:?}");
+        }
+    }
+
+    #[test]
+    fn rarest_first_empty_is_none() {
+        let mut r = rng(0);
+        assert_eq!(rarest_first(&[], |_| 0, &mut r), None);
+    }
+
+    #[test]
+    fn most_complete_partial_prefers_progress_and_last_max() {
+        let progress = [0.0, 30.0, 80.0, 80.0, 0.0];
+        let free = [0, 1, 2, 3, 4];
+        // Last maximum wins (Iterator::max_by semantics).
+        assert_eq!(most_complete_partial(&free, |p| progress[p]), Some(3));
+        assert_eq!(most_complete_partial(&free, |_| 0.0), None);
+        assert_eq!(most_complete_partial(&[], |_| 1.0), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Time sources for the two transport modes.
+//!
+//! Deterministic mode runs on a [`VirtualClock`]: a barrier-coordinated
+//! round counter. Each round is one engine tick; worker threads (one per
+//! endpoint) execute strictly inside the span between the two barrier
+//! crossings, and the coordinator owns everything between rounds —
+//! message delivery, schedule toggles, metric aggregation. Nothing about
+//! thread scheduling can reorder observable work across a barrier, which
+//! is what makes the threaded host bit-identical to the single-threaded
+//! one.
+//!
+//! TCP mode runs on a [`WallTicker`]: real elapsed time quantized into
+//! the same tick domain, so the protocol logic is oblivious to which
+//! clock is underneath (the `lightyear`-style tick-manager split).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Barrier-round virtual clock shared by `workers` endpoint threads and
+/// one coordinator.
+///
+/// Protocol per round:
+/// 1. coordinator does between-round work, then calls [`begin_round`];
+/// 2. every worker returns from [`worker_begin`] with the tick, steps
+///    its endpoint, calls [`worker_end`];
+/// 3. coordinator returns from [`end_round`] and owns the world again.
+///
+/// [`begin_round`]: VirtualClock::begin_round
+/// [`worker_begin`]: VirtualClock::worker_begin
+/// [`worker_end`]: VirtualClock::worker_end
+/// [`end_round`]: VirtualClock::end_round
+pub struct VirtualClock {
+    barrier: Barrier,
+    tick: AtomicU64,
+    stopped: AtomicBool,
+}
+
+impl VirtualClock {
+    pub fn new(workers: usize) -> Self {
+        VirtualClock {
+            barrier: Barrier::new(workers + 1),
+            tick: AtomicU64::new(0),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Coordinator: publish `tick` and release the workers into it.
+    pub fn begin_round(&self, tick: u64) {
+        self.tick.store(tick, Ordering::Release);
+        self.barrier.wait();
+    }
+
+    /// Coordinator: block until every worker finished the round.
+    pub fn end_round(&self) {
+        self.barrier.wait();
+    }
+
+    /// Coordinator: release the workers one last time with the stop flag
+    /// raised; they exit instead of stepping.
+    pub fn shutdown(&self) {
+        self.stopped.store(true, Ordering::Release);
+        self.barrier.wait();
+    }
+
+    /// Worker: wait for the round to open. `None` means shut down.
+    pub fn worker_begin(&self) -> Option<u64> {
+        self.barrier.wait();
+        if self.stopped.load(Ordering::Acquire) {
+            None
+        } else {
+            Some(self.tick.load(Ordering::Acquire))
+        }
+    }
+
+    /// Worker: mark this round's work complete.
+    pub fn worker_end(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Wall-clock tick source for TCP mode: quantizes real elapsed time into
+/// ticks of `tick_ms` milliseconds.
+pub struct WallTicker {
+    start: Instant,
+    tick_ms: u64,
+}
+
+impl WallTicker {
+    pub fn new(tick_ms: u64) -> Self {
+        WallTicker {
+            start: Instant::now(),
+            tick_ms: tick_ms.max(1),
+        }
+    }
+
+    /// The tick the wall clock is currently inside.
+    pub fn current_tick(&self) -> u64 {
+        (self.start.elapsed().as_millis() as u64) / self.tick_ms
+    }
+
+    /// Sleep until the start of the tick after `tick` (bounded nap so a
+    /// late thread never oversleeps its schedule).
+    pub fn sleep_past(&self, tick: u64) {
+        let next_at = Duration::from_millis((tick + 1) * self.tick_ms);
+        let elapsed = self.start.elapsed();
+        if next_at > elapsed {
+            std::thread::sleep(next_at - elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn virtual_clock_rounds_are_totally_ordered() {
+        // 3 workers append (tick, phase) marks; barrier discipline must
+        // keep every worker's mark for round t strictly between the
+        // coordinator's open and close of round t.
+        let workers = 3;
+        let clock = Arc::new(VirtualClock::new(workers));
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let clock = Arc::clone(&clock);
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                while let Some(tick) = clock.worker_begin() {
+                    log.lock().unwrap().push((tick, w));
+                    clock.worker_end();
+                }
+            }));
+        }
+        for tick in 0..5u64 {
+            clock.begin_round(tick);
+            clock.end_round();
+            // Coordinator-owned span: exactly `workers` marks for `tick`.
+            let marks = log.lock().unwrap();
+            let this_round = marks.iter().filter(|&&(t, _)| t == tick).count();
+            assert_eq!(this_round, workers, "round {tick}");
+        }
+        clock.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wall_ticker_advances() {
+        let t = WallTicker::new(1);
+        let t0 = t.current_tick();
+        t.sleep_past(t0 + 1);
+        assert!(t.current_tick() > t0);
+    }
+}

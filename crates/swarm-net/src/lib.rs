@@ -1,0 +1,45 @@
+//! Live networked swarm mode.
+//!
+//! `swarm-net` runs the repo's swarm protocol as *actual endpoints
+//! exchanging encoded frames*, instead of nodes inside one simulator
+//! loop. Each participant — tracker, publisher, leechers — is a state
+//! machine speaking a length-prefixed wire format (handshake, bitfield,
+//! have, interested/choke, request/piece/cancel, tracker announce and
+//! scrape, PEX) over a pluggable transport:
+//!
+//! * **deterministic loopback** — in-process channels, barrier-paced
+//!   virtual time, `(sender, seq)`-ordered delivery, per-endpoint
+//!   ChaCha8 streams. Single-threaded and thread-per-peer hosts are
+//!   bit-identical, so live runs are reproducible and diffable.
+//! * **real TCP** — the same cores over `std::net` sockets and a
+//!   wall-clock ticker, for smoke-testing the stack end to end.
+//!
+//! Piece selection and rechoking are the *same policy functions* the
+//! `swarm-bt` simulator calls ([`swarm_bt::policy`]), which is what
+//! makes the sim-vs-live comparison meaningful: the two engines share
+//! one decision brain and differ only in how bytes and time move. The
+//! canonical scripted scenarios in [`scenarios`] are constructed so the
+//! deterministic counters (`net.ticks`/`net.arrivals`/
+//! `net.completions`/`net.availability.transitions`) match the sim's
+//! `bt.*` twins exactly; `swarm-trace repro diff --sim-vs-live`
+//! enforces that equivalence in CI.
+//!
+//! No async runtime is involved: threads, channels and barriers only,
+//! in keeping with the workspace's vendored-dependency rule.
+
+pub mod clock;
+pub mod peer;
+pub mod pex;
+pub mod run;
+pub mod scenarios;
+pub mod tcp;
+pub mod tracker;
+pub mod transport;
+pub mod wire;
+
+pub use peer::{PeerCore, PeerParams, MIN_NEIGHBORS, PUBLISHER, REQUEST_TIMEOUT, TRACKER};
+pub use run::{peer_stream, publisher_online_at, run_live, HostMode, NetResult};
+pub use tcp::{run_tcp_smoke, TcpSmokeReport};
+pub use tracker::TrackerCore;
+pub use transport::{Envelope, LoopbackEndpoint, LoopbackHub, Transport};
+pub use wire::{decode, drain_frames, encode, Message, WireError};

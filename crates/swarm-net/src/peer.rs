@@ -1,0 +1,862 @@
+//! Per-endpoint protocol state machine.
+//!
+//! [`PeerCore`] is the live-mode counterpart of one node inside the
+//! `swarm-bt` engine: it holds a bitfield, a neighbor table, and the
+//! tit-for-tat/rarest-first policy state — but it communicates *only*
+//! through wire [`Message`]s handed in and out by a host. The same core
+//! runs under the deterministic loopback coordinator, the threaded
+//! coordinator, and the TCP host; nothing in here knows which transport
+//! or clock is underneath.
+//!
+//! Piece selection and rechoking call the pure policy functions in
+//! [`swarm_bt::policy`] — the exact code the simulator runs — so sim and
+//! live share one brain and differ only in how bytes move.
+//!
+//! ## Determinism contract
+//!
+//! A core's behavior is a pure function of `(its ChaCha8 stream, the
+//! ordered inbox it is handed each tick)`. All iteration is over
+//! `BTreeMap`/sorted ids, never hash order, and the host guarantees the
+//! inbox order is `(sender id, sender sequence)` — so two hosts that
+//! deliver the same frames produce bit-identical cores regardless of
+//! thread scheduling.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand_chacha::ChaCha8Rng;
+use swarm_bt::{policy, Bitfield};
+
+use crate::pex;
+use crate::wire::{Message, EVENT_COMPLETED, EVENT_NONE, EVENT_STARTED, EVENT_STOPPED};
+
+/// Endpoint id of the tracker in every swarm.
+pub const TRACKER: usize = 0;
+/// Endpoint id of the publisher in every swarm.
+pub const PUBLISHER: usize = 1;
+
+/// Below this many neighbors a leecher re-announces (mirrors the sim).
+pub const MIN_NEIGHBORS: usize = 5;
+/// Tracker re-announce cadence in ticks (mirrors the sim).
+pub const REANNOUNCE_INTERVAL: u64 = 30;
+/// Ticks of silence after which an outstanding request is abandoned
+/// (mirrors the sim's request expiry).
+pub const REQUEST_TIMEOUT: u64 = 60;
+
+/// Knobs shared by every peer of one swarm (lifted from `BtConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct PeerParams {
+    pub num_pieces: usize,
+    /// Piece size in kB.
+    pub piece_size: f64,
+    pub unchoke_slots: usize,
+    pub optimistic_slots: usize,
+    pub rechoke_interval: u64,
+    /// 0 disables PEX.
+    pub pex_interval: u64,
+    pub max_neighbors: usize,
+}
+
+/// What we know about one neighbor, keyed by endpoint id in
+/// [`PeerCore::neighbors`].
+#[derive(Debug, Clone)]
+struct Neighbor {
+    bitfield: Bitfield,
+    /// They told us they want something we have.
+    they_interested: bool,
+    /// We told them we want something they have.
+    we_interested: bool,
+    we_choke_them: bool,
+    they_choke_us: bool,
+    /// Piece they asked us for (service continues until cancelled).
+    their_request: Option<u32>,
+    /// Piece we asked them for, plus the last tick data arrived for it
+    /// (the timeout stamp).
+    our_request: Option<(u32, u64)>,
+    /// kB received from them in the current rechoke window.
+    recv_window: f64,
+    /// Previous window — the tit-for-tat score.
+    recv_prev: f64,
+}
+
+impl Neighbor {
+    fn new(num_pieces: usize) -> Self {
+        Neighbor {
+            bitfield: Bitfield::new(num_pieces),
+            they_interested: false,
+            we_interested: false,
+            we_choke_them: true,
+            they_choke_us: true,
+            their_request: None,
+            our_request: None,
+            recv_window: 0.0,
+            recv_prev: 0.0,
+        }
+    }
+}
+
+/// One peer's complete protocol state.
+pub struct PeerCore {
+    pub id: usize,
+    params: PeerParams,
+    pub is_publisher: bool,
+    pub online: bool,
+    /// Set once the peer leaves for good (completion, since live mode
+    /// runs linger-free scenarios).
+    pub departed: bool,
+    /// Tick at which a leecher joins the swarm.
+    pub arrived: u64,
+    /// Completion tick (the sim's `done_at = tick + 1` convention).
+    pub completed: Option<u64>,
+    pub bitfield: Bitfield,
+    /// kB received per piece.
+    progress: Vec<f64>,
+    /// Upload capacity in kB per tick.
+    upload_cap: f64,
+    /// Download cap in kB per tick.
+    download_cap: f64,
+    received_this_tick: f64,
+    /// Total kB accepted (the receiver-side "bytes moved" truth).
+    pub bytes_received: f64,
+    neighbors: BTreeMap<usize, Neighbor>,
+    rng: ChaCha8Rng,
+    needs_announce: bool,
+    /// Frames processed (for the run report).
+    pub messages_handled: u64,
+    /// Rechoke rounds executed.
+    pub rechokes: u64,
+}
+
+impl PeerCore {
+    pub fn leecher(
+        id: usize,
+        arrived: u64,
+        upload_cap: f64,
+        download_cap: f64,
+        params: PeerParams,
+        rng: ChaCha8Rng,
+    ) -> Self {
+        PeerCore {
+            id,
+            params,
+            is_publisher: false,
+            online: false,
+            departed: false,
+            arrived,
+            completed: None,
+            bitfield: Bitfield::new(params.num_pieces),
+            progress: vec![0.0; params.num_pieces],
+            upload_cap,
+            download_cap,
+            received_this_tick: 0.0,
+            bytes_received: 0.0,
+            neighbors: BTreeMap::new(),
+            rng,
+            needs_announce: false,
+            messages_handled: 0,
+            rechokes: 0,
+        }
+    }
+
+    pub fn publisher(id: usize, upload_cap: f64, params: PeerParams, rng: ChaCha8Rng) -> Self {
+        PeerCore {
+            id,
+            params,
+            is_publisher: true,
+            online: false,
+            departed: false,
+            arrived: 0,
+            completed: None,
+            bitfield: Bitfield::full(params.num_pieces),
+            progress: vec![params.piece_size; params.num_pieces],
+            upload_cap,
+            download_cap: 0.0,
+            received_this_tick: 0.0,
+            bytes_received: 0.0,
+            neighbors: BTreeMap::new(),
+            rng,
+            needs_announce: false,
+            messages_handled: 0,
+            rechokes: 0,
+        }
+    }
+
+    /// Host-driven presence toggle (the publisher's on/off schedule).
+    /// Going online re-announces and resets upload-side choke state so
+    /// the next rechoke re-emits `Unchoke` deltas — neighbors that
+    /// snubbed us while we were gone need fresh frames to revive.
+    /// Going offline keeps the neighbor table (the sim's publisher also
+    /// resumes with its view intact); the host stops delivering frames
+    /// while offline.
+    pub fn set_online(&mut self, on: bool) {
+        if on && !self.online && !self.departed {
+            self.online = true;
+            self.needs_announce = true;
+            for n in self.neighbors.values_mut() {
+                n.we_choke_them = true;
+                n.their_request = None;
+            }
+        } else if !on {
+            self.online = false;
+        }
+    }
+
+    pub fn neighbor_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// kB still missing — the announce `left` field.
+    fn remaining(&self) -> f64 {
+        let total = self.params.num_pieces as f64 * self.params.piece_size;
+        (total - self.progress.iter().sum::<f64>()).max(0.0)
+    }
+
+    /// Run one tick: ingest `inbox` (already in delivery order), then do
+    /// this tick's protocol duties. Outgoing messages are pushed onto
+    /// `out` as `(destination endpoint, message)` — the host encodes and
+    /// sends them.
+    pub fn step(
+        &mut self,
+        tick: u64,
+        inbox: Vec<(usize, Message)>,
+        out: &mut Vec<(usize, Message)>,
+    ) {
+        self.received_this_tick = 0.0;
+        if !self.is_publisher && !self.online && !self.departed && tick >= self.arrived {
+            self.online = true;
+            self.needs_announce = true;
+        }
+        if !self.online {
+            return;
+        }
+        for (from, msg) in inbox {
+            self.messages_handled += 1;
+            self.handle(from, &msg, tick, out);
+            if !self.online {
+                // Completed mid-inbox; the rest of the frames are for a
+                // peer that no longer exists.
+                return;
+            }
+        }
+        if self.needs_announce {
+            self.needs_announce = false;
+            out.push((
+                TRACKER,
+                Message::Announce {
+                    peer: self.id as u64,
+                    left: self.remaining(),
+                    event: EVENT_STARTED,
+                },
+            ));
+        }
+        if !self.is_publisher
+            && tick > 0
+            && tick.is_multiple_of(REANNOUNCE_INTERVAL)
+            && self.neighbors.len() < MIN_NEIGHBORS
+        {
+            out.push((
+                TRACKER,
+                Message::Announce {
+                    peer: self.id as u64,
+                    left: self.remaining(),
+                    event: EVENT_NONE,
+                },
+            ));
+        }
+        if self.params.pex_interval > 0 && tick > 0 && tick.is_multiple_of(self.params.pex_interval)
+        {
+            let ids: Vec<usize> = self.neighbors.keys().copied().collect();
+            if let Some(partner) = pex::pick_partner(&ids, &mut self.rng) {
+                out.push((partner, Message::PexRequest));
+            }
+        }
+        if tick.is_multiple_of(self.params.rechoke_interval) {
+            self.rechoke(out);
+        }
+        if !self.is_publisher && !self.bitfield.is_complete() {
+            self.request_pieces(tick, out);
+        }
+        self.serve_requests(out);
+    }
+
+    /// Tit-for-tat rechoke: roll the receive windows, rank interested
+    /// neighbors with the shared policy code, and emit only the
+    /// choke-state deltas.
+    fn rechoke(&mut self, out: &mut Vec<(usize, Message)>) {
+        self.rechokes += 1;
+        for n in self.neighbors.values_mut() {
+            n.recv_prev = n.recv_window;
+            n.recv_window = 0.0;
+        }
+        let mut interested: Vec<usize> = self
+            .neighbors
+            .iter()
+            .filter(|(_, n)| n.they_interested)
+            .map(|(&id, _)| id)
+            .collect();
+        let neighbors = &self.neighbors;
+        let chosen = policy::rechoke_order(
+            &mut interested,
+            self.is_publisher,
+            |id| neighbors.get(&id).map_or(0.0, |n| n.recv_prev),
+            self.params.unchoke_slots,
+            self.params.optimistic_slots,
+            &mut self.rng,
+        );
+        let unchoked: BTreeSet<usize> = interested[..chosen].iter().copied().collect();
+        for (&id, n) in self.neighbors.iter_mut() {
+            let want_open = unchoked.contains(&id);
+            if want_open != n.we_choke_them {
+                continue;
+            }
+            n.we_choke_them = !want_open;
+            if want_open {
+                out.push((id, Message::Unchoke));
+            } else {
+                n.their_request = None;
+                out.push((id, Message::Choke));
+            }
+        }
+    }
+
+    /// Issue one outstanding request per unchoking neighbor, preferring
+    /// partial pieces then rarest-first over this peer's local view —
+    /// the same selection the sim makes, via the same policy functions.
+    fn request_pieces(&mut self, tick: u64, out: &mut Vec<(usize, Message)>) {
+        // Local replication view: how many neighbors hold each piece.
+        let mut counts = vec![0u32; self.params.num_pieces];
+        for n in self.neighbors.values() {
+            for p in n.bitfield.ones() {
+                counts[p] += 1;
+            }
+        }
+        let mut in_flight: BTreeSet<usize> = self
+            .neighbors
+            .values()
+            .filter_map(|n| n.our_request.map(|(p, _)| p as usize))
+            .collect();
+        let ids: Vec<usize> = self.neighbors.keys().copied().collect();
+        for id in ids {
+            // Expire a stalled request so the piece can be re-sourced —
+            // and snub the silent neighbor (treat it as choking us) so
+            // the freed piece is requested from someone alive instead of
+            // bouncing back to a dead endpoint forever. An `Unchoke`
+            // from the neighbor revives it.
+            if let Some((p, stamp)) = self.neighbors[&id].our_request {
+                if tick.saturating_sub(stamp) >= REQUEST_TIMEOUT {
+                    let n = self.neighbors.get_mut(&id).unwrap();
+                    n.our_request = None;
+                    n.they_choke_us = true;
+                    in_flight.remove(&(p as usize));
+                    out.push((id, Message::Cancel { piece: p }));
+                }
+            }
+            let n = &self.neighbors[&id];
+            if !n.we_interested || n.they_choke_us || n.our_request.is_some() {
+                continue;
+            }
+            let free: Vec<usize> = n
+                .bitfield
+                .ones()
+                .filter(|&p| !self.bitfield.has(p) && !in_flight.contains(&p))
+                .collect();
+            if free.is_empty() {
+                continue;
+            }
+            let progress = &self.progress;
+            let pick = match policy::most_complete_partial(&free, |p| progress[p]) {
+                Some(p) => Some(p),
+                None => policy::rarest_first(&free, |p| counts[p], &mut self.rng),
+            };
+            if let Some(p) = pick {
+                in_flight.insert(p);
+                self.neighbors.get_mut(&id).unwrap().our_request = Some((p as u32, tick));
+                out.push((id, Message::Request { piece: p as u32 }));
+            }
+        }
+    }
+
+    /// Split this tick's upload capacity evenly across neighbors with an
+    /// open request — the per-second capacity sharing of the sim's
+    /// transfer round, expressed as `Piece` frames.
+    fn serve_requests(&mut self, out: &mut Vec<(usize, Message)>) {
+        let active: Vec<(usize, u32)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, n)| !n.we_choke_them)
+            .filter_map(|(&id, n)| n.their_request.map(|p| (id, p)))
+            .collect();
+        if active.is_empty() || self.upload_cap <= 0.0 {
+            return;
+        }
+        let share = self.upload_cap / active.len() as f64;
+        for (id, piece) in active {
+            out.push((
+                id,
+                Message::Piece {
+                    piece,
+                    bytes: share,
+                },
+            ));
+        }
+    }
+
+    /// Process one inbound message.
+    fn handle(&mut self, from: usize, msg: &Message, tick: u64, out: &mut Vec<(usize, Message)>) {
+        match msg {
+            Message::Handshake { pieces, .. } => {
+                if *pieces as usize != self.params.num_pieces {
+                    return;
+                }
+                if !self.neighbors.contains_key(&from)
+                    && self.neighbors.len() < self.params.max_neighbors
+                {
+                    self.neighbors
+                        .insert(from, Neighbor::new(self.params.num_pieces));
+                    out.push((
+                        from,
+                        Message::Handshake {
+                            peer: self.id as u64,
+                            pieces: *pieces,
+                        },
+                    ));
+                    out.push((from, Message::Bitfield(self.bitfield.clone())));
+                }
+            }
+            Message::Bitfield(bf) => {
+                if bf.len() != self.params.num_pieces || !self.neighbors.contains_key(&from) {
+                    return;
+                }
+                self.neighbors.get_mut(&from).unwrap().bitfield = bf.clone();
+                self.update_interest(from, out);
+            }
+            Message::Have { piece } => {
+                let Some(n) = self.neighbors.get_mut(&from) else {
+                    return;
+                };
+                if (*piece as usize) < self.params.num_pieces {
+                    n.bitfield.set(*piece as usize);
+                    self.update_interest(from, out);
+                }
+            }
+            Message::Interested => {
+                if let Some(n) = self.neighbors.get_mut(&from) {
+                    n.they_interested = true;
+                }
+            }
+            Message::NotInterested => {
+                if let Some(n) = self.neighbors.get_mut(&from) {
+                    n.they_interested = false;
+                    n.their_request = None;
+                }
+            }
+            Message::Choke => {
+                if let Some(n) = self.neighbors.get_mut(&from) {
+                    n.they_choke_us = true;
+                    n.our_request = None;
+                }
+            }
+            Message::Unchoke => {
+                if let Some(n) = self.neighbors.get_mut(&from) {
+                    n.they_choke_us = false;
+                }
+            }
+            Message::Request { piece } => {
+                if !self.bitfield.has(*piece as usize) {
+                    return;
+                }
+                if let Some(n) = self.neighbors.get_mut(&from) {
+                    n.their_request = Some(*piece);
+                }
+            }
+            Message::Piece { piece, bytes } => {
+                self.receive_piece(from, *piece, *bytes, tick, out);
+            }
+            Message::Cancel { piece } => {
+                if let Some(n) = self.neighbors.get_mut(&from) {
+                    if n.their_request == Some(*piece) {
+                        n.their_request = None;
+                    }
+                }
+            }
+            Message::AnnounceResponse { peers } | Message::PexPeers { peers } => {
+                for &p in peers {
+                    self.connect(p as usize, out);
+                }
+            }
+            Message::PexRequest => {
+                let ids: Vec<usize> = self.neighbors.keys().copied().collect();
+                let peers = pex::share_list(&ids, from, &mut self.rng);
+                out.push((from, Message::PexPeers { peers }));
+            }
+            // Tracker-bound traffic and scrape responses are not for
+            // peers; ignore rather than error (hostile tolerance).
+            Message::Announce { .. } | Message::Scrape | Message::ScrapeResponse { .. } => {}
+        }
+    }
+
+    /// Open a connection to `pid` if it is new and there is table room.
+    fn connect(&mut self, pid: usize, out: &mut Vec<(usize, Message)>) {
+        if pid == self.id
+            || pid == TRACKER
+            || self.neighbors.contains_key(&pid)
+            || self.neighbors.len() >= self.params.max_neighbors
+        {
+            return;
+        }
+        self.neighbors
+            .insert(pid, Neighbor::new(self.params.num_pieces));
+        out.push((
+            pid,
+            Message::Handshake {
+                peer: self.id as u64,
+                pieces: self.params.num_pieces as u32,
+            },
+        ));
+        out.push((pid, Message::Bitfield(self.bitfield.clone())));
+    }
+
+    /// Recompute our interest in `from` and emit the delta if it flipped.
+    fn update_interest(&mut self, from: usize, out: &mut Vec<(usize, Message)>) {
+        let Some(n) = self.neighbors.get_mut(&from) else {
+            return;
+        };
+        let now = !self.is_publisher
+            && !self.bitfield.is_complete()
+            && self.bitfield.interested_in(&n.bitfield);
+        if now != n.we_interested {
+            n.we_interested = now;
+            out.push((
+                from,
+                if now {
+                    Message::Interested
+                } else {
+                    Message::NotInterested
+                },
+            ));
+        }
+    }
+
+    /// Account an inbound data frame against the download cap and piece
+    /// remainder; completing a piece broadcasts `Have`, cancels rival
+    /// requests, and may complete (and depart) the peer.
+    fn receive_piece(
+        &mut self,
+        from: usize,
+        piece: u32,
+        bytes: f64,
+        tick: u64,
+        out: &mut Vec<(usize, Message)>,
+    ) {
+        let p = piece as usize;
+        if self.is_publisher || p >= self.params.num_pieces || self.bitfield.has(p) {
+            return;
+        }
+        let budget = (self.download_cap - self.received_this_tick).max(0.0);
+        let room = self.params.piece_size - self.progress[p];
+        let take = bytes.min(budget).min(room);
+        if take <= 0.0 {
+            return;
+        }
+        self.progress[p] += take;
+        self.received_this_tick += take;
+        self.bytes_received += take;
+        if let Some(n) = self.neighbors.get_mut(&from) {
+            n.recv_window += take;
+            if let Some((rp, _)) = n.our_request {
+                if rp == piece {
+                    // Data is flowing: refresh the timeout stamp.
+                    n.our_request = Some((rp, tick));
+                }
+            }
+        }
+        if self.progress[p] < self.params.piece_size - 1e-9 {
+            return;
+        }
+        self.progress[p] = self.params.piece_size;
+        self.bitfield.set(p);
+        let ids: Vec<usize> = self.neighbors.keys().copied().collect();
+        for &id in &ids {
+            let n = self.neighbors.get_mut(&id).unwrap();
+            if let Some((rp, _)) = n.our_request {
+                if rp == piece {
+                    // Cancel everyone, the server of the final bytes
+                    // included — otherwise it keeps streaming a piece we
+                    // already hold until its next rechoke.
+                    n.our_request = None;
+                    out.push((id, Message::Cancel { piece }));
+                }
+            }
+            out.push((id, Message::Have { piece }));
+        }
+        for &id in &ids {
+            self.update_interest(id, out);
+        }
+        if self.bitfield.is_complete() {
+            self.complete(tick, out);
+        }
+    }
+
+    /// Completion in a linger-free swarm: tell the tracker, leave —
+    /// and choke every neighbor on the way out. The parting `Choke` is
+    /// the protocol-level connection close: it instantly clears any
+    /// request a neighbor had pointed at us, so nobody waits out a
+    /// request timeout on a peer that no longer exists.
+    fn complete(&mut self, tick: u64, out: &mut Vec<(usize, Message)>) {
+        self.completed = Some(tick + 1);
+        let ids: Vec<usize> = self.neighbors.keys().copied().collect();
+        for id in ids {
+            out.push((id, Message::Choke));
+        }
+        out.push((
+            TRACKER,
+            Message::Announce {
+                peer: self.id as u64,
+                left: 0.0,
+                event: EVENT_COMPLETED,
+            },
+        ));
+        out.push((
+            TRACKER,
+            Message::Announce {
+                peer: self.id as u64,
+                left: 0.0,
+                event: EVENT_STOPPED,
+            },
+        ));
+        self.departed = true;
+        self.online = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn params(pieces: usize) -> PeerParams {
+        PeerParams {
+            num_pieces: pieces,
+            piece_size: 100.0,
+            unchoke_slots: 4,
+            optimistic_slots: 1,
+            rechoke_interval: 10,
+            pex_interval: 0,
+            max_neighbors: 40,
+        }
+    }
+
+    fn rng(id: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(id)
+    }
+
+    fn step1(
+        core: &mut PeerCore,
+        tick: u64,
+        inbox: Vec<(usize, Message)>,
+    ) -> Vec<(usize, Message)> {
+        let mut out = Vec::new();
+        core.step(tick, inbox, &mut out);
+        out
+    }
+
+    #[test]
+    fn leecher_activates_and_announces_on_arrival() {
+        let mut c = PeerCore::leecher(2, 5, 50.0, 1000.0, params(4), rng(2));
+        assert!(step1(&mut c, 4, vec![]).is_empty());
+        assert!(!c.online);
+        let out = step1(&mut c, 5, vec![]);
+        assert!(c.online);
+        assert!(matches!(
+            out[0],
+            (
+                TRACKER,
+                Message::Announce {
+                    peer: 2,
+                    event: EVENT_STARTED,
+                    ..
+                }
+            )
+        ));
+    }
+
+    #[test]
+    fn handshake_builds_a_symmetric_neighborhood() {
+        let mut a = PeerCore::leecher(2, 0, 50.0, 1000.0, params(4), rng(2));
+        let mut b = PeerCore::leecher(3, 0, 50.0, 1000.0, params(4), rng(3));
+        a.online = true;
+        b.online = true;
+        let mut out = Vec::new();
+        // a learns of b (as if from the tracker) and connects.
+        a.handle(
+            TRACKER,
+            &Message::AnnounceResponse { peers: vec![3] },
+            0,
+            &mut out,
+        );
+        assert_eq!(a.neighbor_count(), 1);
+        // Deliver a's frames to b; b replies with its own handshake.
+        let to_b: Vec<(usize, Message)> = out.drain(..).map(|(_, m)| (2, m)).collect();
+        let mut reply = Vec::new();
+        for (from, m) in to_b {
+            b.handle(from, &m, 0, &mut reply);
+        }
+        assert_eq!(b.neighbor_count(), 1);
+        assert!(reply
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Handshake { peer: 3, .. })));
+        assert!(reply.iter().any(|(_, m)| matches!(m, Message::Bitfield(_))));
+    }
+
+    #[test]
+    fn interest_tracks_the_neighbor_bitfield() {
+        let mut c = PeerCore::leecher(2, 0, 50.0, 1000.0, params(4), rng(2));
+        c.online = true;
+        let mut out = Vec::new();
+        c.handle(3, &Message::Handshake { peer: 3, pieces: 4 }, 0, &mut out);
+        out.clear();
+        c.handle(3, &Message::Have { piece: 1 }, 0, &mut out);
+        assert_eq!(out, vec![(3, Message::Interested)]);
+        // Once we hold that piece ourselves, interest drops.
+        c.bitfield.set(1);
+        out.clear();
+        c.handle(3, &Message::Bitfield(Bitfield::new(4)), 0, &mut out);
+        // Empty bitfield: nothing to want.
+        assert_eq!(out, vec![(3, Message::NotInterested)]);
+    }
+
+    #[test]
+    fn download_cap_limits_intake_per_tick() {
+        let mut c = PeerCore::leecher(2, 0, 50.0, 30.0, params(2), rng(2));
+        c.online = true;
+        let mut out = Vec::new();
+        c.handle(3, &Message::Handshake { peer: 3, pieces: 2 }, 0, &mut out);
+        c.handle(
+            3,
+            &Message::Piece {
+                piece: 0,
+                bytes: 100.0,
+            },
+            0,
+            &mut out,
+        );
+        assert!((c.bytes_received - 30.0).abs() < 1e-12, "cap applies");
+        // Next tick the budget resets.
+        let _ = step1(
+            &mut c,
+            1,
+            vec![(
+                3,
+                Message::Piece {
+                    piece: 0,
+                    bytes: 100.0,
+                },
+            )],
+        );
+        assert!((c.bytes_received - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completing_the_last_piece_departs_and_notifies() {
+        let mut c = PeerCore::leecher(2, 0, 50.0, 1000.0, params(1), rng(2));
+        c.online = true;
+        let mut out = Vec::new();
+        c.handle(3, &Message::Handshake { peer: 3, pieces: 1 }, 0, &mut out);
+        out.clear();
+        c.handle(
+            3,
+            &Message::Piece {
+                piece: 0,
+                bytes: 100.0,
+            },
+            7,
+            &mut out,
+        );
+        assert_eq!(
+            c.completed,
+            Some(8),
+            "done_at = tick + 1, the sim's convention"
+        );
+        assert!(c.departed && !c.online);
+        assert!(out.iter().any(|(to, m)| *to == TRACKER
+            && matches!(
+                m,
+                Message::Announce {
+                    event: EVENT_COMPLETED,
+                    ..
+                }
+            )));
+        assert!(out.iter().any(|(to, m)| *to == TRACKER
+            && matches!(
+                m,
+                Message::Announce {
+                    event: EVENT_STOPPED,
+                    ..
+                }
+            )));
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == 3 && matches!(m, Message::Have { piece: 0 })));
+    }
+
+    #[test]
+    fn publisher_serves_but_never_requests() {
+        let mut p = PeerCore::publisher(1, 200.0, params(2), rng(1));
+        p.set_online(true);
+        let mut inbox = Vec::new();
+        let mut out = Vec::new();
+        p.handle(2, &Message::Handshake { peer: 2, pieces: 2 }, 0, &mut out);
+        p.handle(2, &Message::Interested, 0, &mut out);
+        inbox.push((2usize, Message::Request { piece: 0 }));
+        // tick 0 rechoke unchokes the single interested neighbor, then the
+        // request is served with the full upload capacity.
+        let out = step1(&mut p, 0, inbox);
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == 2 && matches!(m, Message::Unchoke)));
+        assert!(!out
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Request { .. })));
+        // Request arrives before the rechoke in the same tick, so service
+        // starts this very tick.
+        let served = out
+            .iter()
+            .any(|(to, m)| *to == 2 && matches!(m, Message::Piece { piece: 0, .. }));
+        assert!(served);
+    }
+
+    #[test]
+    fn stalled_requests_expire_and_are_cancelled() {
+        let mut c = PeerCore::leecher(2, 0, 50.0, 1000.0, params(4), rng(2));
+        c.online = true;
+        let mut out = Vec::new();
+        c.handle(3, &Message::Handshake { peer: 3, pieces: 4 }, 0, &mut out);
+        c.handle(3, &Message::Bitfield(Bitfield::full(4)), 0, &mut out);
+        c.handle(3, &Message::Unchoke, 0, &mut out);
+        let out = step1(&mut c, 1, vec![]);
+        let Some((_, Message::Request { piece })) = out
+            .iter()
+            .find(|(_, m)| matches!(m, Message::Request { .. }))
+        else {
+            panic!("expected a request");
+        };
+        let stalled_piece = *piece;
+        // No data ever arrives; at +REQUEST_TIMEOUT the request expires
+        // and the silent neighbor is snubbed — no immediate re-request
+        // at a peer that looks dead.
+        let out = step1(&mut c, 1 + REQUEST_TIMEOUT, vec![]);
+        assert!(out.iter().any(|(to, m)| *to == 3
+            && *m
+                == Message::Cancel {
+                    piece: stalled_piece
+                }));
+        assert!(!out
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Request { .. })));
+        // An Unchoke proves liveness and revives the neighbor as a
+        // request target.
+        let out = step1(&mut c, 2 + REQUEST_TIMEOUT, vec![(3, Message::Unchoke)]);
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Request { .. })));
+    }
+}

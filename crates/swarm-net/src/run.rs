@@ -1,0 +1,514 @@
+//! Deterministic live-swarm coordinator.
+//!
+//! Runs a scripted `BtConfig` scenario as a *networked* swarm: one
+//! [`TrackerCore`] plus one [`PeerCore`] per participant, exchanging
+//! encoded wire frames over a [`LoopbackHub`], paced by a
+//! [`VirtualClock`]. Two host modes exist and must be bit-identical:
+//!
+//! * [`HostMode::SingleThread`] — endpoints stepped in id order on the
+//!   caller's thread (the reference semantics);
+//! * [`HostMode::ThreadPerPeer`] — one OS thread per endpoint, fenced by
+//!   the clock's barrier each round.
+//!
+//! Identity holds because each endpoint touches only its own state
+//! during a round, frames become visible only at the round boundary in
+//! `(sender, sequence)` order, and all cross-peer aggregation happens on
+//! the coordinator between rounds, in id order.
+//!
+//! Telemetry mirrors the sim's `bt.*` namespace as `net.*`: the
+//! deterministic counters (`net.ticks`, `net.arrivals`, …) carry the
+//! same meanings as their `bt.*` twins, while anything wall-clock-ish
+//! stays under a `_ns` suffix so the trace-diff gate never compares
+//! scheduler noise.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use swarm_bt::{Bitfield, BtConfig, BtPublisher};
+
+use crate::clock::VirtualClock;
+use crate::peer::{PeerCore, PeerParams, PUBLISHER, TRACKER};
+use crate::tracker::TrackerCore;
+use crate::transport::LoopbackHub;
+use crate::wire;
+
+/// Process-wide run ordinal for `net.run.*` events (mirrors the sim's
+/// run counter so traces from repeated runs stay distinguishable).
+static NET_RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How the deterministic host schedules endpoint work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostMode {
+    /// Endpoints stepped in id order on one thread.
+    SingleThread,
+    /// One worker thread per endpoint, barrier-fenced per tick.
+    ThreadPerPeer,
+}
+
+/// Result of one live run — the networked twin of `BtResult`, carrying
+/// exactly the aggregates the sim-vs-live diff compares plus the
+/// network-side extras.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetResult {
+    /// Ticks executed (always the horizon; live mode runs drain-free
+    /// scenarios).
+    pub ticks: u64,
+    /// Leechers that joined the swarm.
+    pub arrivals: u64,
+    /// Leechers that finished the download.
+    pub completions: u64,
+    /// Fraction of ticks with the content fully available.
+    pub availability: f64,
+    /// Availability flips after the initial latch (the sim's
+    /// `bt.availability.transitions`).
+    pub availability_transitions: u64,
+    /// `(tick, available)` at each transition, initial state included.
+    pub availability_flips: Vec<(u64, bool)>,
+    pub last_available_tick: Option<u64>,
+    /// `(completion tick, cumulative completions)`.
+    pub completion_curve: Vec<(u64, u64)>,
+    /// Publisher online intervals `(start, end)` in ticks.
+    pub publisher_intervals: Vec<(u64, u64)>,
+    /// kB accepted by receivers over the whole run.
+    pub bytes_moved: f64,
+    /// Wire frames processed by peers.
+    pub messages: u64,
+    /// Announces served by the tracker.
+    pub announces: u64,
+    /// Deterministic counter snapshot, keyed by `net.*` name — the same
+    /// values land in the process registry when telemetry is on, but
+    /// tests read them here to stay independent of global state.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// SplitMix64 expansion, identical to swarm-catalog's stream keying.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The private ChaCha8 stream of endpoint `id` under `seed`. Keyed the
+/// way swarm-catalog keys per-swarm streams, so per-endpoint randomness
+/// is independent of how many endpoints exist and of host mode.
+pub fn peer_stream(seed: u64, id: u64) -> ChaCha8Rng {
+    use rand::SeedableRng;
+    let mut state = seed ^ id.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut key = [0u8; 32];
+    for chunk in key.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(key)
+}
+
+/// Is the publisher scheduled online at `tick`? Mirrors the sim's
+/// square-wave semantics for `Periodic` (on-phase first when
+/// `initially_on`).
+pub fn publisher_online_at(publisher: &BtPublisher, tick: u64) -> bool {
+    match publisher {
+        BtPublisher::AlwaysOn => true,
+        BtPublisher::Periodic {
+            on_ticks,
+            off_ticks,
+            initially_on,
+        } => {
+            let phase = tick % (on_ticks + off_ticks);
+            if *initially_on {
+                phase < *on_ticks
+            } else {
+                phase >= *off_ticks
+            }
+        }
+        _ => unreachable!("live mode requires a deterministic publisher schedule"),
+    }
+}
+
+/// One hub endpoint: the tracker or a peer.
+enum Endpoint {
+    Tracker { core: TrackerCore, rng: ChaCha8Rng },
+    Peer(Box<PeerCore>),
+}
+
+/// Drain, decode, step, encode, send — one endpoint's whole round.
+fn step_endpoint(ep: &mut Endpoint, id: usize, tick: u64, hub: &LoopbackHub) {
+    let inbox = hub.take_inbox(id);
+    let mut msgs = Vec::with_capacity(inbox.len());
+    for env in inbox {
+        match wire::decode(&env.frame) {
+            Ok((msg, _)) => msgs.push((env.from, msg)),
+            // In-process frames are always well-formed; a decode error
+            // here is a codec bug, so surface it loudly in debug builds.
+            Err(e) => debug_assert!(false, "loopback frame failed to decode: {e}"),
+        }
+    }
+    let mut out = Vec::new();
+    match ep {
+        Endpoint::Tracker { core, rng } => {
+            for (from, msg) in &msgs {
+                core.handle(*from, msg, rng, &mut out);
+            }
+        }
+        Endpoint::Peer(core) => core.step(tick, msgs, &mut out),
+    }
+    for (to, msg) in out {
+        hub.send(id, to, wire::encode(&msg));
+    }
+}
+
+/// Check that `cfg` describes a scenario live mode can replay exactly:
+/// scripted arrivals (no Poisson draws), a deterministic publisher
+/// schedule, no linger, no drain.
+fn validate_live(cfg: &BtConfig) -> &[(u64, f64)] {
+    cfg.validate();
+    assert!(
+        matches!(
+            cfg.publisher,
+            BtPublisher::AlwaysOn | BtPublisher::Periodic { .. }
+        ),
+        "live mode needs a schedule-driven publisher (AlwaysOn or Periodic)"
+    );
+    assert!(cfg.linger_mean.is_none(), "live mode is linger-free");
+    assert_eq!(cfg.drain_ticks, 0, "live mode runs without a drain window");
+    cfg.scripted_arrivals
+        .as_deref()
+        .expect("live mode needs scripted arrivals")
+}
+
+/// Run the scripted scenario in `cfg` as a live networked swarm.
+pub fn run_live(cfg: &BtConfig, mode: HostMode) -> NetResult {
+    let script = validate_live(cfg);
+    let run_ord = NET_RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let num_pieces = cfg.num_pieces();
+    let params = PeerParams {
+        num_pieces,
+        piece_size: cfg.piece_size,
+        unchoke_slots: cfg.unchoke_slots,
+        optimistic_slots: cfg.optimistic_slots,
+        rechoke_interval: cfg.rechoke_interval,
+        pex_interval: cfg.pex_interval,
+        max_neighbors: cfg.max_neighbors,
+    };
+
+    // Endpoint layout: 0 tracker, 1 publisher, 2.. one leecher per
+    // scripted arrival.
+    let n = 2 + script.len();
+    let mut endpoints: Vec<Arc<Mutex<Endpoint>>> = Vec::with_capacity(n);
+    endpoints.push(Arc::new(Mutex::new(Endpoint::Tracker {
+        core: TrackerCore::new(cfg.tracker_response),
+        rng: peer_stream(cfg.seed, TRACKER as u64),
+    })));
+    endpoints.push(Arc::new(Mutex::new(Endpoint::Peer(Box::new(
+        PeerCore::publisher(
+            PUBLISHER,
+            cfg.publisher_capacity,
+            params,
+            peer_stream(cfg.seed, PUBLISHER as u64),
+        ),
+    )))));
+    for (i, &(arrive, upload)) in script.iter().enumerate() {
+        let id = 2 + i;
+        endpoints.push(Arc::new(Mutex::new(Endpoint::Peer(Box::new(
+            PeerCore::leecher(
+                id,
+                arrive,
+                upload,
+                cfg.download_cap,
+                params,
+                peer_stream(cfg.seed, id as u64),
+            ),
+        )))));
+    }
+    let hub = Arc::new(LoopbackHub::new(n));
+
+    if swarm_obs::enabled() {
+        let publisher_kind = match cfg.publisher {
+            BtPublisher::AlwaysOn => "always_on",
+            _ => "periodic",
+        };
+        swarm_obs::emit(
+            "net.run.start",
+            &[
+                ("run", swarm_obs::val(run_ord)),
+                ("k", swarm_obs::val(cfg.num_files as u64)),
+                ("file_size", swarm_obs::val(cfg.file_size)),
+                ("pieces", swarm_obs::val(num_pieces as u64)),
+                ("horizon", swarm_obs::val(cfg.horizon)),
+                ("seed", swarm_obs::val(cfg.seed)),
+                ("publisher", swarm_obs::val(publisher_kind)),
+                ("peers", swarm_obs::val(script.len() as u64)),
+                (
+                    "mode",
+                    swarm_obs::val(match mode {
+                        HostMode::SingleThread => "single_thread",
+                        HostMode::ThreadPerPeer => "thread_per_peer",
+                    }),
+                ),
+            ],
+        );
+    }
+
+    let mut agg = Aggregator::new(cfg, run_ord);
+    match mode {
+        HostMode::SingleThread => {
+            for tick in 0..cfg.horizon {
+                let t0 = std::time::Instant::now();
+                set_publisher(&endpoints[PUBLISHER], cfg, tick);
+                for (id, ep) in endpoints.iter().enumerate() {
+                    step_endpoint(&mut ep.lock().expect("endpoint poisoned"), id, tick, &hub);
+                }
+                hub.deliver_round();
+                agg.observe(tick, &endpoints);
+                if swarm_obs::enabled() {
+                    swarm_obs::histogram("stats.net.tick_ns").record_duration(t0.elapsed());
+                }
+            }
+        }
+        HostMode::ThreadPerPeer => {
+            let clock = Arc::new(VirtualClock::new(n));
+            let mut workers = Vec::with_capacity(n);
+            for (id, ep) in endpoints.iter().enumerate() {
+                let ep = Arc::clone(ep);
+                let hub = Arc::clone(&hub);
+                let clock = Arc::clone(&clock);
+                workers.push(std::thread::spawn(move || {
+                    while let Some(tick) = clock.worker_begin() {
+                        step_endpoint(&mut ep.lock().expect("endpoint poisoned"), id, tick, &hub);
+                        clock.worker_end();
+                    }
+                }));
+            }
+            for tick in 0..cfg.horizon {
+                let t0 = std::time::Instant::now();
+                set_publisher(&endpoints[PUBLISHER], cfg, tick);
+                clock.begin_round(tick);
+                clock.end_round();
+                hub.deliver_round();
+                agg.observe(tick, &endpoints);
+                if swarm_obs::enabled() {
+                    swarm_obs::histogram("stats.net.tick_ns").record_duration(t0.elapsed());
+                }
+            }
+            clock.shutdown();
+            for w in workers {
+                w.join().expect("endpoint worker panicked");
+            }
+        }
+    }
+    agg.finish(&endpoints)
+}
+
+fn set_publisher(ep: &Arc<Mutex<Endpoint>>, cfg: &BtConfig, tick: u64) {
+    let mut guard = ep.lock().expect("publisher poisoned");
+    let Endpoint::Peer(core) = &mut *guard else {
+        unreachable!("endpoint 1 is the publisher")
+    };
+    core.set_online(publisher_online_at(&cfg.publisher, tick));
+}
+
+/// Coordinator-side aggregation: the live twin of the sim's
+/// `availability_check` + completion accounting. Runs strictly between
+/// rounds and iterates endpoints in id order, so it is identical across
+/// host modes by construction.
+struct Aggregator {
+    horizon: u64,
+    warmup: u64,
+    num_pieces: usize,
+    run_ord: u64,
+    available_ticks: u64,
+    last_available: Option<bool>,
+    transitions: u64,
+    flips: Vec<(u64, bool)>,
+    last_available_tick: Option<u64>,
+    arrivals: u64,
+    arrival_seen: Vec<bool>,
+    completion_seen: Vec<bool>,
+    completions: u64,
+    completion_curve: Vec<(u64, u64)>,
+    publisher_was_on: bool,
+    publisher_on_since: u64,
+    publisher_intervals: Vec<(u64, u64)>,
+}
+
+impl Aggregator {
+    fn new(cfg: &BtConfig, run_ord: u64) -> Self {
+        Aggregator {
+            horizon: cfg.horizon,
+            warmup: cfg.warmup,
+            num_pieces: cfg.num_pieces(),
+            run_ord,
+            available_ticks: 0,
+            last_available: None,
+            transitions: 0,
+            flips: Vec::new(),
+            last_available_tick: None,
+            arrivals: 0,
+            arrival_seen: Vec::new(),
+            completion_seen: Vec::new(),
+            completions: 0,
+            completion_curve: Vec::new(),
+            publisher_was_on: false,
+            publisher_on_since: 0,
+            publisher_intervals: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, tick: u64, endpoints: &[Arc<Mutex<Endpoint>>]) {
+        let leechers = endpoints.len() - 2;
+        if self.arrival_seen.is_empty() {
+            self.arrival_seen = vec![false; leechers];
+            self.completion_seen = vec![false; leechers];
+        }
+        let mut union = Bitfield::new(self.num_pieces);
+        let pub_online = {
+            let guard = endpoints[PUBLISHER].lock().expect("publisher poisoned");
+            let Endpoint::Peer(core) = &*guard else {
+                unreachable!()
+            };
+            core.online
+        };
+        if pub_online && !self.publisher_was_on {
+            self.publisher_on_since = tick;
+        } else if !pub_online && self.publisher_was_on {
+            self.publisher_intervals
+                .push((self.publisher_on_since, tick));
+        }
+        self.publisher_was_on = pub_online;
+        let mut newly_done: Vec<u64> = Vec::new();
+        for (i, ep) in endpoints.iter().enumerate().skip(2) {
+            let guard = ep.lock().expect("endpoint poisoned");
+            let Endpoint::Peer(core) = &*guard else {
+                unreachable!()
+            };
+            let slot = i - 2;
+            if core.online {
+                union.union_with(&core.bitfield);
+            }
+            if !self.arrival_seen[slot] && (core.online || core.departed) {
+                self.arrival_seen[slot] = true;
+                if core.arrived >= self.warmup {
+                    self.arrivals += 1;
+                }
+            }
+            if !self.completion_seen[slot] {
+                if let Some(done) = core.completed {
+                    self.completion_seen[slot] = true;
+                    self.completions += 1;
+                    newly_done.push(done);
+                }
+            }
+        }
+        for done in newly_done {
+            let total = self.completion_curve.last().map_or(0, |&(_, n)| n) + 1;
+            self.completion_curve.push((done, total));
+        }
+        let available = pub_online || union.is_complete();
+        if self.last_available != Some(available) {
+            if self.last_available.is_some() {
+                self.transitions += 1;
+            }
+            self.last_available = Some(available);
+            self.flips.push((tick, available));
+            if swarm_obs::enabled() {
+                swarm_obs::emit(
+                    "net.availability",
+                    &[
+                        ("run", swarm_obs::val(self.run_ord)),
+                        ("tick", swarm_obs::val(tick)),
+                        ("available", swarm_obs::val(available)),
+                        ("covered", swarm_obs::val(union.count() as u64)),
+                    ],
+                );
+            }
+        }
+        if available {
+            self.available_ticks += 1;
+            self.last_available_tick = Some(tick);
+        }
+        if swarm_obs::enabled() && tick.is_multiple_of(64) {
+            swarm_obs::emit(
+                "net.tick",
+                &[
+                    ("run", swarm_obs::val(self.run_ord)),
+                    ("tick", swarm_obs::val(tick)),
+                    ("covered", swarm_obs::val(union.count() as u64)),
+                    ("completions", swarm_obs::val(self.completions)),
+                ],
+            );
+        }
+    }
+
+    fn finish(mut self, endpoints: &[Arc<Mutex<Endpoint>>]) -> NetResult {
+        if self.publisher_was_on {
+            self.publisher_intervals
+                .push((self.publisher_on_since, self.horizon));
+        }
+        let mut bytes_moved = 0.0;
+        let mut messages = 0;
+        let mut rechokes = 0;
+        for ep in endpoints.iter().skip(1) {
+            let guard = ep.lock().expect("endpoint poisoned");
+            let Endpoint::Peer(core) = &*guard else {
+                unreachable!()
+            };
+            bytes_moved += core.bytes_received;
+            messages += core.messages_handled;
+            rechokes += core.rechokes;
+        }
+        let announces = {
+            let guard = endpoints[TRACKER].lock().expect("tracker poisoned");
+            let Endpoint::Tracker { core, .. } = &*guard else {
+                unreachable!()
+            };
+            core.announces
+        };
+        let mut counters = BTreeMap::new();
+        counters.insert("net.ticks".to_string(), self.horizon);
+        counters.insert("net.arrivals".to_string(), self.arrivals);
+        counters.insert("net.completions".to_string(), self.completions);
+        counters.insert("net.availability.transitions".to_string(), self.transitions);
+        counters.insert("net.bytes_moved".to_string(), bytes_moved.round() as u64);
+        counters.insert("net.messages".to_string(), messages);
+        counters.insert("net.rechoke.count".to_string(), rechokes);
+        counters.insert("net.tracker.announces".to_string(), announces);
+        if swarm_obs::enabled() {
+            for (name, v) in &counters {
+                swarm_obs::counter(name).add(*v);
+            }
+            swarm_obs::emit(
+                "net.run.end",
+                &[
+                    ("run", swarm_obs::val(self.run_ord)),
+                    (
+                        "availability",
+                        swarm_obs::val(self.available_ticks as f64 / self.horizon as f64),
+                    ),
+                    ("completions", swarm_obs::val(self.completions)),
+                    (
+                        "last_available_tick",
+                        swarm_obs::val(self.last_available_tick.unwrap_or(0)),
+                    ),
+                ],
+            );
+        }
+        NetResult {
+            ticks: self.horizon,
+            arrivals: self.arrivals,
+            completions: self.completions,
+            availability: self.available_ticks as f64 / self.horizon as f64,
+            availability_transitions: self.transitions,
+            availability_flips: self.flips,
+            last_available_tick: self.last_available_tick,
+            completion_curve: self.completion_curve,
+            publisher_intervals: self.publisher_intervals,
+            bytes_moved,
+            messages,
+            announces,
+            counters,
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Canonical sim-vs-live scenarios.
+//!
+//! Each scenario is a `BtConfig` built so the comparable counters —
+//! ticks, arrivals, completions, availability transitions — are *equal
+//! by construction* between the `swarm-bt` simulator and the live
+//! networked engine, rather than approximately similar:
+//!
+//! * arrivals are **scripted** (no Poisson draws to keep in lockstep);
+//! * the publisher follows a **deterministic schedule** (always-on or a
+//!   square wave — no exponential dwell draws);
+//! * **no linger, no drain**: departures are completions, and the run
+//!   is exactly `horizon` ticks in both engines;
+//! * capacities are generous enough that every leecher completes well
+//!   inside the first publisher on-phase, so the availability timeline
+//!   is purely schedule-driven in both engines regardless of protocol
+//!   micro-timing.
+//!
+//! The swarm-bench `net-live` job and the sim-vs-live integration tests
+//! both read their scenarios from here, so the CI gate and the unit
+//! gate can never drift apart.
+
+use swarm_bt::{BtConfig, BtPublisher, CapacityDistribution};
+
+/// Scenario A: always-on publisher, 8 scripted leechers, 300-tick run.
+/// Expected: 8 arrivals, 8 completions, availability 1.0, 0 transitions.
+pub fn scenario_a(seed: u64) -> BtConfig {
+    let mut cfg = BtConfig::paper_section_4_3(1, seed);
+    cfg.file_size = 1_000.0; // 4 pieces of 250 kB
+    cfg.publisher = BtPublisher::AlwaysOn;
+    cfg.publisher_capacity = 200.0;
+    cfg.peer_capacity = CapacityDistribution::Uniform(100.0);
+    cfg.download_cap = 400.0;
+    cfg.horizon = 300;
+    cfg.drain_ticks = 0;
+    cfg.linger_mean = None;
+    cfg.scripted_arrivals = Some((0..8).map(|i| (i as u64, 100.0)).collect());
+    cfg.validate();
+    cfg
+}
+
+/// Scenario B: square-wave publisher (on 150 / off 60, starting on), 10
+/// scripted leechers, 360-tick run. Every leecher completes inside the
+/// first on-phase, so availability follows the publisher schedule
+/// exactly: available on `[0, 150)` and `[210, 360)`.
+/// Expected: 10 arrivals, 10 completions, availability 300/360, 2
+/// transitions.
+pub fn scenario_b(seed: u64) -> BtConfig {
+    let mut cfg = BtConfig::paper_section_4_3(1, seed);
+    cfg.file_size = 1_000.0;
+    cfg.publisher = BtPublisher::Periodic {
+        on_ticks: 150,
+        off_ticks: 60,
+        initially_on: true,
+    };
+    cfg.publisher_capacity = 200.0;
+    cfg.peer_capacity = CapacityDistribution::Uniform(100.0);
+    cfg.download_cap = 400.0;
+    cfg.horizon = 360;
+    cfg.drain_ticks = 0;
+    cfg.linger_mean = None;
+    cfg.scripted_arrivals = Some((0..10).map(|i| (i as u64, 100.0)).collect());
+    cfg.validate();
+    cfg
+}
+
+/// All canonical scenarios as `(name, config)` pairs.
+pub fn all(seed: u64) -> Vec<(&'static str, BtConfig)> {
+    vec![
+        ("scenario-a", scenario_a(seed)),
+        ("scenario-b", scenario_b(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_live_eligible() {
+        for (name, cfg) in all(42) {
+            assert!(cfg.scripted_arrivals.is_some(), "{name}");
+            assert_eq!(cfg.drain_ticks, 0, "{name}");
+            assert!(cfg.linger_mean.is_none(), "{name}");
+            assert_eq!(cfg.num_pieces(), 4, "{name}");
+        }
+    }
+}

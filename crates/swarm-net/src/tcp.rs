@@ -1,0 +1,378 @@
+//! Real-socket host: the same cores over `std::net` TCP.
+//!
+//! This host exists to prove the protocol stack is not a simulation
+//! artifact: [`PeerCore`] and [`TrackerCore`] run unmodified over real
+//! sockets, paced by a [`WallTicker`] instead of the virtual clock, with
+//! frames carried by the identical wire codec. It is exercised by the
+//! loopback smoke test (2 seeds + 3 leechers on 127.0.0.1), which is
+//! `#[ignore]` by default and run by its own CI job — wall-clock runs
+//! are inherently nondeterministic, so they assert protocol outcomes
+//! (everyone completes, the tracker census agrees), never traces.
+//!
+//! ## Connection model
+//!
+//! Every endpoint sends only on connections it opened and reads from
+//! everything. The first frame on any outbound connection is an
+//! *identification handshake* consumed by the host layer (it names the
+//! sender's endpoint id); it is never shown to the core. Protocol-level
+//! handshakes travel as ordinary frames after it. The tracker is the
+//! one exception to "send only on outbound": it replies on the inbound
+//! connection the request arrived on, and peers therefore poll their
+//! outbound tracker connection for responses.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::clock::WallTicker;
+use crate::peer::{PeerCore, PeerParams, TRACKER};
+use crate::run::peer_stream;
+use crate::tracker::TrackerCore;
+use crate::wire::{self, Message};
+
+/// Outcome of one TCP smoke run.
+#[derive(Debug, Clone)]
+pub struct TcpSmokeReport {
+    /// Leechers that completed before the deadline.
+    pub completions: u64,
+    /// Tracker census at the end (seeders, leechers) — stopped peers
+    /// excluded, so this counts the still-serving seeds.
+    pub census: (u32, u32),
+    /// Ticks the slowest leecher needed, if all completed.
+    pub slowest_completion_tick: Option<u64>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Sender's endpoint id; `None` until the identification handshake
+    /// arrives on an inbound connection.
+    from: Option<usize>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, from: Option<usize>) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            buf: Vec::new(),
+            from,
+        })
+    }
+
+    /// Pull whatever bytes are available and decode complete frames.
+    /// Returns `(closed, messages)`.
+    fn poll(&mut self) -> (bool, Vec<(usize, Message)>) {
+        let mut scratch = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return (true, self.drain()),
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => return (true, self.drain()),
+            }
+        }
+        (false, self.drain())
+    }
+
+    fn drain(&mut self) -> Vec<(usize, Message)> {
+        let msgs = match wire::drain_frames(&mut self.buf) {
+            Ok(m) => m,
+            // A malformed stream poisons the connection; drop what we
+            // had and let the closure path clean up.
+            Err(_) => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            match self.from {
+                Some(id) => out.push((id, msg)),
+                None => {
+                    // First frame identifies the sender; it is host
+                    // plumbing, not protocol input.
+                    if let Message::Handshake { peer, .. } = msg {
+                        self.from = Some(peer as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Shared id → address book, filled at bind time before any traffic.
+type AddrBook = Arc<Mutex<HashMap<usize, SocketAddr>>>;
+
+fn send_frames(
+    my_id: usize,
+    pieces: u32,
+    outbound: &mut HashMap<usize, Conn>,
+    book: &AddrBook,
+    batch: Vec<(usize, Message)>,
+) {
+    for (to, msg) in batch {
+        if let std::collections::hash_map::Entry::Vacant(slot) = outbound.entry(to) {
+            let addr = match book.lock().expect("addr book poisoned").get(&to).copied() {
+                Some(a) => a,
+                None => continue,
+            };
+            let Ok(stream) = TcpStream::connect(addr) else {
+                continue;
+            };
+            let ident = wire::encode(&Message::Handshake {
+                peer: my_id as u64,
+                pieces,
+            });
+            let mut conn = match Conn::new(stream, Some(to)) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            if conn.stream.write_all(&ident).is_err() {
+                continue;
+            }
+            slot.insert(conn);
+        }
+        let conn = outbound.get_mut(&to).expect("just inserted");
+        if conn.stream.write_all(&wire::encode(&msg)).is_err() {
+            outbound.remove(&to);
+        }
+    }
+}
+
+fn tracker_thread(listener: TcpListener, stop: Arc<AtomicBool>, seed: u64) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let mut core = TrackerCore::new(40);
+    let mut rng = peer_stream(seed, TRACKER as u64);
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        while let Ok((stream, _)) = listener.accept() {
+            if let Ok(c) = Conn::new(stream, None) {
+                conns.push(c);
+            }
+        }
+        let mut closed = Vec::new();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let (dead, msgs) = conn.poll();
+            let mut out = Vec::new();
+            for (from, msg) in &msgs {
+                core.handle(*from, msg, &mut rng, &mut out);
+            }
+            // The tracker replies on the connection the request came on.
+            for (_, msg) in out {
+                if conn.stream.write_all(&wire::encode(&msg)).is_err() {
+                    closed.push(i);
+                    break;
+                }
+            }
+            if dead {
+                closed.push(i);
+            }
+        }
+        for i in closed.into_iter().rev() {
+            conns.swap_remove(i);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn peer_thread(
+    mut core: PeerCore,
+    listener: TcpListener,
+    book: AddrBook,
+    stop: Arc<AtomicBool>,
+    completions: Arc<AtomicU64>,
+    slowest: Arc<AtomicU64>,
+    tick_ms: u64,
+    max_ticks: u64,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let my_id = core.id;
+    let pieces = core.bitfield.len() as u32;
+    let ticker = WallTicker::new(tick_ms);
+    let mut inbound: Vec<Conn> = Vec::new();
+    let mut outbound: HashMap<usize, Conn> = HashMap::new();
+    let mut counted_done = false;
+    let mut last_tick = u64::MAX;
+    let mut pending: Vec<(usize, Message)> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let tick = ticker.current_tick();
+        if tick > max_ticks {
+            break;
+        }
+        while let Ok((stream, _)) = listener.accept() {
+            if let Ok(c) = Conn::new(stream, None) {
+                inbound.push(c);
+            }
+        }
+        let mut closed = Vec::new();
+        for (i, conn) in inbound.iter_mut().enumerate() {
+            let (dead, msgs) = conn.poll();
+            pending.extend(msgs);
+            if dead {
+                closed.push(i);
+            }
+        }
+        for i in closed.into_iter().rev() {
+            inbound.swap_remove(i);
+        }
+        let mut dead_out = Vec::new();
+        for (&id, conn) in outbound.iter_mut() {
+            let (dead, msgs) = conn.poll();
+            pending.extend(msgs);
+            if dead {
+                dead_out.push(id);
+            }
+        }
+        for id in dead_out {
+            outbound.remove(&id);
+        }
+        // Frames accumulate between tick edges; the core steps exactly
+        // once per wall tick, like one virtual round.
+        if tick != last_tick {
+            last_tick = tick;
+            let mut out = Vec::new();
+            core.step(tick, std::mem::take(&mut pending), &mut out);
+            send_frames(my_id, pieces, &mut outbound, &book, out);
+            if !counted_done && core.completed.is_some() && !core.is_publisher {
+                counted_done = true;
+                completions.fetch_add(1, Ordering::Relaxed);
+                slowest.fetch_max(core.completed.unwrap_or(0), Ordering::Relaxed);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Run a small real-TCP swarm on 127.0.0.1: `seeds` full peers plus
+/// `leechers` empty ones, one tracker, OS-assigned ports. Returns once
+/// every leecher completed or `max_ticks` wall ticks elapsed.
+pub fn run_tcp_smoke(
+    seeds: usize,
+    leechers: usize,
+    num_pieces: usize,
+    tick_ms: u64,
+    max_ticks: u64,
+) -> std::io::Result<TcpSmokeReport> {
+    assert!(seeds >= 1 && leechers >= 1 && num_pieces >= 1);
+    let params = PeerParams {
+        num_pieces,
+        piece_size: 100.0,
+        unchoke_slots: 4,
+        optimistic_slots: 1,
+        rechoke_interval: 5,
+        pex_interval: 10,
+        max_neighbors: 40,
+    };
+    let seed = 0x7ec5;
+    let book: AddrBook = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let completions = Arc::new(AtomicU64::new(0));
+    let slowest = Arc::new(AtomicU64::new(0));
+
+    let tracker_listener = TcpListener::bind("127.0.0.1:0")?;
+    let tracker_addr = tracker_listener.local_addr()?;
+    book.lock().unwrap().insert(TRACKER, tracker_addr);
+
+    let n_peers = seeds + leechers;
+    let mut listeners = Vec::with_capacity(n_peers);
+    for id in 1..=n_peers {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        book.lock().unwrap().insert(id, l.local_addr()?);
+        listeners.push(l);
+    }
+
+    let mut handles = Vec::new();
+    {
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            tracker_thread(tracker_listener, stop, seed)
+        }));
+    }
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let id = 1 + i;
+        let core = if i < seeds {
+            let mut p = PeerCore::publisher(id, 500.0, params, peer_stream(seed, id as u64));
+            p.set_online(true);
+            p
+        } else {
+            PeerCore::leecher(id, 0, 200.0, 2_000.0, params, peer_stream(seed, id as u64))
+        };
+        let book = Arc::clone(&book);
+        let stop = Arc::clone(&stop);
+        let completions = Arc::clone(&completions);
+        let slowest = Arc::clone(&slowest);
+        handles.push(std::thread::spawn(move || {
+            peer_thread(
+                core,
+                listener,
+                book,
+                stop,
+                completions,
+                slowest,
+                tick_ms,
+                max_ticks,
+            )
+        }));
+    }
+
+    // Wait for every leecher (or the deadline), then stop the swarm.
+    let deadline = Instant::now() + Duration::from_millis(tick_ms * (max_ticks + 2));
+    while completions.load(Ordering::Relaxed) < leechers as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Scrape before stopping the tracker so the census reflects the
+    // final swarm state.
+    let census = scrape(tracker_addr, n_peers, num_pieces)?;
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        h.join().expect("swarm thread panicked");
+    }
+    let done = completions.load(Ordering::Relaxed);
+    Ok(TcpSmokeReport {
+        completions: done,
+        census,
+        slowest_completion_tick: if done == leechers as u64 {
+            Some(slowest.load(Ordering::Relaxed))
+        } else {
+            None
+        },
+    })
+}
+
+/// One blocking scrape round-trip against the live tracker.
+fn scrape(addr: SocketAddr, my_id: usize, pieces: usize) -> std::io::Result<(u32, u32)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(&wire::encode(&Message::Handshake {
+        peer: (my_id + 1) as u64,
+        pieces: pieces as u32,
+    }))?;
+    stream.write_all(&wire::encode(&Message::Scrape))?;
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 256];
+    loop {
+        let n = stream.read(&mut scratch)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "tracker closed before scrape response",
+            ));
+        }
+        buf.extend_from_slice(&scratch[..n]);
+        if let Ok(msgs) = wire::drain_frames(&mut buf) {
+            for msg in msgs {
+                if let Message::ScrapeResponse { seeders, leechers } = msg {
+                    return Ok((seeders, leechers));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Tracker service: announce/scrape over the same wire frames as peers.
+//!
+//! The tracker is endpoint 0 of every swarm and holds the only global
+//! membership view. It is deliberately dumb — a registry keyed by wire
+//! peer id plus a shuffled-sample announce response — because that is
+//! all the paper's availability story needs from a tracker: discovery,
+//! not coordination.
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::wire::{Message, EVENT_COMPLETED, EVENT_STOPPED};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    complete: bool,
+    stopped: bool,
+}
+
+/// Transport-agnostic tracker state machine.
+pub struct TrackerCore {
+    /// Registry keyed by wire peer id (a `BTreeMap`, so every derived
+    /// iteration order is id order — never insertion or hash order).
+    registry: BTreeMap<u64, Entry>,
+    /// Maximum peers returned per announce.
+    response_size: usize,
+    /// Announces served (for the run report).
+    pub announces: u64,
+    /// Scrapes served.
+    pub scrapes: u64,
+}
+
+impl TrackerCore {
+    pub fn new(response_size: usize) -> Self {
+        TrackerCore {
+            registry: BTreeMap::new(),
+            response_size,
+            announces: 0,
+            scrapes: 0,
+        }
+    }
+
+    /// Active (non-stopped) registered peers, in id order.
+    pub fn active_peers(&self) -> Vec<u64> {
+        self.registry
+            .iter()
+            .filter(|(_, e)| !e.stopped)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Seeders / leechers among active peers — the scrape numbers.
+    pub fn census(&self) -> (u32, u32) {
+        let mut seeders = 0;
+        let mut leechers = 0;
+        for e in self.registry.values().filter(|e| !e.stopped) {
+            if e.complete {
+                seeders += 1;
+            } else {
+                leechers += 1;
+            }
+        }
+        (seeders, leechers)
+    }
+
+    /// Process one frame from endpoint `from`; replies (if any) are
+    /// pushed onto `out` as `(destination endpoint, message)`.
+    pub fn handle<R: Rng + ?Sized>(
+        &mut self,
+        from: usize,
+        msg: &Message,
+        rng: &mut R,
+        out: &mut Vec<(usize, Message)>,
+    ) {
+        match msg {
+            Message::Announce { peer, left, event } => {
+                self.announces += 1;
+                let entry = self.registry.entry(*peer).or_default();
+                entry.complete = *left <= 0.0 || *event == EVENT_COMPLETED;
+                entry.stopped = *event == EVENT_STOPPED;
+                if *event == EVENT_STOPPED {
+                    return;
+                }
+                let mut peers: Vec<u64> = self
+                    .registry
+                    .iter()
+                    .filter(|(&id, e)| id != *peer && !e.stopped)
+                    .map(|(&id, _)| id)
+                    .collect();
+                peers.shuffle(rng);
+                peers.truncate(self.response_size);
+                out.push((from, Message::AnnounceResponse { peers }));
+            }
+            Message::Scrape => {
+                self.scrapes += 1;
+                let (seeders, leechers) = self.census();
+                out.push((from, Message::ScrapeResponse { seeders, leechers }));
+            }
+            // Trackers ignore peer-protocol traffic.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{EVENT_NONE, EVENT_STARTED};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn announce(peer: u64, left: f64, event: u8) -> Message {
+        Message::Announce { peer, left, event }
+    }
+
+    #[test]
+    fn announce_registers_and_returns_other_active_peers() {
+        let mut t = TrackerCore::new(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut out = Vec::new();
+        for id in 1..=4u64 {
+            t.handle(
+                id as usize,
+                &announce(id, 100.0, EVENT_STARTED),
+                &mut rng,
+                &mut out,
+            );
+        }
+        let Some((dest, Message::AnnounceResponse { peers })) = out.last() else {
+            panic!("expected announce response");
+        };
+        assert_eq!(*dest, 4);
+        let mut got = peers.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "everyone but the requester");
+    }
+
+    #[test]
+    fn stopped_peers_leave_the_pool_and_get_no_reply() {
+        let mut t = TrackerCore::new(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut out = Vec::new();
+        t.handle(1, &announce(1, 100.0, EVENT_STARTED), &mut rng, &mut out);
+        t.handle(2, &announce(2, 100.0, EVENT_STARTED), &mut rng, &mut out);
+        out.clear();
+        t.handle(2, &announce(2, 0.0, EVENT_STOPPED), &mut rng, &mut out);
+        assert!(out.is_empty(), "STOPPED announces are fire-and-forget");
+        assert_eq!(t.active_peers(), vec![1]);
+    }
+
+    #[test]
+    fn census_counts_seeders_and_leechers() {
+        let mut t = TrackerCore::new(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut out = Vec::new();
+        t.handle(1, &announce(1, 0.0, EVENT_COMPLETED), &mut rng, &mut out);
+        t.handle(2, &announce(2, 700.0, EVENT_STARTED), &mut rng, &mut out);
+        t.handle(3, &announce(3, 300.0, EVENT_NONE), &mut rng, &mut out);
+        assert_eq!(t.census(), (1, 2));
+        out.clear();
+        t.handle(9, &Message::Scrape, &mut rng, &mut out);
+        assert_eq!(
+            out,
+            vec![(
+                9,
+                Message::ScrapeResponse {
+                    seeders: 1,
+                    leechers: 2
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn response_size_caps_the_sample() {
+        let mut t = TrackerCore::new(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut out = Vec::new();
+        for id in 1..=10u64 {
+            t.handle(
+                id as usize,
+                &announce(id, 50.0, EVENT_STARTED),
+                &mut rng,
+                &mut out,
+            );
+        }
+        let Some((_, Message::AnnounceResponse { peers })) = out.last() else {
+            panic!("expected announce response");
+        };
+        assert_eq!(peers.len(), 3);
+    }
+}

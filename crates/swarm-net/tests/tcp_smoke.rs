@@ -1,0 +1,27 @@
+//! Real-socket smoke test: 2 seeds + 3 leechers on 127.0.0.1.
+//!
+//! `#[ignore]` by default — it opens real TCP sockets and runs on the
+//! wall clock, so it belongs to its own CI job (`net-tcp-smoke`), not
+//! the deterministic test sweep. Run with:
+//!
+//! ```sh
+//! cargo test -p swarm-net --test tcp_smoke -- --ignored
+//! ```
+
+use swarm_net::run_tcp_smoke;
+
+#[test]
+#[ignore = "real sockets + wall clock; run explicitly or via the net-tcp-smoke CI job"]
+fn two_seeds_three_leechers_complete_over_loopback_tcp() {
+    // 8 pieces of 100 kB, 20 ms ticks, up to 500 ticks (~10 s budget).
+    let report = run_tcp_smoke(2, 3, 8, 20, 500).expect("smoke swarm failed to run");
+    assert_eq!(
+        report.completions, 3,
+        "every leecher must finish; report: {report:?}"
+    );
+    // Leechers announce STOPPED when done, so the final census is the
+    // two still-serving seeds and nobody else.
+    assert_eq!(report.census, (2, 0), "tracker census: {report:?}");
+    let slowest = report.slowest_completion_tick.expect("all completed");
+    assert!(slowest <= 500, "completion within the tick budget");
+}

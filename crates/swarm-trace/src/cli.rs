@@ -27,6 +27,7 @@ profile folded from every span event.
 const DIFF_USAGE: &str = "\
 usage: repro diff <A> <B> [--max-rel R] [--metric NAME=R]
        repro diff --baseline FILE <RUN> [--write-baseline [--description S]]
+       repro diff --sim-vs-live <RUN>
 
 Compare the deterministic counters of two runs' metrics.json (A, B and
 RUN may be the file itself or a directory containing it). Exits 1 when
@@ -37,6 +38,9 @@ any relative delta exceeds its threshold, 2 on usage or I/O errors.
   --baseline FILE    compare RUN against a committed baseline instead
   --write-baseline   (re)write FILE from RUN's metrics and exit
   --description S    description stored with --write-baseline
+  --sim-vs-live      within ONE run, require bt.<stem> == net.<stem>
+                     exactly for the comparable counter stems (the
+                     sim-vs-live equivalence gate)
 ";
 
 /// `repro trace` — see [`TRACE_USAGE`].
@@ -196,6 +200,7 @@ pub fn diff_main(args: &[String]) -> i32 {
     let mut thresholds = Thresholds::default();
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut sim_vs_live = false;
     let mut description = String::from("repro quick suite deterministic counters");
     let mut max_rel_set = false;
     let mut it = args.iter();
@@ -219,6 +224,7 @@ pub fn diff_main(args: &[String]) -> i32 {
                 None => return usage(DIFF_USAGE, "--baseline needs a path"),
             },
             "--write-baseline" => write_baseline = true,
+            "--sim-vs-live" => sim_vs_live = true,
             "--description" => match it.next() {
                 Some(s) => description = s.clone(),
                 None => return usage(DIFF_USAGE, "--description needs text"),
@@ -230,6 +236,22 @@ pub fn diff_main(args: &[String]) -> i32 {
             _ if !arg.starts_with('-') => positional.push(PathBuf::from(arg)),
             _ => return usage(DIFF_USAGE, &format!("unexpected argument {arg}")),
         }
+    }
+
+    if sim_vs_live {
+        if baseline_path.is_some() {
+            return usage(DIFF_USAGE, "--sim-vs-live and --baseline are exclusive");
+        }
+        let [run] = positional.as_slice() else {
+            return usage(DIFF_USAGE, "--sim-vs-live mode takes exactly one RUN path");
+        };
+        let current = match load_run_metrics(run) {
+            Ok(m) => m,
+            Err(e) => return fail(&e),
+        };
+        let report = diff::sim_vs_live(&current);
+        print!("{}", report.render(true));
+        return i32::from(!report.ok());
     }
 
     match baseline_path {

@@ -25,14 +25,64 @@ use swarm_obs::Snapshot;
 /// Is this metric expected to be bit-identical across machines for a
 /// fixed seed? Engine/simulator/Monte-Carlo counters are, as are the
 /// catalog runtime's shard-batched counters (integer sums over
-/// per-swarm RNG streams, invariant in shard count and steal order);
-/// anything timing-derived (`*_ns`, `*_ms`) or scheduler-dependent
-/// (`lab.*`, `stats.*`, `span.*`, gauges) is not.
+/// per-swarm RNG streams, invariant in shard count and steal order) and
+/// the live network engine's `net.*` counters (barrier-fenced virtual
+/// time, `(sender, seq)`-ordered delivery — thread-order invariant by
+/// construction); anything timing-derived (`*_ns`, `*_ms`) or
+/// scheduler-dependent (`lab.*`, `stats.*`, `span.*`, gauges) is not.
+/// The live engine keeps its wall-clock/scheduling metrics under
+/// `stats.net.*` with `_ns` suffixes, so they never enter this domain.
 pub fn is_deterministic(name: &str) -> bool {
-    let deterministic_domain = ["bt.", "sim.", "mc.", "catalog."]
+    let deterministic_domain = ["bt.", "sim.", "mc.", "catalog.", "net."]
         .iter()
         .any(|p| name.starts_with(p));
     deterministic_domain && !name.ends_with("_ns") && !name.ends_with("_ms")
+}
+
+/// The counter stems compared between the simulator and the live
+/// network engine: `bt.<stem>` must equal `net.<stem>` *exactly* on the
+/// scripted equivalence scenarios. These are the counters the scenario
+/// construction pins (scripted arrivals, schedule-driven publisher,
+/// drain-free horizon); byte totals and message counts are engine-shaped
+/// and deliberately excluded.
+pub const SIM_VS_LIVE_STEMS: [&str; 4] = [
+    "ticks",
+    "arrivals",
+    "completions",
+    "availability.transitions",
+];
+
+/// Pair `bt.<stem>` against `net.<stem>` within one run's metrics and
+/// require exact equality. A missing side is a failure: the gate must
+/// not silently pass because one engine didn't run.
+pub fn sim_vs_live(metrics: &BTreeMap<String, f64>) -> DiffReport {
+    let mut report = DiffReport::default();
+    for stem in SIM_VS_LIVE_STEMS {
+        let sim_name = format!("bt.{stem}");
+        let live_name = format!("net.{stem}");
+        match (metrics.get(&sim_name), metrics.get(&live_name)) {
+            (Some(&a), Some(&b)) => {
+                let rel = rel_delta(a, b);
+                report.entries.push(DiffEntry {
+                    name: format!("{sim_name} vs {live_name}"),
+                    a,
+                    b,
+                    rel,
+                    max_rel: 0.0,
+                    regressed: rel != 0.0,
+                });
+            }
+            (sim, live) => {
+                if sim.is_none() {
+                    report.missing.push(sim_name);
+                }
+                if live.is_none() {
+                    report.missing.push(live_name);
+                }
+            }
+        }
+    }
+    report
 }
 
 /// Extract the deterministic counters from a snapshot delta.

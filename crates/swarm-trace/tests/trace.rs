@@ -260,6 +260,44 @@ fn deterministic_filter_drops_timing_and_scheduler_metrics() {
     assert!(!diff::is_deterministic("lab.cache.hit"));
     assert!(!diff::is_deterministic("span.bt.run"));
     assert!(!diff::is_deterministic("stats.budget.leases"));
+    // Live-engine counters are deterministic; its wall-clock metrics
+    // live under stats.net.* with _ns suffixes and stay out.
+    assert!(diff::is_deterministic("net.ticks"));
+    assert!(diff::is_deterministic("net.availability.transitions"));
+    assert!(!diff::is_deterministic("stats.net.tick_ns"));
+    assert!(!diff::is_deterministic("net.tick_ns"));
+}
+
+#[test]
+fn sim_vs_live_gate_requires_exact_equality_on_comparable_stems() {
+    let mut pairs: Vec<(&str, f64)> = Vec::new();
+    let owned: Vec<(String, f64)> = diff::SIM_VS_LIVE_STEMS
+        .iter()
+        .flat_map(|stem| [(format!("bt.{stem}"), 10.0), (format!("net.{stem}"), 10.0)])
+        .collect();
+    for (k, v) in &owned {
+        pairs.push((k.as_str(), *v));
+    }
+    let equal = metrics(&pairs);
+    let report = diff::sim_vs_live(&equal);
+    assert!(report.ok(), "{}", report.render(true));
+    assert_eq!(report.entries.len(), diff::SIM_VS_LIVE_STEMS.len());
+
+    // One counter drifting between engines fails the gate.
+    let mut drifted = equal.clone();
+    drifted.insert("net.completions".to_string(), 11.0);
+    let report = diff::sim_vs_live(&drifted);
+    assert_eq!(report.regressions(), 1);
+    let bad = report.entries.iter().find(|e| e.regressed).unwrap();
+    assert_eq!(bad.name, "bt.completions vs net.completions");
+
+    // A missing side must fail too: the gate cannot silently pass
+    // because one engine never ran.
+    let mut half = equal.clone();
+    half.remove("net.arrivals");
+    let report = diff::sim_vs_live(&half);
+    assert!(!report.ok());
+    assert!(report.missing.contains(&"net.arrivals".to_string()));
 }
 
 #[test]

@@ -77,6 +77,9 @@ pub use swarm_sim as sim;
 /// Block-level BitTorrent-like engine (re-export of `swarm-bt`).
 pub use swarm_bt as bt;
 
+/// Live networked swarm mode (re-export of `swarm-net`).
+pub use swarm_net as net;
+
 /// Synthetic measurement study (re-export of `swarm-measurement`).
 pub use swarm_measurement as measurement;
 
