@@ -1,31 +1,46 @@
-//! `obs_overhead` — CI guard for the telemetry cost on the swarm-bt
-//! tick loop.
+//! `obs_overhead` — CI guard for the telemetry cost on the hot loops:
+//! the swarm-bt tick loop and the live networked engine's loopback
+//! coordinator.
 //!
 //! ```text
-//! obs_overhead run --mode on  --reps 7 --out instr.json
-//! obs_overhead run --mode off --reps 7 --out base.json
-//! obs_overhead compare instr.json base.json \
+//! obs_overhead run --mode on  --engine bt  --reps 7 --out bt_instr.json
+//! obs_overhead run --mode off --engine bt  --reps 7 --out bt_base.json
+//! obs_overhead run --mode on  --engine net --reps 7 --out net_instr.json
+//! obs_overhead run --mode off --engine net --reps 7 --out net_base.json
+//! obs_overhead compare bt_instr.json bt_base.json \
+//!     net_instr.json net_base.json \
 //!     --max-regression 0.03 --out BENCH_obs_overhead.json
 //! ```
 //!
-//! `run` times full §4.3-style engine runs (1200 s of swarm time plus a
-//! 600-tick drain, K=4) with telemetry recording either on or off and
-//! writes min/median wall seconds. CI builds the binary twice — once as
-//! is and once with `--features obs-off` (recording compiled out) — so
+//! `run --engine bt` times full §4.3-style engine runs (1200 s of swarm
+//! time plus a 600-tick drain, K=4); `--engine net` times the scripted
+//! loopback equivalence scenario on the single-thread host — the
+//! configuration whose per-frame lifecycle probes are the densest.
+//! Telemetry recording is either on or off and the result carries
+//! min/median wall seconds. CI builds the binary twice — once as is and
+//! once with `--features obs-off` (recording compiled out) — so
 //! `compare` can put a bound on both the enabled overhead and the
-//! compiled-out residue. `compare` exits nonzero when the min-over-min
-//! ratio regresses past `--max-regression` (default 3%).
+//! compiled-out residue. `compare` takes one `(instrumented, baseline)`
+//! file pair per engine, writes one comparison keyed by engine, and
+//! exits nonzero when any engine's min-over-min ratio regresses past
+//! `--max-regression` (default 3%).
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 use swarm_bt::{run, BtConfig};
+use swarm_net::{run_live, scenarios, HostMode};
 
-const USAGE: &str = "usage: obs_overhead run --mode <on|off> [--reps N] [--out FILE]
-       obs_overhead compare <INSTR.json> <BASE.json> [--max-regression F] [--out FILE]";
+const USAGE: &str =
+    "usage: obs_overhead run --mode <on|off> [--engine <bt|net>] [--reps N] [--out FILE]
+       obs_overhead compare <INSTR.json> <BASE.json> [<INSTR.json> <BASE.json>]... \\
+           [--max-regression F] [--out FILE]";
 
 #[derive(Debug, Serialize, Deserialize)]
 struct RunResult {
+    /// Which hot loop was timed: `bt` or `net`.
+    engine: String,
     /// Whether `swarm_obs` recording was enabled during the timed runs.
     mode: String,
     /// True when the binary was built with the `obs-off` feature (every
@@ -36,25 +51,33 @@ struct RunResult {
     median_s: f64,
 }
 
-fn bench_config() -> BtConfig {
+fn bt_config() -> BtConfig {
     BtConfig {
         drain_ticks: 600,
         ..BtConfig::paper_section_4_3(4, 7)
     }
 }
 
-fn time_runs(reps: usize) -> (f64, f64) {
+fn time_runs(engine: &str, reps: usize) -> Result<(f64, f64), String> {
+    let timed: Box<dyn Fn()> = match engine {
+        "bt" => Box::new(|| {
+            std::hint::black_box(run(&bt_config()));
+        }),
+        "net" => Box::new(|| {
+            std::hint::black_box(run_live(&scenarios::scenario_a(42), HostMode::SingleThread));
+        }),
+        other => return Err(format!("--engine expects bt|net, got `{other}`")),
+    };
     // One untimed warmup to populate caches and the metric registry.
-    std::hint::black_box(run(&bench_config()));
+    timed();
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let cfg = bench_config();
         let t0 = Instant::now();
-        std::hint::black_box(run(&cfg));
+        timed();
         samples.push(t0.elapsed().as_secs_f64());
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
-    (samples[0], samples[samples.len() / 2])
+    Ok((samples[0], samples[samples.len() / 2]))
 }
 
 fn write_or_print(out: Option<&str>, json: &str) -> Result<(), String> {
@@ -69,11 +92,13 @@ fn write_or_print(out: Option<&str>, json: &str) -> Result<(), String> {
 
 fn cmd_run(mut args: std::vec::IntoIter<String>) -> Result<(), String> {
     let mut mode = None;
+    let mut engine = "bt".to_string();
     let mut reps = 5usize;
     let mut out = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--mode" => mode = Some(args.next().ok_or("--mode needs on|off")?),
+            "--engine" => engine = args.next().ok_or("--engine needs bt|net")?,
             "--reps" => {
                 let v = args.next().ok_or("--reps needs a value")?;
                 reps = v.parse().map_err(|_| format!("bad --reps `{v}`"))?;
@@ -88,8 +113,9 @@ fn cmd_run(mut args: std::vec::IntoIter<String>) -> Result<(), String> {
         "off" => swarm_obs::set_enabled(false),
         other => return Err(format!("--mode expects on|off, got `{other}`")),
     }
-    let (min_s, median_s) = time_runs(reps.max(1));
+    let (min_s, median_s) = time_runs(&engine, reps.max(1))?;
     let result = RunResult {
+        engine,
         mode,
         compiled_out: cfg!(feature = "obs-off"),
         reps: reps.max(1),
@@ -131,32 +157,56 @@ fn cmd_compare(mut args: std::vec::IntoIter<String>) -> Result<bool, String> {
             other => positional.push(other.to_string()),
         }
     }
-    let [instr_path, base_path] = positional.as_slice() else {
-        return Err("compare needs exactly two result files".to_string());
-    };
-    let instrumented = load(instr_path)?;
-    let baseline = load(base_path)?;
-    if baseline.min_s <= 0.0 {
-        return Err("baseline min wall time is not positive".to_string());
+    if positional.is_empty() || positional.len() % 2 != 0 {
+        return Err("compare needs (instrumented, baseline) file pairs".to_string());
     }
-    let overhead = instrumented.min_s / baseline.min_s - 1.0;
-    let pass = overhead <= max_regression;
-    let cmp = Comparison {
-        instrumented,
-        baseline,
-        overhead,
-        max_regression,
-        pass,
-    };
-    let json = serde_json::to_string_pretty(&cmp).map_err(|e| e.to_string())?;
+    let mut comparisons: BTreeMap<String, Comparison> = BTreeMap::new();
+    let mut all_pass = true;
+    for pair in positional.chunks(2) {
+        let instrumented = load(&pair[0])?;
+        let baseline = load(&pair[1])?;
+        if instrumented.engine != baseline.engine {
+            return Err(format!(
+                "engine mismatch: {} is `{}`, {} is `{}`",
+                pair[0], instrumented.engine, pair[1], baseline.engine
+            ));
+        }
+        if baseline.min_s <= 0.0 {
+            return Err(format!(
+                "{}: baseline min wall time is not positive",
+                baseline.engine
+            ));
+        }
+        let overhead = instrumented.min_s / baseline.min_s - 1.0;
+        let pass = overhead <= max_regression;
+        all_pass &= pass;
+        eprintln!(
+            "obs overhead [{}]: {:+.2}% (limit {:.2}%) — {}",
+            instrumented.engine,
+            overhead * 100.0,
+            max_regression * 100.0,
+            if pass { "ok" } else { "REGRESSION" },
+        );
+        let engine = instrumented.engine.clone();
+        if comparisons
+            .insert(
+                engine.clone(),
+                Comparison {
+                    instrumented,
+                    baseline,
+                    overhead,
+                    max_regression,
+                    pass,
+                },
+            )
+            .is_some()
+        {
+            return Err(format!("duplicate engine `{engine}` in compare pairs"));
+        }
+    }
+    let json = serde_json::to_string_pretty(&comparisons).map_err(|e| e.to_string())?;
     write_or_print(out.as_deref(), &json)?;
-    eprintln!(
-        "obs overhead: {:+.2}% (limit {:.2}%) — {}",
-        cmp.overhead * 100.0,
-        cmp.max_regression * 100.0,
-        if cmp.pass { "ok" } else { "REGRESSION" },
-    );
-    Ok(pass)
+    Ok(all_pass)
 }
 
 fn main() -> ExitCode {

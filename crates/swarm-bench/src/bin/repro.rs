@@ -26,15 +26,18 @@
 //! telemetry table on stdout. `--quiet` (or `SWARM_LOG=warn`) silences
 //! progress logging without touching the machine-readable output.
 //!
-//! Two offline subcommands analyze what a telemetry run wrote
+//! Three offline subcommands analyze what a telemetry run wrote
 //! (implemented in `swarm-trace`):
 //!
 //! ```text
-//! repro trace <TELEMETRY_DIR>     # availability timelines, busy
-//!                                 # periods vs the closed-form model,
-//!                                 # collapsed-stack profile
-//! repro diff A B                  # regression-gate two runs' metrics
-//! repro diff --baseline F RUN     # ... or a run against a baseline
+//! repro trace <TELEMETRY_DIR>      # availability timelines, busy
+//!                                  # periods vs the closed-form model,
+//!                                  # collapsed-stack profile
+//! repro diff A B                   # regression-gate two runs' metrics
+//! repro diff --baseline F RUN      # ... or a run against a baseline
+//! repro net-report <TELEMETRY_DIR> # wire-level connection timelines,
+//!                                  # conservation invariants, swarm
+//!                                  # health report (live engine runs)
 //! ```
 
 use std::path::PathBuf;
@@ -48,7 +51,8 @@ const USAGE: &str = "usage: repro <list|all|EXPERIMENT...> \
 [--quiet] [--telemetry[=DIR]]
        repro trace <TELEMETRY_DIR> [--flame PATH] [--width N]
        repro diff <A> <B> [--max-rel R] [--metric NAME=R]
-       repro diff --baseline FILE <RUN> [--write-baseline]";
+       repro diff --baseline FILE <RUN> [--write-baseline]
+       repro net-report <TELEMETRY_DIR> [--swimlane PATH] [--folded PATH]";
 
 struct Args {
     ids: Vec<String>,
@@ -152,6 +156,9 @@ fn main() -> ExitCode {
     match raw.first().map(String::as_str) {
         Some("trace") => return ExitCode::from(swarm_trace::cli::trace_main(&raw[1..]) as u8),
         Some("diff") => return ExitCode::from(swarm_trace::cli::diff_main(&raw[1..]) as u8),
+        Some("net-report") => {
+            return ExitCode::from(swarm_trace::cli::net_report_main(&raw[1..]) as u8)
+        }
         _ => {}
     }
     let wants_help = raw.iter().any(|a| a == "help" || a == "--help");

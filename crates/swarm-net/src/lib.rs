@@ -39,7 +39,7 @@ pub mod wire;
 
 pub use peer::{PeerCore, PeerParams, MIN_NEIGHBORS, PUBLISHER, REQUEST_TIMEOUT, TRACKER};
 pub use run::{peer_stream, publisher_online_at, run_live, HostMode, NetResult};
-pub use tcp::{run_tcp_smoke, TcpSmokeReport};
+pub use tcp::{run_tcp_smoke, run_tcp_smoke_with, TcpSmokeOpts, TcpSmokeReport};
 pub use tracker::TrackerCore;
 pub use transport::{Envelope, LoopbackEndpoint, LoopbackHub, Transport};
 pub use wire::{decode, drain_frames, encode, Message, WireError};

@@ -25,6 +25,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rand_chacha::ChaCha8Rng;
 use swarm_bt::{policy, Bitfield};
+use swarm_obs::{
+    ConnEvent, ConnPhase, Counter, CounterFamily, Dir, Gauge, Histogram, ReqEvent, ReqPhase,
+    XferEvent, XferPhase,
+};
 
 use crate::pex;
 use crate::wire::{Message, EVENT_COMPLETED, EVENT_NONE, EVENT_STARTED, EVENT_STOPPED};
@@ -54,6 +58,114 @@ pub struct PeerParams {
     /// 0 disables PEX.
     pub pex_interval: u64,
     pub max_neighbors: usize,
+    /// `net.run.*` ordinal of the hosting run, stamped onto every
+    /// lifecycle event this peer emits (telemetry only — no protocol
+    /// effect).
+    pub run: u64,
+}
+
+/// Cached `&'static` probe handles for one core — the live-mode twin of
+/// the sim engine's probe struct. `None` when recording was off at
+/// construction, which keeps the uninstrumented hot path at a single
+/// branch per site. Every probe is telemetry-only: nothing here reads
+/// or advances the peer's ChaCha8 stream or mutates protocol state.
+#[derive(Debug, Clone, Copy)]
+struct NetProbes {
+    run: u64,
+    conn_opened: &'static Counter,
+    conn_accepted: &'static Counter,
+    conn_refused: &'static Counter,
+    conn_closed: &'static Counter,
+    snubs: &'static Counter,
+    rejoins: &'static Counter,
+    req_sent: &'static Counter,
+    req_received: &'static Counter,
+    req_cancelled: &'static Counter,
+    req_choked: &'static Counter,
+    pieces_served: &'static Counter,
+    pieces_completed: &'static Counter,
+    choke_tx: &'static Counter,
+    unchoke_tx: &'static Counter,
+    pex_requests: &'static Counter,
+    pex_replies: &'static Counter,
+    /// Request→piece latency in ticks, when attributable.
+    req_latency: &'static Histogram,
+    /// Per-connection accepted bytes, labelled `from->to` (data flow).
+    bytes_in: &'static CounterFamily,
+    /// Per-connection offered bytes, same label orientation.
+    bytes_out: &'static CounterFamily,
+    /// This peer's last rolled receive-window total,
+    /// `net.peer.window_kb{<id>}`.
+    window_kb: &'static Gauge,
+}
+
+impl NetProbes {
+    fn new(id: usize, run: u64) -> Option<NetProbes> {
+        if !swarm_obs::enabled() {
+            return None;
+        }
+        Some(NetProbes {
+            run,
+            conn_opened: swarm_obs::counter("net.conn.opened"),
+            conn_accepted: swarm_obs::counter("net.conn.accepted"),
+            conn_refused: swarm_obs::counter("net.conn.refused"),
+            conn_closed: swarm_obs::counter("net.conn.closed"),
+            snubs: swarm_obs::counter("net.conn.snubs"),
+            rejoins: swarm_obs::counter("net.conn.rejoins"),
+            req_sent: swarm_obs::counter("net.req.sent"),
+            req_received: swarm_obs::counter("net.req.received"),
+            req_cancelled: swarm_obs::counter("net.req.cancelled"),
+            req_choked: swarm_obs::counter("net.req.choked"),
+            pieces_served: swarm_obs::counter("net.xfer.served"),
+            pieces_completed: swarm_obs::counter("net.xfer.completed"),
+            choke_tx: swarm_obs::counter("net.choke.sent"),
+            unchoke_tx: swarm_obs::counter("net.unchoke.sent"),
+            pex_requests: swarm_obs::counter("net.pex.requests"),
+            pex_replies: swarm_obs::counter("net.pex.replies"),
+            req_latency: swarm_obs::histogram("net.req.latency_ticks"),
+            bytes_in: swarm_obs::counter_family("net.conn.bytes_in"),
+            bytes_out: swarm_obs::counter_family("net.conn.bytes_out"),
+            window_kb: swarm_obs::gauge_family("net.peer.window_kb").with_name(&id.to_string()),
+        })
+    }
+
+    fn conn(&self, tick: u64, local: usize, remote: usize, phase: ConnPhase) -> ConnEvent {
+        ConnEvent {
+            run: self.run,
+            tick,
+            local: local as u64,
+            remote: remote as u64,
+            phase,
+            dir: None,
+            piece: None,
+        }
+    }
+
+    fn req(
+        &self,
+        tick: u64,
+        local: usize,
+        remote: usize,
+        piece: u32,
+        phase: ReqPhase,
+    ) -> ReqEvent {
+        ReqEvent {
+            run: self.run,
+            tick,
+            local: local as u64,
+            remote: remote as u64,
+            piece: piece as u64,
+            phase,
+            reason: None,
+        }
+    }
+}
+
+/// Kilobytes → whole bytes for per-connection byte counters (counters
+/// are integral; sub-byte residue from fractional-kB frames rounds per
+/// frame, deterministically).
+fn kb_to_bytes(kb: f64) -> u64 {
+    (kb * 1024.0).round() as u64
 }
 
 /// What we know about one neighbor, keyed by endpoint id in
@@ -76,6 +188,20 @@ struct Neighbor {
     recv_window: f64,
     /// Previous window — the tit-for-tat score.
     recv_prev: f64,
+    /// Tick the current request was issued — unlike the timeout stamp
+    /// in `our_request`, never refreshed by arriving data, so it
+    /// anchors the request→piece latency. Telemetry only.
+    requested_at: u64,
+    /// Telemetry flag: we snubbed them on a request timeout and they
+    /// have not proven liveness (sent `Unchoke`) since.
+    snubbed: bool,
+    /// Telemetry flag: the current service episode already emitted its
+    /// `net.xfer` serve event (reset each time they place a request).
+    serve_logged: bool,
+    /// Lazily interned per-connection byte counters, labelled in
+    /// data-flow direction (`remote->local` in, `local->remote` out).
+    obs_bytes_in: Option<&'static Counter>,
+    obs_bytes_out: Option<&'static Counter>,
 }
 
 impl Neighbor {
@@ -90,6 +216,11 @@ impl Neighbor {
             our_request: None,
             recv_window: 0.0,
             recv_prev: 0.0,
+            requested_at: 0,
+            snubbed: false,
+            serve_logged: false,
+            obs_bytes_in: None,
+            obs_bytes_out: None,
         }
     }
 }
@@ -124,6 +255,8 @@ pub struct PeerCore {
     pub messages_handled: u64,
     /// Rechoke rounds executed.
     pub rechokes: u64,
+    /// `None` when recording was off at construction.
+    probes: Option<NetProbes>,
 }
 
 impl PeerCore {
@@ -154,6 +287,7 @@ impl PeerCore {
             needs_announce: false,
             messages_handled: 0,
             rechokes: 0,
+            probes: NetProbes::new(id, params.run),
         }
     }
 
@@ -177,6 +311,7 @@ impl PeerCore {
             needs_announce: false,
             messages_handled: 0,
             rechokes: 0,
+            probes: NetProbes::new(id, params.run),
         }
     }
 
@@ -266,23 +401,33 @@ impl PeerCore {
         {
             let ids: Vec<usize> = self.neighbors.keys().copied().collect();
             if let Some(partner) = pex::pick_partner(&ids, &mut self.rng) {
+                if let Some(pr) = self.probes {
+                    pr.pex_requests.inc();
+                }
                 out.push((partner, Message::PexRequest));
             }
         }
         if tick.is_multiple_of(self.params.rechoke_interval) {
-            self.rechoke(out);
+            self.rechoke(tick, out);
         }
         if !self.is_publisher && !self.bitfield.is_complete() {
             self.request_pieces(tick, out);
         }
-        self.serve_requests(out);
+        self.serve_requests(tick, out);
     }
 
     /// Tit-for-tat rechoke: roll the receive windows, rank interested
     /// neighbors with the shared policy code, and emit only the
     /// choke-state deltas.
-    fn rechoke(&mut self, out: &mut Vec<(usize, Message)>) {
+    fn rechoke(&mut self, tick: u64, out: &mut Vec<(usize, Message)>) {
         self.rechokes += 1;
+        if let Some(pr) = self.probes {
+            // Publish the window about to be rolled: this peer's
+            // aggregate receive throughput over the last rechoke
+            // interval, `net.peer.window_kb{<id>}`.
+            let window: f64 = self.neighbors.values().map(|n| n.recv_window).sum();
+            pr.window_kb.set(window.round() as i64);
+        }
         for n in self.neighbors.values_mut() {
             n.recv_prev = n.recv_window;
             n.recv_window = 0.0;
@@ -303,6 +448,8 @@ impl PeerCore {
             &mut self.rng,
         );
         let unchoked: BTreeSet<usize> = interested[..chosen].iter().copied().collect();
+        let probes = self.probes;
+        let my_id = self.id;
         for (&id, n) in self.neighbors.iter_mut() {
             let want_open = unchoked.contains(&id);
             if want_open != n.we_choke_them {
@@ -310,9 +457,21 @@ impl PeerCore {
             }
             n.we_choke_them = !want_open;
             if want_open {
+                if let Some(pr) = probes {
+                    pr.unchoke_tx.inc();
+                    let mut ev = pr.conn(tick, my_id, id, ConnPhase::Unchoke);
+                    ev.dir = Some(Dir::Tx);
+                    ev.emit();
+                }
                 out.push((id, Message::Unchoke));
             } else {
                 n.their_request = None;
+                if let Some(pr) = probes {
+                    pr.choke_tx.inc();
+                    let mut ev = pr.conn(tick, my_id, id, ConnPhase::Choke);
+                    ev.dir = Some(Dir::Tx);
+                    ev.emit();
+                }
                 out.push((id, Message::Choke));
             }
         }
@@ -346,7 +505,18 @@ impl PeerCore {
                     let n = self.neighbors.get_mut(&id).unwrap();
                     n.our_request = None;
                     n.they_choke_us = true;
+                    n.snubbed = true;
                     in_flight.remove(&(p as usize));
+                    if let Some(pr) = self.probes {
+                        pr.snubs.inc();
+                        pr.req_cancelled.inc();
+                        let mut ev = pr.conn(tick, self.id, id, ConnPhase::Snub);
+                        ev.piece = Some(p as u64);
+                        ev.emit();
+                        let mut rq = pr.req(tick, self.id, id, p, ReqPhase::Cancel);
+                        rq.reason = Some("timeout".into());
+                        rq.emit();
+                    }
                     out.push((id, Message::Cancel { piece: p }));
                 }
             }
@@ -369,7 +539,13 @@ impl PeerCore {
             };
             if let Some(p) = pick {
                 in_flight.insert(p);
-                self.neighbors.get_mut(&id).unwrap().our_request = Some((p as u32, tick));
+                let n = self.neighbors.get_mut(&id).unwrap();
+                n.our_request = Some((p as u32, tick));
+                n.requested_at = tick;
+                if let Some(pr) = self.probes {
+                    pr.req_sent.inc();
+                    pr.req(tick, self.id, id, p as u32, ReqPhase::Tx).emit();
+                }
                 out.push((id, Message::Request { piece: p as u32 }));
             }
         }
@@ -378,7 +554,7 @@ impl PeerCore {
     /// Split this tick's upload capacity evenly across neighbors with an
     /// open request — the per-second capacity sharing of the sim's
     /// transfer round, expressed as `Piece` frames.
-    fn serve_requests(&mut self, out: &mut Vec<(usize, Message)>) {
+    fn serve_requests(&mut self, tick: u64, out: &mut Vec<(usize, Message)>) {
         let active: Vec<(usize, u32)> = self
             .neighbors
             .iter()
@@ -389,7 +565,32 @@ impl PeerCore {
             return;
         }
         let share = self.upload_cap / active.len() as f64;
+        let my_id = self.id;
         for (id, piece) in active {
+            if let Some(pr) = self.probes {
+                let n = self.neighbors.get_mut(&id).unwrap();
+                if !n.serve_logged {
+                    // First frame of a service episode: one serve event
+                    // per request, however many ticks the stream takes.
+                    n.serve_logged = true;
+                    pr.pieces_served.inc();
+                    XferEvent {
+                        run: pr.run,
+                        tick,
+                        local: my_id as u64,
+                        remote: id as u64,
+                        piece: piece as u64,
+                        phase: XferPhase::Serve,
+                        kb: None,
+                        latency_ticks: None,
+                    }
+                    .emit();
+                }
+                let c = *n
+                    .obs_bytes_out
+                    .get_or_insert_with(|| pr.bytes_out.with_name(&format!("{my_id}->{id}")));
+                c.add(kb_to_bytes(share));
+            }
             out.push((
                 id,
                 Message::Piece {
@@ -402,16 +603,31 @@ impl PeerCore {
 
     /// Process one inbound message.
     fn handle(&mut self, from: usize, msg: &Message, tick: u64, out: &mut Vec<(usize, Message)>) {
+        let probes = self.probes;
+        let my_id = self.id;
         match msg {
             Message::Handshake { pieces, .. } => {
                 if *pieces as usize != self.params.num_pieces {
+                    if let Some(pr) = probes {
+                        pr.conn_refused.inc();
+                        pr.conn(tick, my_id, from, ConnPhase::Refused).emit();
+                    }
                     return;
                 }
-                if !self.neighbors.contains_key(&from)
-                    && self.neighbors.len() < self.params.max_neighbors
-                {
+                if self.neighbors.contains_key(&from) {
+                    // Reply leg of a handshake we initiated (or a
+                    // simultaneous open): the connection is now paired
+                    // on this side, no frames owed.
+                    if let Some(pr) = probes {
+                        pr.conn(tick, my_id, from, ConnPhase::Handshake).emit();
+                    }
+                } else if self.neighbors.len() < self.params.max_neighbors {
                     self.neighbors
                         .insert(from, Neighbor::new(self.params.num_pieces));
+                    if let Some(pr) = probes {
+                        pr.conn_accepted.inc();
+                        pr.conn(tick, my_id, from, ConnPhase::Handshake).emit();
+                    }
                     out.push((
                         from,
                         Message::Handshake {
@@ -420,6 +636,10 @@ impl PeerCore {
                         },
                     ));
                     out.push((from, Message::Bitfield(self.bitfield.clone())));
+                } else if let Some(pr) = probes {
+                    // Neighbor table full.
+                    pr.conn_refused.inc();
+                    pr.conn(tick, my_id, from, ConnPhase::Refused).emit();
                 }
             }
             Message::Bitfield(bf) => {
@@ -451,6 +671,18 @@ impl PeerCore {
             }
             Message::Choke => {
                 if let Some(n) = self.neighbors.get_mut(&from) {
+                    if let Some(pr) = probes {
+                        let mut ev = pr.conn(tick, my_id, from, ConnPhase::Choke);
+                        ev.dir = Some(Dir::Rx);
+                        ev.emit();
+                        if let Some((rp, _)) = n.our_request {
+                            // Our outstanding request dies with the
+                            // choke — log the resolution before the
+                            // state is cleared below.
+                            pr.req_choked.inc();
+                            pr.req(tick, my_id, from, rp, ReqPhase::Choked).emit();
+                        }
+                    }
                     n.they_choke_us = true;
                     n.our_request = None;
                 }
@@ -458,6 +690,19 @@ impl PeerCore {
             Message::Unchoke => {
                 if let Some(n) = self.neighbors.get_mut(&from) {
                     n.they_choke_us = false;
+                    if let Some(pr) = probes {
+                        let mut ev = pr.conn(tick, my_id, from, ConnPhase::Unchoke);
+                        ev.dir = Some(Dir::Rx);
+                        ev.emit();
+                    }
+                    if n.snubbed {
+                        // Liveness proven: the snub episode ends here.
+                        n.snubbed = false;
+                        if let Some(pr) = probes {
+                            pr.rejoins.inc();
+                            pr.conn(tick, my_id, from, ConnPhase::Rejoin).emit();
+                        }
+                    }
                 }
             }
             Message::Request { piece } => {
@@ -466,6 +711,11 @@ impl PeerCore {
                 }
                 if let Some(n) = self.neighbors.get_mut(&from) {
                     n.their_request = Some(*piece);
+                    n.serve_logged = false;
+                    if let Some(pr) = probes {
+                        pr.req_received.inc();
+                        pr.req(tick, my_id, from, *piece, ReqPhase::Rx).emit();
+                    }
                 }
             }
             Message::Piece { piece, bytes } => {
@@ -480,12 +730,15 @@ impl PeerCore {
             }
             Message::AnnounceResponse { peers } | Message::PexPeers { peers } => {
                 for &p in peers {
-                    self.connect(p as usize, out);
+                    self.connect(p as usize, tick, out);
                 }
             }
             Message::PexRequest => {
                 let ids: Vec<usize> = self.neighbors.keys().copied().collect();
                 let peers = pex::share_list(&ids, from, &mut self.rng);
+                if let Some(pr) = probes {
+                    pr.pex_replies.inc();
+                }
                 out.push((from, Message::PexPeers { peers }));
             }
             // Tracker-bound traffic and scrape responses are not for
@@ -495,7 +748,7 @@ impl PeerCore {
     }
 
     /// Open a connection to `pid` if it is new and there is table room.
-    fn connect(&mut self, pid: usize, out: &mut Vec<(usize, Message)>) {
+    fn connect(&mut self, pid: usize, tick: u64, out: &mut Vec<(usize, Message)>) {
         if pid == self.id
             || pid == TRACKER
             || self.neighbors.contains_key(&pid)
@@ -505,6 +758,10 @@ impl PeerCore {
         }
         self.neighbors
             .insert(pid, Neighbor::new(self.params.num_pieces));
+        if let Some(pr) = self.probes {
+            pr.conn_opened.inc();
+            pr.conn(tick, self.id, pid, ConnPhase::Open).emit();
+        }
         out.push((
             pid,
             Message::Handshake {
@@ -557,11 +814,19 @@ impl PeerCore {
         if take <= 0.0 {
             return;
         }
+        let probes = self.probes;
+        let my_id = self.id;
         self.progress[p] += take;
         self.received_this_tick += take;
         self.bytes_received += take;
         if let Some(n) = self.neighbors.get_mut(&from) {
             n.recv_window += take;
+            if let Some(pr) = probes {
+                let c = *n
+                    .obs_bytes_in
+                    .get_or_insert_with(|| pr.bytes_in.with_name(&format!("{from}->{my_id}")));
+                c.add(kb_to_bytes(take));
+            }
             if let Some((rp, _)) = n.our_request {
                 if rp == piece {
                     // Data is flowing: refresh the timeout stamp.
@@ -574,6 +839,30 @@ impl PeerCore {
         }
         self.progress[p] = self.params.piece_size;
         self.bitfield.set(p);
+        if let Some(pr) = probes {
+            // Latency is attributable only when the final bytes came
+            // from the neighbor we had the request open at.
+            let latency = self
+                .neighbors
+                .get(&from)
+                .filter(|n| n.our_request.is_some_and(|(rp, _)| rp == piece))
+                .map(|n| tick.saturating_sub(n.requested_at));
+            pr.pieces_completed.inc();
+            if let Some(l) = latency {
+                pr.req_latency.record(l);
+            }
+            XferEvent {
+                run: pr.run,
+                tick,
+                local: my_id as u64,
+                remote: from as u64,
+                piece: p as u64,
+                phase: XferPhase::Done,
+                kb: Some(self.params.piece_size),
+                latency_ticks: latency,
+            }
+            .emit();
+        }
         let ids: Vec<usize> = self.neighbors.keys().copied().collect();
         for &id in &ids {
             let n = self.neighbors.get_mut(&id).unwrap();
@@ -583,6 +872,12 @@ impl PeerCore {
                     // included — otherwise it keeps streaming a piece we
                     // already hold until its next rechoke.
                     n.our_request = None;
+                    if let Some(pr) = probes {
+                        pr.req_cancelled.inc();
+                        let mut rq = pr.req(tick, my_id, id, piece, ReqPhase::Cancel);
+                        rq.reason = Some("done".into());
+                        rq.emit();
+                    }
                     out.push((id, Message::Cancel { piece }));
                 }
             }
@@ -605,6 +900,12 @@ impl PeerCore {
         self.completed = Some(tick + 1);
         let ids: Vec<usize> = self.neighbors.keys().copied().collect();
         for id in ids {
+            if let Some(pr) = self.probes {
+                pr.conn_closed.inc();
+                let mut ev = pr.conn(tick, self.id, id, ConnPhase::Close);
+                ev.dir = Some(Dir::Tx);
+                ev.emit();
+            }
             out.push((id, Message::Choke));
         }
         out.push((
@@ -642,6 +943,7 @@ mod tests {
             rechoke_interval: 10,
             pex_interval: 0,
             max_neighbors: 40,
+            run: 0,
         }
     }
 

@@ -39,6 +39,12 @@ use crate::wire;
 /// run counter so traces from repeated runs stay distinguishable).
 static NET_RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Claim the next `net.run.*` ordinal — shared with the TCP host so
+/// loopback and socket runs in one process never collide on a run id.
+pub(crate) fn next_net_run_ordinal() -> u64 {
+    NET_RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
 /// How the deterministic host schedules endpoint work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostMode {
@@ -182,7 +188,7 @@ fn validate_live(cfg: &BtConfig) -> &[(u64, f64)] {
 /// Run the scripted scenario in `cfg` as a live networked swarm.
 pub fn run_live(cfg: &BtConfig, mode: HostMode) -> NetResult {
     let script = validate_live(cfg);
-    let run_ord = NET_RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let run_ord = next_net_run_ordinal();
     let num_pieces = cfg.num_pieces();
     let params = PeerParams {
         num_pieces,
@@ -192,6 +198,7 @@ pub fn run_live(cfg: &BtConfig, mode: HostMode) -> NetResult {
         rechoke_interval: cfg.rechoke_interval,
         pex_interval: cfg.pex_interval,
         max_neighbors: cfg.max_neighbors,
+        run: run_ord,
     };
 
     // Endpoint layout: 0 tracker, 1 publisher, 2.. one leecher per

@@ -29,9 +29,15 @@ use std::time::{Duration, Instant};
 
 use crate::clock::WallTicker;
 use crate::peer::{PeerCore, PeerParams, TRACKER};
-use crate::run::peer_stream;
+use crate::run::{next_net_run_ordinal, peer_stream};
 use crate::tracker::TrackerCore;
 use crate::wire::{self, Message};
+
+/// Ticks between `net.health` snapshots per peer thread.
+const HEALTH_INTERVAL: u64 = 20;
+/// Ticks without download progress before an incomplete online leecher
+/// is flagged stalled.
+const STALL_TICKS: u64 = 40;
 
 /// Outcome of one TCP smoke run.
 #[derive(Debug, Clone)]
@@ -43,6 +49,15 @@ pub struct TcpSmokeReport {
     pub census: (u32, u32),
     /// Ticks the slowest leecher needed, if all completed.
     pub slowest_completion_tick: Option<u64>,
+}
+
+/// Host-level options for [`run_tcp_smoke_with`].
+#[derive(Debug, Clone, Default)]
+pub struct TcpSmokeOpts {
+    /// When the run ends with leechers still incomplete and recording
+    /// is on, dump the whole event sink (header + JSONL) here — the
+    /// flight-recorder black box for post-mortem `repro trace`.
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 struct Conn {
@@ -190,6 +205,7 @@ fn peer_thread(
     slowest: Arc<AtomicU64>,
     tick_ms: u64,
     max_ticks: u64,
+    run: u64,
 ) {
     listener
         .set_nonblocking(true)
@@ -202,6 +218,10 @@ fn peer_thread(
     let mut counted_done = false;
     let mut last_tick = u64::MAX;
     let mut pending: Vec<(usize, Message)> = Vec::new();
+    // Stall detector state: last observed byte total and when it moved.
+    let mut last_bytes = core.bytes_received;
+    let mut last_progress_tick = 0u64;
+    let mut stalled = false;
     while !stop.load(Ordering::Acquire) {
         let tick = ticker.current_tick();
         if tick > max_ticks {
@@ -246,6 +266,53 @@ fn peer_thread(
                 completions.fetch_add(1, Ordering::Relaxed);
                 slowest.fetch_max(core.completed.unwrap_or(0), Ordering::Relaxed);
             }
+            // Download-progress watchdog: an online, incomplete leecher
+            // whose byte total has not moved for STALL_TICKS is stalled.
+            // One event per episode; any progress re-arms the detector.
+            if core.bytes_received > last_bytes {
+                last_bytes = core.bytes_received;
+                last_progress_tick = tick;
+                stalled = false;
+            } else if !stalled
+                && !core.is_publisher
+                && core.online
+                && core.completed.is_none()
+                && tick.saturating_sub(last_progress_tick) >= STALL_TICKS
+            {
+                stalled = true;
+                if swarm_obs::enabled() {
+                    // Wall-clock behavior → `stats.` prefix keeps the
+                    // counter out of the deterministic diff domain.
+                    swarm_obs::counter("stats.net.stalls").inc();
+                    swarm_obs::emit(
+                        "net.stall",
+                        &[
+                            ("run", swarm_obs::val(run)),
+                            ("tick", swarm_obs::val(tick)),
+                            ("peer", swarm_obs::val(my_id as u64)),
+                            (
+                                "since",
+                                swarm_obs::val(tick.saturating_sub(last_progress_tick)),
+                            ),
+                        ],
+                    );
+                }
+            }
+            if swarm_obs::enabled() && tick.is_multiple_of(HEALTH_INTERVAL) {
+                swarm_obs::emit(
+                    "net.health",
+                    &[
+                        ("run", swarm_obs::val(run)),
+                        ("tick", swarm_obs::val(tick)),
+                        ("peer", swarm_obs::val(my_id as u64)),
+                        ("pieces", swarm_obs::val(core.bitfield.count() as u64)),
+                        ("bytes_kb", swarm_obs::val(core.bytes_received)),
+                        ("neighbors", swarm_obs::val(core.neighbor_count() as u64)),
+                        ("online", swarm_obs::val(core.online)),
+                        ("stalled", swarm_obs::val(stalled)),
+                    ],
+                );
+            }
         }
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -261,7 +328,27 @@ pub fn run_tcp_smoke(
     tick_ms: u64,
     max_ticks: u64,
 ) -> std::io::Result<TcpSmokeReport> {
+    run_tcp_smoke_with(
+        seeds,
+        leechers,
+        num_pieces,
+        tick_ms,
+        max_ticks,
+        &TcpSmokeOpts::default(),
+    )
+}
+
+/// [`run_tcp_smoke`] with host-level options (flight-recorder dump).
+pub fn run_tcp_smoke_with(
+    seeds: usize,
+    leechers: usize,
+    num_pieces: usize,
+    tick_ms: u64,
+    max_ticks: u64,
+    opts: &TcpSmokeOpts,
+) -> std::io::Result<TcpSmokeReport> {
     assert!(seeds >= 1 && leechers >= 1 && num_pieces >= 1);
+    let run = next_net_run_ordinal();
     let params = PeerParams {
         num_pieces,
         piece_size: 100.0,
@@ -270,6 +357,7 @@ pub fn run_tcp_smoke(
         rechoke_interval: 5,
         pex_interval: 10,
         max_neighbors: 40,
+        run,
     };
     let seed = 0x7ec5;
     let book: AddrBook = Arc::new(Mutex::new(HashMap::new()));
@@ -319,6 +407,7 @@ pub fn run_tcp_smoke(
                 slowest,
                 tick_ms,
                 max_ticks,
+                run,
             )
         }));
     }
@@ -336,6 +425,18 @@ pub fn run_tcp_smoke(
         h.join().expect("swarm thread panicked");
     }
     let done = completions.load(Ordering::Relaxed);
+    if done < leechers as u64 {
+        if let Some(path) = &opts.flight_dump {
+            if swarm_obs::enabled() {
+                // Post-mortem black box: everything still in the ring,
+                // header first, ready for `repro trace`/`net-report`.
+                let events = swarm_obs::drain_all();
+                let mut text = swarm_obs::header_line();
+                text.push_str(&swarm_obs::to_jsonl(&events));
+                let _ = std::fs::write(path, text);
+            }
+        }
+    }
     Ok(TcpSmokeReport {
         completions: done,
         census,

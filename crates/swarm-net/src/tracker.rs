@@ -77,6 +77,9 @@ impl TrackerCore {
         match msg {
             Message::Announce { peer, left, event } => {
                 self.announces += 1;
+                if swarm_obs::enabled() {
+                    swarm_obs::counter("net.tracker.announce.served").inc();
+                }
                 let entry = self.registry.entry(*peer).or_default();
                 entry.complete = *left <= 0.0 || *event == EVENT_COMPLETED;
                 entry.stopped = *event == EVENT_STOPPED;
@@ -95,6 +98,9 @@ impl TrackerCore {
             }
             Message::Scrape => {
                 self.scrapes += 1;
+                if swarm_obs::enabled() {
+                    swarm_obs::counter("net.tracker.scrape.served").inc();
+                }
                 let (seeders, leechers) = self.census();
                 out.push((from, Message::ScrapeResponse { seeders, leechers }));
             }

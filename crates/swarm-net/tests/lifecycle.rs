@@ -1,0 +1,101 @@
+//! The snub→rejoin episode, as told by the lifecycle telemetry.
+//!
+//! Drives a single leecher core through a request timeout and the
+//! reviving `Unchoke`, then checks that the typed `net.conn` /
+//! `net.req` events land in the sink in protocol order. Events are
+//! scoped through [`swarm_obs::job_scope`] so concurrent tests in this
+//! binary cannot contaminate each other's drains.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use swarm_bt::Bitfield;
+use swarm_net::{Message, PeerCore, PeerParams, REQUEST_TIMEOUT};
+use swarm_obs::{ConnEvent, ConnPhase, Dir, ReqEvent, ReqPhase};
+
+fn params(pieces: usize) -> PeerParams {
+    PeerParams {
+        num_pieces: pieces,
+        piece_size: 100.0,
+        unchoke_slots: 4,
+        optimistic_slots: 1,
+        rechoke_interval: 10,
+        pex_interval: 0,
+        max_neighbors: 40,
+        run: 0,
+    }
+}
+
+fn step1(core: &mut PeerCore, tick: u64, inbox: Vec<(usize, Message)>) -> Vec<(usize, Message)> {
+    let mut out = Vec::new();
+    core.step(tick, inbox, &mut out);
+    out
+}
+
+#[test]
+fn snub_and_rejoin_emit_lifecycle_events_in_protocol_order() {
+    swarm_obs::set_enabled(true);
+    let job = "lifecycle-snub-rejoin";
+    let events = {
+        let _scope = swarm_obs::job_scope(job);
+        let mut c = PeerCore::leecher(2, 0, 50.0, 1000.0, params(4), ChaCha8Rng::seed_from_u64(2));
+        c.set_online(true);
+        // Tick 1: the seed-like neighbor handshakes and unchokes us in
+        // one inbox, so a request goes out the same tick. Then silence
+        // until it expires, then an Unchoke revives the snubbed
+        // neighbor.
+        let out = step1(
+            &mut c,
+            1,
+            vec![
+                (3, Message::Handshake { peer: 3, pieces: 4 }),
+                (3, Message::Bitfield(Bitfield::full(4))),
+                (3, Message::Unchoke),
+            ],
+        );
+        assert!(out.iter().any(|(_, m)| matches!(m, Message::Request { .. })));
+        step1(&mut c, 1 + REQUEST_TIMEOUT, vec![]);
+        step1(&mut c, 2 + REQUEST_TIMEOUT, vec![(3, Message::Unchoke)]);
+        swarm_obs::drain_job(job)
+    };
+
+    let conns: Vec<ConnEvent> = events.iter().filter_map(ConnEvent::from_event).collect();
+    let reqs: Vec<ReqEvent> = events.iter().filter_map(ReqEvent::from_event).collect();
+
+    // The request lifecycle: issue, timeout-cancel, re-issue on rejoin.
+    let req_phases: Vec<(ReqPhase, Option<&str>)> = reqs
+        .iter()
+        .map(|r| (r.phase, r.reason.as_deref()))
+        .collect();
+    assert_eq!(
+        req_phases,
+        vec![
+            (ReqPhase::Tx, None),
+            (ReqPhase::Cancel, Some("timeout")),
+            (ReqPhase::Tx, None),
+        ],
+        "request events: {reqs:?}"
+    );
+
+    // The connection lifecycle around the episode: the first Unchoke
+    // arrives un-snubbed, the timeout snubs, the second Unchoke is
+    // followed (in that order) by the rejoin.
+    let phases: Vec<(ConnPhase, Option<Dir>)> =
+        conns.iter().map(|c| (c.phase, c.dir)).collect();
+    assert_eq!(
+        phases,
+        vec![
+            (ConnPhase::Handshake, None),
+            (ConnPhase::Unchoke, Some(Dir::Rx)),
+            (ConnPhase::Snub, None),
+            (ConnPhase::Unchoke, Some(Dir::Rx)),
+            (ConnPhase::Rejoin, None),
+        ],
+        "conn events: {conns:?}"
+    );
+
+    // The snub names the abandoned piece, and its cancel matches.
+    let snub = conns.iter().find(|c| c.phase == ConnPhase::Snub).unwrap();
+    assert_eq!(snub.piece, Some(reqs[0].piece));
+    assert_eq!(snub.local, 2);
+    assert_eq!(snub.remote, 3);
+}

@@ -1,0 +1,56 @@
+//! The conservation invariants, end to end on the loopback engine.
+//!
+//! Runs scripted scenarios with full telemetry, hands the drained
+//! events to the `swarm-trace` net analyzer, and requires a clean
+//! report: every completion matched by a serve, every request
+//! resolved, every traffic-carrying connection handshaken on both
+//! sides. One `#[test]` — the global obs enable flag must not race
+//! with a second test in this binary.
+
+use swarm_net::{run_live, scenarios, HostMode};
+
+#[test]
+fn loopback_scenarios_satisfy_the_conservation_invariants() {
+    swarm_obs::set_enabled(true);
+    let _ = swarm_obs::drain_all();
+    // Generous ring: a scripted swarm emits a few thousand lifecycle
+    // events and truncation would break request-resolution tracking.
+    swarm_obs::set_ring_capacity(1 << 18);
+
+    let mut expected_runs = 0;
+    for (name, cfg) in scenarios::all(42) {
+        let live = run_live(&cfg, HostMode::SingleThread);
+        assert!(live.completions > 0, "{name}: scripted leechers complete");
+        expected_runs += 1;
+    }
+
+    let events = swarm_obs::drain_all();
+    swarm_obs::set_enabled(false);
+    let runs = swarm_trace::collect_net_runs(&events);
+    assert!(
+        runs.len() >= expected_runs,
+        "one net trace per live run (got {} for {expected_runs})",
+        runs.len()
+    );
+    for trace in &runs {
+        assert!(
+            trace.violations.is_empty(),
+            "run {}: {:#?}",
+            trace.run,
+            trace.violations
+        );
+        assert!(
+            trace.completions() > 0,
+            "run {}: completions visible in the xfer telemetry",
+            trace.run
+        );
+        assert!(
+            !trace.latencies().is_empty(),
+            "run {}: request->piece latencies attributed",
+            trace.run
+        );
+        let lane = trace.swimlane();
+        assert!(lane.contains("xfer.done"), "run {}: swimlane", trace.run);
+        assert!(!trace.collapsed().is_empty());
+    }
+}

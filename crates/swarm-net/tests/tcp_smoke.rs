@@ -7,14 +7,29 @@
 //! ```sh
 //! cargo test -p swarm-net --test tcp_smoke -- --ignored
 //! ```
+//!
+//! The run executes with full telemetry and hands the drained events
+//! to the `swarm-trace` net analyzer: the wire-level conservation
+//! invariants must hold over real sockets too, and the TCP host's
+//! periodic `net.health` snapshots must be present.
 
-use swarm_net::run_tcp_smoke;
+use swarm_net::{run_tcp_smoke_with, TcpSmokeOpts};
 
 #[test]
 #[ignore = "real sockets + wall clock; run explicitly or via the net-tcp-smoke CI job"]
 fn two_seeds_three_leechers_complete_over_loopback_tcp() {
+    swarm_obs::set_enabled(true);
+    let _ = swarm_obs::drain_all();
+    // Generous ring: lifecycle events from five peer threads must not
+    // be evicted, or request-resolution tracking would see gaps.
+    swarm_obs::set_ring_capacity(1 << 18);
+
     // 8 pieces of 100 kB, 20 ms ticks, up to 500 ticks (~10 s budget).
-    let report = run_tcp_smoke(2, 3, 8, 20, 500).expect("smoke swarm failed to run");
+    let report = run_tcp_smoke_with(2, 3, 8, 20, 500, &TcpSmokeOpts::default())
+        .expect("smoke swarm failed to run");
+    let events = swarm_obs::drain_all();
+    swarm_obs::set_enabled(false);
+
     assert_eq!(
         report.completions, 3,
         "every leecher must finish; report: {report:?}"
@@ -24,4 +39,22 @@ fn two_seeds_three_leechers_complete_over_loopback_tcp() {
     assert_eq!(report.census, (2, 0), "tracker census: {report:?}");
     let slowest = report.slowest_completion_tick.expect("all completed");
     assert!(slowest <= 500, "completion within the tick budget");
+
+    // Wire-level conservation invariants over real sockets.
+    let runs = swarm_trace::collect_net_runs(&events);
+    assert!(!runs.is_empty(), "lifecycle telemetry reached the sink");
+    for trace in &runs {
+        assert!(
+            trace.violations.is_empty(),
+            "run {}: {:#?}",
+            trace.run,
+            trace.violations
+        );
+    }
+    let total: u64 = runs.iter().map(|t| t.completions()).sum();
+    assert!(total >= 3 * 8, "one xfer.done per piece per leecher");
+    assert!(
+        runs.iter().any(|t| !t.health.is_empty()),
+        "TCP host emitted periodic health snapshots"
+    );
 }

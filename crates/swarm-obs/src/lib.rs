@@ -7,6 +7,12 @@
 //! * [`metrics`] — a process-wide registry of atomic [`Counter`]s,
 //!   [`Gauge`]s and lock-free power-of-two-bucket [`Histogram`]s, with
 //!   serializable [`Snapshot`]s and snapshot deltas.
+//! * [`labels`] — labelled metric families (`net.conn.bytes_in{2->5}`)
+//!   over an interned-label registry, so per-entity metrics cost no
+//!   string formatting on the hot path.
+//! * [`lifecycle`] — typed wire-lifecycle events ([`ConnEvent`],
+//!   [`ReqEvent`], [`XferEvent`]): the shared emit/parse schema between
+//!   `swarm-net`'s probes and `swarm-trace`'s net analyzer.
 //! * [`span`] — RAII span timers with nesting (parent/child ids) that
 //!   feed both a `span.<name>` histogram and the event sink.
 //! * [`sink`] — a structured-event flight recorder: a bounded in-memory
@@ -32,11 +38,21 @@
 //! work, filtered by [`log_level`] (initialized from `SWARM_LOG`, one
 //! of `error|warn|info|debug`, default `info`).
 
+pub mod labels;
+pub mod lifecycle;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use labels::{
+    counter_family, family_metric_name, gauge_family, histogram_family, label,
+    split_family_metric, CounterFamily, Family, GaugeFamily, HistogramFamily, Label,
+};
+pub use lifecycle::{
+    ConnEvent, ConnPhase, Dir, ReqEvent, ReqPhase, XferEvent, XferPhase, CONN_KIND, REQ_KIND,
+    XFER_KIND,
+};
 pub use metrics::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, Snapshot,
 };

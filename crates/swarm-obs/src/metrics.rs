@@ -300,7 +300,16 @@ impl HistogramSnapshot {
         // Nearest-rank position within the bucket, placed at the
         // midpoint of its 1/in_bucket slice of the value range.
         let frac = (rank.saturating_sub(cum_before) as f64 + 0.5) / in_bucket as f64;
-        let est = lo as f64 + frac * (hi - lo) as f64;
+        let mut est = lo as f64 + frac * (hi - lo) as f64;
+        if in_bucket == self.count {
+            // Every observation sits in this one bucket, so the global
+            // mean is an exact within-bucket statistic. Re-center the
+            // uniform fan on it: the median lands on the true mean
+            // instead of the bucket midpoint (exact when all values are
+            // equal — the common case for latency counters that only
+            // ever saw one value), while the tails keep their spread.
+            est += self.mean() - (lo as f64 + hi as f64) / 2.0;
+        }
         Some((est.round() as u64).clamp(lo, hi))
     }
 
@@ -310,6 +319,14 @@ impl HistogramSnapshot {
             .iter()
             .rposition(|&b| b > 0)
             .map(|i| Self::bucket_bounds(i).1)
+    }
+
+    /// Lower bound of the lowest non-empty bucket (coarse min).
+    pub fn min_bound(&self) -> Option<u64> {
+        self.buckets
+            .iter()
+            .position(|&b| b > 0)
+            .map(|i| Self::bucket_bounds(i).0)
     }
 }
 
@@ -451,7 +468,39 @@ mod tests {
         let (lo, hi) = h.quantile_bounds(1.0).unwrap();
         assert!(lo <= 100 && 100 <= hi);
         assert_eq!(h.max_bound(), Some(127));
+        assert_eq!(h.min_bound(), Some(1));
         assert!((h.mean() - 50.5).abs() < 1e-9);
         assert!(HistogramSnapshot::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn single_bucket_median_recenters_on_the_mean() {
+        // All observations equal: the fan is re-centered on the global
+        // mean, so the median is exact instead of the bucket midpoint.
+        let mut h = HistogramSnapshot::new();
+        for _ in 0..5 {
+            h.record(100);
+        }
+        assert_eq!(h.quantile(0.5), Some(100));
+        let mut prev = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!((64..=127).contains(&est), "q={q} est={est} out of bucket");
+            assert!(est >= prev, "quantiles must be monotone in q");
+            prev = est;
+        }
+        // A lone observation is recovered exactly too.
+        let mut h = HistogramSnapshot::new();
+        h.record(100);
+        assert_eq!(h.quantile(0.5), Some(100));
+        // Spread within one bucket: estimates stay clamped to the
+        // bucket's bounds, which min/max report directly.
+        let mut h = HistogramSnapshot::new();
+        h.record(70);
+        h.record(120);
+        assert_eq!(h.min_bound(), Some(64));
+        assert_eq!(h.max_bound(), Some(127));
+        let med = h.quantile(0.5).unwrap();
+        assert!((64..=127).contains(&med));
     }
 }

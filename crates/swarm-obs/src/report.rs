@@ -120,11 +120,11 @@ pub fn render_report(delta: &Snapshot) -> String {
         if !out.is_empty() {
             out.push('\n');
         }
-        out.push_str("histogram quantiles (bucket upper bounds)\n");
+        out.push_str("histogram quantiles (within-bucket estimates; min/max are bucket bounds)\n");
         let _ = writeln!(
             out,
-            "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
-            "histogram", "count", "p50", "p90", "p99", "max"
+            "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "min", "p50", "p90", "p99", "p99.9", "max"
         );
         for (name, h) in &hists {
             let q = |p: f64| h.quantile(p).unwrap_or(0);
@@ -137,12 +137,14 @@ pub fn render_report(delta: &Snapshot) -> String {
             };
             let _ = writeln!(
                 out,
-                "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 name,
                 fmt_count(h.count),
+                f(h.min_bound().unwrap_or(0)),
                 f(q(0.50)),
                 f(q(0.90)),
                 f(q(0.99)),
+                f(q(0.999)),
                 f(h.max_bound().unwrap_or(0)),
             );
         }

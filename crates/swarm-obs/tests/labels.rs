@@ -1,0 +1,106 @@
+//! Labelled-family guarantees: concurrent increments across interned
+//! labels merge exactly, and label interning round-trips through both
+//! the member-name format and the JSONL sink.
+
+use proptest::prelude::*;
+use swarm_obs::{
+    counter_family, family_metric_name, label, split_family_metric, val, ConnEvent, ConnPhase,
+    Dir,
+};
+
+#[test]
+fn parallel_increments_across_interned_labels_merge_exactly() {
+    swarm_obs::set_enabled(true);
+    const THREADS: usize = 8;
+    const LABELS: usize = 5;
+    const REPS: u64 = 2_000;
+    let fam = counter_family("test.labels.parallel");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                // Each thread resolves its own handles — interning and
+                // slot creation race on purpose.
+                let fam = counter_family("test.labels.parallel");
+                for i in 0..REPS {
+                    let l = label(&format!("conn-{}", (t as u64 + i) % LABELS as u64));
+                    fam.with(l).inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let snap = swarm_obs::snapshot();
+    let per_label = (THREADS as u64 * REPS) / LABELS as u64;
+    for i in 0..LABELS {
+        let name = family_metric_name("test.labels.parallel", &format!("conn-{i}"));
+        assert_eq!(snap.counter(&name), per_label, "{name}");
+    }
+    assert_eq!(
+        fam.with_name("conn-0") as *const _,
+        counter_family("test.labels.parallel").with(label("conn-0")) as *const _,
+        "same (family, label) resolves to the same member"
+    );
+}
+
+#[test]
+fn typed_lifecycle_events_round_trip_the_sink() {
+    swarm_obs::set_enabled(true);
+    let _scope = swarm_obs::job_scope("labels-lifecycle-rt");
+    let ev = ConnEvent {
+        run: 3,
+        tick: 17,
+        local: 2,
+        remote: 5,
+        phase: ConnPhase::Snub,
+        dir: Some(Dir::Rx),
+        piece: Some(9),
+    };
+    ev.emit();
+    let drained = swarm_obs::drain_job("labels-lifecycle-rt");
+    let jsonl = swarm_obs::to_jsonl(&drained);
+    let parsed = swarm_obs::parse_jsonl(&jsonl).expect("jsonl parses");
+    let back: Vec<ConnEvent> = parsed.iter().filter_map(ConnEvent::from_event).collect();
+    assert_eq!(back, vec![ev]);
+}
+
+proptest! {
+    /// Any printable-ASCII label (braces and arrows included) survives
+    /// interning, member-name formatting, a trip through the JSONL
+    /// sink, and re-interning — ending at the same `Label` id.
+    #[test]
+    fn label_interning_round_trips_through_the_jsonl_sink(
+        bytes in prop::collection::vec(32u8..127, 0..16),
+        seq in 0u64..u64::MAX,
+    ) {
+        swarm_obs::set_enabled(true);
+        let text: String = bytes.iter().map(|&b| b as char).collect();
+        let l = label(&text);
+        prop_assert_eq!(l.as_str(), text.as_str());
+
+        // Member-name format/parse round-trip.
+        let member = family_metric_name("test.labels.rt", l.as_str());
+        let (fam, lab) = split_family_metric(&member).expect("member shape");
+        prop_assert_eq!(fam, "test.labels.rt");
+        prop_assert_eq!(lab, text.as_str());
+
+        // JSONL round-trip: the member name rides an event field.
+        let job = format!("labels-rt-{seq}");
+        {
+            let _scope = swarm_obs::job_scope(job.clone());
+            swarm_obs::emit("test.label", &[("metric", val(&member))]);
+        }
+        let drained = swarm_obs::drain_job(&job);
+        let parsed = swarm_obs::parse_jsonl(&swarm_obs::to_jsonl(&drained))
+            .expect("jsonl parses");
+        let got = parsed
+            .iter()
+            .find(|e| e.kind == "test.label")
+            .and_then(|e| e.fields.iter().find(|(k, _)| k == "metric").cloned())
+            .and_then(|(_, v)| v.as_str().map(str::to_string))
+            .expect("metric field survives");
+        let (_, lab) = split_family_metric(&got).expect("member shape after sink");
+        prop_assert_eq!(label(lab), l, "re-interning lands on the same id");
+    }
+}

@@ -1,12 +1,14 @@
-//! The `repro trace` / `repro diff` entry points.
+//! The `repro trace` / `repro diff` / `repro net-report` entry points.
 //!
 //! Kept in the library (not the `repro` binary) so the argument
 //! parsing and rendering are testable without spawning a process.
-//! Both return a process exit code: 0 success, 1 regression found
-//! (`diff` only), 2 usage or I/O error.
+//! All return a process exit code: 0 success, 1 regression or
+//! invariant violation found (`diff` / `net-report`), 2 usage or I/O
+//! error.
 
 use crate::diff::{self, Baseline, Thresholds};
 use crate::flame;
+use crate::net;
 use crate::timeline;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -41,6 +43,24 @@ any relative delta exceeds its threshold, 2 on usage or I/O errors.
   --sim-vs-live      within ONE run, require bt.<stem> == net.<stem>
                      exactly for the comparable counter stems (the
                      sim-vs-live equivalence gate)
+";
+
+const NET_REPORT_USAGE: &str = "\
+usage: repro net-report <TELEMETRY_DIR> [--swimlane PATH] [--folded PATH]
+
+Reconstruct per-connection message timelines from the live engine's
+lifecycle telemetry (`net.conn`/`net.req`/`net.xfer`, both endpoints
+merged), check the wire-level conservation invariants, and print a
+swarm health report: per-connection traffic and request->piece latency
+quantiles, TCP health snapshots and stall-watchdog firings.
+
+Exits 0 when every invariant holds, 1 on any violation, 2 on usage or
+I/O errors or when the run carried no net telemetry at all.
+
+  --swimlane PATH  where to write the per-connection swimlanes
+                   (default <TELEMETRY_DIR>/net_swimlane.txt)
+  --folded PATH    where to write collapsed message-count stacks
+                   (default <TELEMETRY_DIR>/net_stacks.folded)
 ";
 
 /// `repro trace` — see [`TRACE_USAGE`].
@@ -132,12 +152,165 @@ pub fn trace_main(args: &[String]) -> i32 {
             out.display()
         );
     }
+    if all_events.iter().any(|e| e.kind.starts_with("net.")) {
+        println!("\nnote: run `repro net-report` for the wire-level connection report");
+    } else {
+        println!("\nnote: no net telemetry in this run (live engine events absent)");
+    }
     println!(
-        "\n{} telemetry file(s), {} run(s) model-checked",
+        "{} telemetry file(s), {} run(s) model-checked",
         files.len(),
         checked
     );
     0
+}
+
+/// `repro net-report` — see [`NET_REPORT_USAGE`].
+pub fn net_report_main(args: &[String]) -> i32 {
+    let mut dir: Option<PathBuf> = None;
+    let mut swimlane_path: Option<PathBuf> = None;
+    let mut folded_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--swimlane" => match it.next() {
+                Some(p) => swimlane_path = Some(PathBuf::from(p)),
+                None => return usage(NET_REPORT_USAGE, "--swimlane needs a path"),
+            },
+            "--folded" => match it.next() {
+                Some(p) => folded_path = Some(PathBuf::from(p)),
+                None => return usage(NET_REPORT_USAGE, "--folded needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{NET_REPORT_USAGE}");
+                return 0;
+            }
+            _ if dir.is_none() && !arg.starts_with('-') => dir = Some(PathBuf::from(arg)),
+            _ => return usage(NET_REPORT_USAGE, &format!("unexpected argument {arg}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage(NET_REPORT_USAGE, "missing telemetry directory");
+    };
+
+    let files = telemetry_files(&dir);
+    if files.is_empty() {
+        eprintln!("error: no telemetry.jsonl under {}", dir.display());
+        return 2;
+    }
+    let mut events = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("{}: {e}", file.display())),
+        };
+        match swarm_obs::parse_jsonl_with_header(&text) {
+            Ok((_, parsed)) => events.extend(parsed),
+            Err(e) => return fail(&format!("{}: {e}", file.display())),
+        }
+    }
+
+    let runs = net::collect_net_runs(&events);
+    if runs.is_empty() {
+        eprintln!(
+            "error: no net telemetry in this run ({} file(s) held no \
+             net.conn/net.req/net.xfer events)",
+            files.len()
+        );
+        return 2;
+    }
+
+    let mut swimlanes = String::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut violations = 0usize;
+    for trace in &runs {
+        print_net_run(trace);
+        violations += trace.violations.len();
+        swimlanes.push_str(&trace.swimlane());
+        for line in trace.collapsed() {
+            *folded.entry(line.stack).or_insert(0) += line.self_us;
+        }
+    }
+
+    let lane_out = swimlane_path.unwrap_or_else(|| dir.join("net_swimlane.txt"));
+    if let Err(e) = std::fs::write(&lane_out, &swimlanes) {
+        return fail(&format!("writing {}: {e}", lane_out.display()));
+    }
+    let folded_lines: Vec<flame::FlameLine> = folded
+        .into_iter()
+        .map(|(stack, n)| flame::FlameLine { stack, self_us: n })
+        .collect();
+    let folded_out = folded_path.unwrap_or_else(|| dir.join("net_stacks.folded"));
+    if let Err(e) = std::fs::write(&folded_out, flame::to_folded(&folded_lines)) {
+        return fail(&format!("writing {}: {e}", folded_out.display()));
+    }
+    println!(
+        "\nswimlanes -> {}\nmessage stacks ({}) -> {}",
+        lane_out.display(),
+        folded_lines.len(),
+        folded_out.display()
+    );
+    if violations > 0 {
+        eprintln!("error: {violations} conservation-invariant violation(s)");
+        return 1;
+    }
+    println!("all conservation invariants hold ({} run(s))", runs.len());
+    0
+}
+
+fn print_net_run(trace: &net::NetRunTrace) {
+    println!(
+        "run {:>3}: {} connection(s), {} completion(s), {} stall(s), {} violation(s)",
+        trace.run,
+        trace.conns.len(),
+        trace.completions(),
+        trace.stalls.len(),
+        trace.violations.len()
+    );
+    println!(
+        "  {:<12} {:>6} {:>7} {:>6} {:>6} {:>6}  latency(ticks)",
+        "conn", "reqs", "serves", "dones", "p50", "p90"
+    );
+    for ((a, b), conn) in &trace.conns {
+        let q = |p: f64| {
+            conn.latency_quantile(p)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "  {:<12} {:>6} {:>7} {:>6} {:>6} {:>6}",
+            format!("{a}<->{b}"),
+            conn.requests,
+            conn.serves,
+            conn.dones,
+            q(0.5),
+            q(0.9)
+        );
+    }
+    // Last health snapshot per peer — the swarm's closing state.
+    let mut last: BTreeMap<u64, &net::HealthSample> = BTreeMap::new();
+    for h in &trace.health {
+        last.insert(h.peer, h);
+    }
+    for (peer, h) in last {
+        println!(
+            "  health peer {peer}: {} piece(s), {:.0} kB, {} neighbor(s), {}{}",
+            h.pieces,
+            h.bytes_kb,
+            h.neighbors,
+            if h.online { "online" } else { "offline" },
+            if h.stalled { ", STALLED" } else { "" }
+        );
+    }
+    for s in &trace.stalls {
+        println!(
+            "  stall: peer {} at tick {} ({} tick(s) without progress)",
+            s.peer, s.tick, s.since
+        );
+    }
+    for v in &trace.violations {
+        println!("  INVARIANT VIOLATION: {v}");
+    }
 }
 
 fn print_run(trace: &timeline::BtRunTrace, width: usize) {
@@ -251,6 +424,13 @@ pub fn diff_main(args: &[String]) -> i32 {
         };
         let report = diff::sim_vs_live(&current);
         print!("{}", report.render(true));
+        if !report.missing.is_empty() {
+            eprintln!(
+                "error: --sim-vs-live: missing metric(s): {} — one engine did not \
+                 run, or its telemetry was not recorded",
+                report.missing.join(", ")
+            );
+        }
         return i32::from(!report.ok());
     }
 

@@ -17,7 +17,13 @@
 //!   `metrics.json` (or a run against a committed baseline) under
 //!   per-metric relative-delta thresholds; the regression gate behind
 //!   `repro diff` and the `trace-regression` CI job.
-//! * [`cli`] — the `repro trace` / `repro diff` entry points.
+//! * [`net`] — reconstructs per-connection message timelines from the
+//!   live engine's `net.conn`/`net.req`/`net.xfer` lifecycle events
+//!   (both endpoints merged), checks the wire-level conservation
+//!   invariants, and renders swimlanes plus collapsed message stacks;
+//!   the analysis behind `repro net-report` and the net-live CI gate.
+//! * [`cli`] — the `repro trace` / `repro diff` / `repro net-report`
+//!   entry points.
 //!
 //! Everything here is read-only over artifacts on disk: the analysis
 //! runs in a different process (often on a different machine) than the
@@ -27,8 +33,10 @@
 pub mod cli;
 pub mod diff;
 pub mod flame;
+pub mod net;
 pub mod timeline;
 
 pub use diff::{Baseline, DiffReport, Thresholds};
 pub use flame::collapse_spans;
+pub use net::{collect_net_runs, ConnRecord, HealthSample, NetRunTrace, StallSample};
 pub use timeline::{collect_runs, BtRunTrace, ModelCheck};

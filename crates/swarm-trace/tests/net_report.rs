@@ -1,0 +1,109 @@
+//! `repro net-report` end to end: telemetry dir in, exit code and
+//! artifacts out. Exercises the three exit paths — clean (0),
+//! invariant violation (1), no net telemetry (2).
+
+use serde_json::Value;
+use swarm_obs::{to_jsonl, val, Event};
+use swarm_trace::cli::net_report_main;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("net-report-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ev(seq: u64, kind: &str, fields: &[(&str, Value)]) -> Event {
+    Event {
+        seq,
+        ts_us: seq,
+        kind: kind.to_string(),
+        job: None,
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    }
+}
+
+fn lifecycle(
+    seq: u64,
+    kind: &str,
+    tick: u64,
+    local: u64,
+    remote: u64,
+    phase: &str,
+    piece: Option<u64>,
+) -> Event {
+    let mut fields = vec![
+        ("run", val(0u64)),
+        ("tick", val(tick)),
+        ("local", val(local)),
+        ("remote", val(remote)),
+        ("phase", val(phase)),
+    ];
+    if let Some(p) = piece {
+        fields.push(("piece", val(p)));
+    }
+    ev(seq, kind, &fields)
+}
+
+fn write_telemetry(dir: &std::path::Path, events: &[Event]) {
+    std::fs::write(dir.join("telemetry.jsonl"), to_jsonl(events)).unwrap();
+}
+
+fn args(dir: &std::path::Path) -> Vec<String> {
+    vec![dir.to_string_lossy().into_owned()]
+}
+
+#[test]
+fn clean_run_exits_zero_and_writes_artifacts() {
+    let dir = temp_dir("clean");
+    write_telemetry(
+        &dir,
+        &[
+            lifecycle(1, "net.conn", 1, 3, 1, "handshake", None),
+            lifecycle(2, "net.conn", 1, 1, 3, "handshake", None),
+            lifecycle(3, "net.req", 2, 3, 1, "tx", Some(0)),
+            lifecycle(4, "net.xfer", 3, 1, 3, "serve", Some(0)),
+            lifecycle(5, "net.xfer", 5, 3, 1, "done", Some(0)),
+        ],
+    );
+    assert_eq!(net_report_main(&args(&dir)), 0);
+    assert!(dir.join("net_swimlane.txt").is_file());
+    assert!(dir.join("net_stacks.folded").is_file());
+    let folded = std::fs::read_to_string(dir.join("net_stacks.folded")).unwrap();
+    assert!(folded.contains("net;conn 1-3;xfer.done 1"), "{folded}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invariant_violation_exits_one() {
+    let dir = temp_dir("violation");
+    // A completion nobody served.
+    write_telemetry(
+        &dir,
+        &[
+            lifecycle(1, "net.conn", 1, 3, 1, "handshake", None),
+            lifecycle(2, "net.conn", 1, 1, 3, "handshake", None),
+            lifecycle(3, "net.xfer", 5, 3, 1, "done", Some(0)),
+        ],
+    );
+    assert_eq!(net_report_main(&args(&dir)), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_without_net_telemetry_exits_two() {
+    let dir = temp_dir("no-net");
+    // Simulator-only telemetry: nothing for the net analyzer.
+    write_telemetry(&dir, &[ev(1, "bt.run.start", &[("run", val(0u64))])]);
+    assert_eq!(net_report_main(&args(&dir)), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(net_report_main(&["--nope".to_string()]), 2);
+    assert_eq!(net_report_main(&[]), 2);
+}
