@@ -26,8 +26,10 @@
 //!
 //! `--telemetry DIR` additionally enables `swarm-obs` recording and
 //! writes each thread count's registry delta to `DIR/t<n>/metrics.json`
-//! so `repro diff DIR/t1 DIR/t<n>` can re-verify counter invariance
-//! offline (the CI job does exactly that).
+//! plus its weekly window series to `DIR/t<n>/timeseries.jsonl`, so
+//! `repro diff DIR/t1 DIR/t<n>` (and `repro diff --timeseries ...`) can
+//! re-verify counter and trend invariance offline (the CI job does
+//! exactly that).
 
 use serde::Serialize;
 use std::process::ExitCode;
@@ -172,6 +174,23 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("error: write {}: {e}", path.display());
                 return ExitCode::from(2);
+            }
+            // The sharded run merged its weekly recorder windows into
+            // the global "catalog" series; take (and thereby reset) it
+            // per thread count so `repro diff --timeseries DIR/t1
+            // DIR/t<n>` can re-verify shard invariance on the windowed
+            // series too. Reps accumulate additively and every thread
+            // count runs the same reps, so the files stay comparable.
+            if let Some(rec) = swarm_obs::take_series("catalog") {
+                let series: std::collections::BTreeMap<_, _> =
+                    [("catalog".to_string(), rec)].into_iter().collect();
+                let mut body = swarm_obs::header_line();
+                body.push_str(&swarm_obs::series_to_jsonl(&series));
+                let path = tdir.join("timeseries.jsonl");
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("error: write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
             }
         }
 

@@ -27,17 +27,22 @@
 //! progress logging without touching the machine-readable output.
 //!
 //! Three offline subcommands analyze what a telemetry run wrote
-//! (implemented in `swarm-trace`):
+//! (implemented in `swarm-trace`), and one online subcommand polls a
+//! live run:
 //!
 //! ```text
 //! repro trace <TELEMETRY_DIR>      # availability timelines, busy
 //!                                  # periods vs the closed-form model,
 //!                                  # collapsed-stack profile
+//! repro trace DIR --timeseries     # ... plus the windowed trend report
 //! repro diff A B                   # regression-gate two runs' metrics
 //! repro diff --baseline F RUN      # ... or a run against a baseline
+//! repro diff --timeseries A B      # trend-gate two runs' window series
 //! repro net-report <TELEMETRY_DIR> # wire-level connection timelines,
 //!                                  # conservation invariants, swarm
 //!                                  # health report (live engine runs)
+//! repro watch HOST:PORT            # poll a live /metrics exposition
+//!                                  # (the TCP host's side port)
 //! ```
 
 use std::path::PathBuf;
@@ -49,10 +54,11 @@ use swarm_obs::{log_error, Level};
 const USAGE: &str = "usage: repro <list|all|EXPERIMENT...> \
 [--quick] [--jobs N] [--force] [--no-cache] [--out DIR] [--dry-run] \
 [--quiet] [--telemetry[=DIR]]
-       repro trace <TELEMETRY_DIR> [--flame PATH] [--width N]
-       repro diff <A> <B> [--max-rel R] [--metric NAME=R]
-       repro diff --baseline FILE <RUN> [--write-baseline]
-       repro net-report <TELEMETRY_DIR> [--swimlane PATH] [--folded PATH]";
+       repro trace <TELEMETRY_DIR> [--flame PATH] [--width N] [--timeseries]
+       repro diff <A> <B> [--max-rel R] [--metric NAME=R] [--timeseries]
+       repro diff --baseline FILE <RUN> [--write-baseline] [--timeseries]
+       repro net-report <TELEMETRY_DIR> [--swimlane PATH] [--folded PATH]
+       repro watch <HOST:PORT> [--interval-ms MS] [--iters N]";
 
 struct Args {
     ids: Vec<String>,
@@ -159,6 +165,7 @@ fn main() -> ExitCode {
         Some("net-report") => {
             return ExitCode::from(swarm_trace::cli::net_report_main(&raw[1..]) as u8)
         }
+        Some("watch") => return ExitCode::from(swarm_net::watch_main(&raw[1..]) as u8),
         _ => {}
     }
     let wants_help = raw.iter().any(|a| a == "help" || a == "--help");

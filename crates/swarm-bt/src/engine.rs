@@ -60,6 +60,17 @@ const TICK_SAMPLE: u64 = 16;
 /// `swarm-trace`. An event costs ~1 µs (ring lock + field clones), so a
 /// 64-tick stride keeps the emission overhead well under 0.1%.
 const TICK_EVENT_SAMPLE: u64 = 64;
+/// Time-series window width in virtual ticks: the engine flushes one
+/// `swarm_obs::timeseries` window per this many ticks (aligned with
+/// `TICK_EVENT_SAMPLE` so the sparse event stream and the windowed
+/// series share boundaries). Fast-forwarded spans flush the same
+/// windows analytically, so elided and dense runs produce identical
+/// series.
+const TS_WINDOW: u64 = 64;
+/// In-memory window bound for the engine's recorder; beyond
+/// `TS_CAPACITY * TS_WINDOW` ticks the series downsamples by powers of
+/// two instead of growing.
+const TS_CAPACITY: usize = 512;
 
 /// Process-wide engine-run ordinal. Telemetry events from concurrent
 /// replications interleave in the flight recorder; tagging every
@@ -116,6 +127,122 @@ impl BtProbes {
             unchoke_pairs: swarm_obs::gauge("bt.unchoke.pairs"),
             tick_ns: swarm_obs::histogram("bt.tick_ns"),
         })
+    }
+}
+
+/// Window-boundary accumulator feeding the `"bt"` time series: counter
+/// deltas gather in plain fields and flush into the recorder once per
+/// [`TS_WINDOW`] ticks, so the per-tick cost is a few integer adds.
+/// Allocated *iff* probes are (the availability latch it reads is
+/// probes-maintained). Everything recorded here is virtual-tick-keyed
+/// and deterministic: the dense-vs-fast-forward test diffs the series
+/// byte for byte.
+struct TsAcc {
+    rec: swarm_obs::Recorder,
+    /// First tick of the *next* window (current window is
+    /// `[next_boundary - TS_WINDOW, next_boundary)`).
+    next_boundary: u64,
+    win_ticks: u64,
+    win_arrivals: u64,
+    win_completions: u64,
+    win_available: u64,
+    win_blocked: u64,
+    win_bytes: u64,
+}
+
+impl TsAcc {
+    fn new() -> TsAcc {
+        TsAcc {
+            rec: swarm_obs::Recorder::with_capacity(TS_WINDOW, TS_CAPACITY),
+            next_boundary: TS_WINDOW,
+            win_ticks: 0,
+            win_arrivals: 0,
+            win_completions: 0,
+            win_available: 0,
+            win_blocked: 0,
+            win_bytes: 0,
+        }
+    }
+
+    /// Flush the current window into the recorder (skipped when no tick
+    /// landed in it) and advance to the next one. Zero-valued counters
+    /// are dropped by the recorder itself, so a fully idle window
+    /// serializes as an explicit flat record.
+    fn flush_window(&mut self) {
+        if self.win_ticks > 0 {
+            let start = self.next_boundary - TS_WINDOW;
+            self.rec.add_batch(
+                start,
+                &[
+                    ("ticks", self.win_ticks),
+                    ("arrivals", self.win_arrivals),
+                    ("completions", self.win_completions),
+                    ("available_ticks", self.win_available),
+                    ("blocked_ticks", self.win_blocked),
+                    ("bytes_moved", self.win_bytes),
+                ],
+            );
+            self.win_ticks = 0;
+            self.win_arrivals = 0;
+            self.win_completions = 0;
+            self.win_available = 0;
+            self.win_blocked = 0;
+            self.win_bytes = 0;
+        }
+        self.next_boundary += TS_WINDOW;
+    }
+
+    /// Replay an elided quiescent span `[from, to)`: the per-tick
+    /// accounting is constant across the span, so each window gets its
+    /// share analytically. Partial windows at either edge go through the
+    /// accumulators (merging with dense ticks sharing the window); the
+    /// whole windows between them fold straight into the recorder via
+    /// [`swarm_obs::Recorder::add_span`] — one map walk per slot instead
+    /// of one flush per window, with byte-identical output. Gaps never
+    /// straddle the horizon, so the availability credit is
+    /// all-or-nothing (mirrors `fast_forward`'s own credit).
+    fn fast_forward(&mut self, from: u64, to: u64, blocked: u64, credit_available: bool) {
+        let mut t = from;
+        if t < to {
+            // Leading partial window (or the first whole one when `t`
+            // sits on a boundary).
+            let bound = self.next_boundary.min(to);
+            let span = bound - t;
+            self.win_ticks += span;
+            self.win_blocked += blocked * span;
+            if credit_available {
+                self.win_available += span;
+            }
+            t = bound;
+            if t == self.next_boundary {
+                self.flush_window();
+            }
+        }
+        let bulk_end = to / TS_WINDOW * TS_WINDOW;
+        if t < bulk_end {
+            debug_assert_eq!(t % TS_WINDOW, 0);
+            self.rec.add_span(
+                t,
+                bulk_end,
+                &[
+                    ("ticks", 1),
+                    ("available_ticks", credit_available as u64),
+                    ("blocked_ticks", blocked),
+                ],
+            );
+            self.next_boundary = bulk_end + TS_WINDOW;
+            t = bulk_end;
+        }
+        if t < to {
+            // Trailing partial window stays in the accumulators until a
+            // later tick crosses its boundary.
+            let span = to - t;
+            self.win_ticks += span;
+            self.win_blocked += blocked * span;
+            if credit_available {
+                self.win_available += span;
+            }
+        }
     }
 }
 
@@ -363,6 +490,9 @@ struct BtEngine<'c> {
     // --- observability (see `BtProbes`) ---------------------------------
     /// Cached metric handles; `None` while recording is disabled.
     probes: Option<BtProbes>,
+    /// Window accumulator for the `"bt"` time series; lives exactly as
+    /// long as `probes` does.
+    ts: Option<TsAcc>,
     /// This run's ordinal from [`RUN_SEQ`] (0 while recording is off),
     /// attached to every engine-scoped sink event.
     run_ord: u64,
@@ -518,6 +648,7 @@ impl<'c> BtEngine<'c> {
             score: Vec::new(),
             score_stamp: Vec::new(),
             score_gen: 0,
+            ts: (probes.is_some() && swarm_obs::series_active()).then(TsAcc::new),
             probes,
             run_ord,
             online_nonpub: 0,
@@ -594,7 +725,7 @@ impl<'c> BtEngine<'c> {
     /// Publish the per-tick gauges/counters. A no-op (one branch) while
     /// recording is disabled.
     #[inline]
-    fn record_tick_metrics(&self, tick: u64, t0: Option<std::time::Instant>) {
+    fn record_tick_metrics(&mut self, tick: u64, t0: Option<std::time::Instant>) {
         let Some(p) = &self.probes else { return };
         p.ticks.inc();
         p.bytes.add(self.tick_bytes.round() as u64);
@@ -611,6 +742,19 @@ impl<'c> BtEngine<'c> {
         p.blocked_ticks.add(blocked as u64);
         if let Some(t0) = t0 {
             p.tick_ns.record_duration(t0.elapsed());
+        }
+        // Windowed time series: same quantities as the probes, but
+        // bucketed at TS_WINDOW boundaries instead of run-total.
+        if let Some(ts) = &mut self.ts {
+            ts.win_ticks += 1;
+            ts.win_bytes += self.tick_bytes.round() as u64;
+            ts.win_blocked += blocked as u64;
+            if self.last_available == Some(true) && tick < self.cfg.horizon {
+                ts.win_available += 1;
+            }
+            if tick + 1 == ts.next_boundary {
+                ts.flush_window();
+            }
         }
         // Sparse tick stream for trace analysis: gauges above are
         // last-write-wins, so timelines need periodic samples. Strided
@@ -921,6 +1065,15 @@ impl<'c> BtEngine<'c> {
             p.rechokes.add(rechokes);
             p.unchoke_pairs.set(0);
         }
+        // Replay the windowed series for the elided span: same per-tick
+        // quantities the dense loop would have accumulated (no bytes
+        // move and nobody arrives or completes in a quiescent span, so
+        // those stay zero — the skipped windows flush as explicit flat
+        // records).
+        let credit_available = available && from < self.cfg.horizon;
+        if let Some(ts) = &mut self.ts {
+            ts.fast_forward(from, to, blocked as u64, credit_available);
+        }
         // The strided tick events, with payloads identical to the ones
         // the dense loop would have emitted at the same ticks.
         let mut t = next_multiple(from, TICK_EVENT_SAMPLE);
@@ -1060,6 +1213,11 @@ impl<'c> BtEngine<'c> {
         self.online_nonpub += 1;
         if let Some(p) = &self.probes {
             p.arrivals.inc();
+        }
+        // Same semantics as the probe: every arrival counts, warmup
+        // included, so the window sums reconcile with `bt.arrivals`.
+        if let Some(ts) = &mut self.ts {
+            ts.win_arrivals += 1;
         }
         self.tracker_join(id);
     }
@@ -1522,6 +1680,9 @@ impl<'c> BtEngine<'c> {
         if let Some(p) = &self.probes {
             p.completions.inc();
         }
+        if let Some(ts) = &mut self.ts {
+            ts.win_completions += 1;
+        }
         self.result
             .completion_curve
             .push((done_at, self.completions_total));
@@ -1718,6 +1879,15 @@ impl<'c> BtEngine<'c> {
                     ),
                 ],
             );
+        }
+        // Flush the trailing partial window and fold this run's series
+        // into the process-global "bt" series (merging is additive, so
+        // concurrent replications cannot perturb the drained result).
+        if let Some(mut ts) = self.ts.take() {
+            if ts.win_ticks > 0 {
+                ts.flush_window();
+            }
+            swarm_obs::merge_series_owned("bt", ts.rec);
         }
         self.result
     }

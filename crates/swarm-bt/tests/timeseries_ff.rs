@@ -1,0 +1,89 @@
+//! Time-series equivalence of the quiescence fast-forward.
+//!
+//! The engine's `"bt"` recorder windows — tick counts, arrivals,
+//! completions, availability credit, blocked ticks, bytes — must be
+//! *byte-identical* between a dense and an elided run of the same
+//! config: fast-forward jumps emit the skipped windows as explicit
+//! flat records with the same analytic contents the dense loop would
+//! have accumulated.
+//!
+//! Own test binary: it owns the process-global `swarm-obs` state
+//! (enable switch + timeseries registry), which must not race with
+//! other tests' runs.
+
+use std::collections::BTreeMap;
+use swarm_bt::{run, BtConfig, BtPublisher};
+
+#[test]
+fn windows_match_dense() {
+    // Same idle-heavy §4.3 config the counter-equivalence test uses:
+    // off-periods, linger-expiry wakes and peer-sustained availability
+    // all in play, so elision engages across many window boundaries.
+    let cfg = BtConfig {
+        arrival_rate: 1.0 / 120.0,
+        publisher: BtPublisher::OnOff {
+            on_mean: 120.0,
+            off_mean: 900.0,
+            initially_on: true,
+        },
+        linger_mean: Some(60.0),
+        horizon: 2_400,
+        drain_ticks: 1_200,
+        ..BtConfig::paper_section_4_3(1, 97)
+    };
+    let dense_cfg = BtConfig {
+        disable_fast_forward: true,
+        ..cfg.clone()
+    };
+
+    swarm_obs::set_enabled(true);
+    // The registry is process-global: clear any leftover series first.
+    let _ = swarm_obs::take_series("bt");
+    let dense_result = serde_json::to_string(&run(&dense_cfg)).expect("serialize");
+    let dense = swarm_obs::take_series("bt").expect("dense run recorded a series");
+    let elided_result = serde_json::to_string(&run(&cfg)).expect("serialize");
+    let elided = swarm_obs::take_series("bt").expect("elided run recorded a series");
+    swarm_obs::set_enabled(false);
+
+    assert_eq!(dense_result, elided_result, "results must match");
+
+    // Byte-for-byte: same stride, same windows, same serialization.
+    assert_eq!(dense.stride(), elided.stride());
+    assert_eq!(dense.windows(), elided.windows());
+    let jsonl = |rec: &swarm_obs::Recorder| {
+        let mut series = BTreeMap::new();
+        series.insert("bt".to_string(), rec.clone());
+        swarm_obs::series_to_jsonl(&series)
+    };
+    assert_eq!(jsonl(&dense), jsonl(&elided), "serialized series diverged");
+
+    // The series must actually be windowed and time-resolved: several
+    // windows, contiguous coverage from tick 0, and the window sums
+    // must reconcile with the whole-run counters.
+    let windows = dense.windows();
+    assert!(windows.len() > 4, "expected a multi-window series");
+    assert_eq!(windows[0].start, 0);
+    for pair in windows.windows(2) {
+        assert_eq!(
+            pair[0].start + pair[0].len,
+            pair[1].start,
+            "windows must tile the tick range without gaps"
+        );
+    }
+    let sum = |key: &str| -> u64 {
+        windows
+            .iter()
+            .map(|w| w.counters.get(key).copied().unwrap_or(0))
+            .sum()
+    };
+    let result: serde_json::Value = serde_json::from_str(&dense_result).expect("round-trip");
+    // Arrivals in the series count warmup arrivals too (probe
+    // semantics), so they are >= the result's post-warmup count.
+    assert!(sum("arrivals") >= result["arrivals"].as_u64().unwrap());
+    assert!(sum("completions") >= result["completions"].as_u64().unwrap());
+    // An idle-heavy run has availability gaps: the credit must be
+    // strictly between zero and the covered tick span.
+    let avail = sum("available_ticks");
+    assert!(avail > 0, "run starts available");
+    assert!(avail < sum("ticks"), "off-periods must show up as gaps");
+}

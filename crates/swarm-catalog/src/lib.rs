@@ -38,6 +38,7 @@ pub mod study;
 
 pub use obsbatch::{ShardObs, TICK_WINDOW};
 pub use runtime::{
-    run_catalog, swarm_stream, CatalogRun, CatalogRunConfig, SwarmSummary, DEFAULT_CATALOG_SEED,
+    run_catalog, simulate_swarm_recorded, swarm_stream, CatalogRun, CatalogRunConfig, SwarmSummary,
+    DEFAULT_CATALOG_SEED, TS_WINDOW_HOURS,
 };
 pub use study::{availability_study_live, book_stats_live, friends_case_live};

@@ -23,9 +23,9 @@
 //! latency) lands under `stats.*` or carries a `_ns` suffix, both of
 //! which the deterministic gate excludes.
 
-use crate::runtime::SwarmSummary;
+use crate::runtime::{SwarmSummary, TS_WINDOW_HOURS};
 use std::time::Duration;
-use swarm_obs::{counter, histogram, HistogramSnapshot};
+use swarm_obs::{counter, histogram, HistogramSnapshot, Recorder};
 
 /// Tick-latency window length, in simulated swarms.
 pub const TICK_WINDOW: u32 = 50;
@@ -49,15 +49,21 @@ pub struct ShardObs {
     window_ns: u64,
     latency_windows: HistogramSnapshot,
     downloads: HistogramSnapshot,
+    /// Shard-local slice of the `"catalog"` time series (weekly windows
+    /// keyed by simulated hours); merged into the global series at the
+    /// shard barrier. `None` while recording is disabled.
+    ts: Option<Recorder>,
 }
 
 impl ShardObs {
     /// Fresh batch for shard `shard`. The enable switch is sampled once
     /// here so the hot path doesn't re-check it per swarm.
     pub fn new(shard: usize) -> Self {
+        let enabled = swarm_obs::enabled();
         ShardObs {
             shard,
-            enabled: swarm_obs::enabled(),
+            enabled,
+            ts: (enabled && swarm_obs::series_enabled()).then(|| Recorder::new(TS_WINDOW_HOURS)),
             swarms: 0,
             toggles: 0,
             arrivals: 0,
@@ -69,6 +75,12 @@ impl ShardObs {
             latency_windows: HistogramSnapshot::new(),
             downloads: HistogramSnapshot::new(),
         }
+    }
+
+    /// The shard's time-series recorder, for the simulation to record
+    /// into directly (`None` while recording is disabled).
+    pub fn ts_mut(&mut self) -> Option<&mut Recorder> {
+        self.ts.as_mut()
     }
 
     /// Fold one simulated swarm into the batch.
@@ -123,6 +135,11 @@ impl ShardObs {
         counter("catalog.final_on").add(self.final_on);
         histogram("catalog.swarm.downloads").merge_snapshot(&self.downloads);
         histogram("catalog.tick_latency_ns").merge_snapshot(&self.latency_windows);
+        // Per-swarm window contributions are deterministic and merging
+        // is additive, so the flushed series is shard-invariant too.
+        if let Some(ts) = self.ts.take() {
+            swarm_obs::merge_series_owned("catalog", ts);
+        }
         // Shard-count-dependent by construction: keep it out of the
         // deterministic `catalog.*` namespace.
         counter("stats.catalog.shard_flushes").inc();

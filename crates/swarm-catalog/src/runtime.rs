@@ -37,6 +37,12 @@ use swarm_stats::parallel::run_stealing;
 /// Default root seed for per-swarm streams.
 pub const DEFAULT_CATALOG_SEED: u64 = 0xCA7A_1065;
 
+/// Window width of the catalog time series, in hours of simulated time
+/// (the virtual-tick unit of this engine). One week — the same
+/// [`PARAM_REFRESH_HOURS`] discretization the walk itself advances by,
+/// so window boundaries align with parameter-refresh segments.
+pub const TS_WINDOW_HOURS: u64 = PARAM_REFRESH_HOURS as u64;
+
 /// Configuration of one catalog run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CatalogRunConfig {
@@ -172,6 +178,34 @@ fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 /// inter-arrival times at the (age-decayed) demand, and each arrival
 /// lingers as a seed with probability `altruist_rate / demand`.
 pub fn simulate_swarm(swarm: &Swarm, cfg: &CatalogRunConfig) -> SwarmSummary {
+    simulate_swarm_recorded(swarm, cfg, None)
+}
+
+/// Credit an on-dwell `[from, until)` (hours) to the recorder as
+/// integer seconds, split at [`TS_WINDOW_HOURS`] boundaries so each
+/// window carries exactly its share. Integer seconds keep the series
+/// in the exactly-summable domain the cross-shard diff gate needs.
+fn record_on_span(rec: &mut swarm_obs::Recorder, from: f64, until: f64) {
+    let w = TS_WINDOW_HOURS as f64;
+    let mut a = from;
+    while a < until {
+        let b = until.min(((a / w).floor() + 1.0) * w);
+        rec.add(a as u64, "on_seconds", ((b - a) * 3600.0).round() as u64);
+        a = b;
+    }
+}
+
+/// [`simulate_swarm`] with an optional time-series recorder: arrivals,
+/// lingering completers and seed toggles land in the window of their
+/// event hour, seed on-time is spread across the windows it covers.
+/// Every recorded quantity is derived from the swarm's own
+/// deterministic walk, so recorders merged across any shard partition
+/// produce identical windows (the shard-invariance test enforces it).
+pub fn simulate_swarm_recorded(
+    swarm: &Swarm,
+    cfg: &CatalogRunConfig,
+    mut ts: Option<&mut swarm_obs::Recorder>,
+) -> SwarmSummary {
     assert!(cfg.months >= 1, "must run for at least one month");
     let mut rng = swarm_stream(cfg.catalog_seed, swarm.id);
     let horizon = cfg.months as f64 * HOURS_PER_MONTH;
@@ -212,12 +246,20 @@ pub fn simulate_swarm(swarm: &Swarm, cfg: &CatalogRunConfig) -> SwarmSummary {
                 if t < fm_end {
                     out.first_month_on_hours += until.min(fm_end) - t;
                 }
+                if let Some(rec) = ts.as_deref_mut() {
+                    record_on_span(rec, t, until);
+                }
                 // Peers arriving while the content is fetchable.
                 let mut next = t + sample_exp(&mut rng, lambda);
                 while next < until {
                     out.arrivals += 1;
-                    if rng.gen::<f64>() < linger_p {
+                    let lingers = rng.gen::<f64>() < linger_p;
+                    if lingers {
                         out.lingered += 1;
+                    }
+                    if let Some(rec) = ts.as_deref_mut() {
+                        rec.add(next as u64, "arrivals", 1);
+                        rec.add(next as u64, "lingered", u64::from(lingers));
                     }
                     next += sample_exp(&mut rng, lambda);
                 }
@@ -227,6 +269,9 @@ pub fn simulate_swarm(swarm: &Swarm, cfg: &CatalogRunConfig) -> SwarmSummary {
             if until < seg_end {
                 on = !on;
                 out.toggles += 1;
+                if let Some(rec) = ts.as_deref_mut() {
+                    rec.add(until as u64, "toggles", 1);
+                }
             }
         }
     }
@@ -252,7 +297,7 @@ pub fn run_catalog(swarms: &[Swarm], cfg: &CatalogRunConfig) -> CatalogRun {
         ShardObs::new,
         |obs, i| {
             let tick = Instant::now();
-            let summary = simulate_swarm(&swarms[i], cfg);
+            let summary = simulate_swarm_recorded(&swarms[i], cfg, obs.ts_mut());
             obs.record_swarm(&summary, tick.elapsed());
             summary
         },

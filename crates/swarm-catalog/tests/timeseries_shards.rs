@@ -1,0 +1,68 @@
+//! Shard-invariance of the catalog time series.
+//!
+//! The `"catalog"` series is built from per-swarm recorder
+//! contributions merged at the shard barriers; since each swarm's walk
+//! is deterministic in `(catalog_seed, swarm_id)` and merging is
+//! additive, the serialized windows must be bit-identical across shard
+//! counts — 1, 2, 4 and 8 — exactly like the per-swarm summaries.
+//!
+//! Own test binary: it owns the process-global `swarm-obs` state
+//! (enable switch + timeseries registry), which must not race with
+//! other tests' runs.
+
+use std::collections::BTreeMap;
+use swarm_catalog::{run_catalog, CatalogRunConfig, TS_WINDOW_HOURS};
+use swarm_measurement::{generate_catalog, CatalogConfig};
+
+#[test]
+fn windows_are_shard_invariant() {
+    let swarms = generate_catalog(&CatalogConfig {
+        scale: 0.002,
+        seed: 23,
+    });
+    assert!(swarms.len() >= 16, "need enough swarms to shard");
+
+    swarm_obs::set_enabled(true);
+    let _ = swarm_obs::take_series("catalog");
+    let mut baseline: Option<(Vec<swarm_catalog::SwarmSummary>, String)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = CatalogRunConfig {
+            months: 3,
+            threads,
+            ..CatalogRunConfig::default()
+        };
+        let run = run_catalog(&swarms, &cfg);
+        let rec = swarm_obs::take_series("catalog").expect("run recorded a series");
+        assert_eq!(rec.window(), TS_WINDOW_HOURS);
+        assert!(!rec.is_empty(), "a 3-month catalog must produce windows");
+        let mut series = BTreeMap::new();
+        series.insert("catalog".to_string(), rec);
+        let jsonl = swarm_obs::series_to_jsonl(&series);
+        match &baseline {
+            None => {
+                // The series must be time-resolved: weekly windows with
+                // arrivals and on-time spread over the horizon.
+                let windows = series["catalog"].windows();
+                assert!(windows.len() > 4, "expected a multi-window series");
+                let arrivals: u64 = windows
+                    .iter()
+                    .filter_map(|w| w.counters.get("arrivals"))
+                    .sum();
+                let expected: u64 = run.per_swarm.iter().map(|s| s.arrivals).sum();
+                assert_eq!(arrivals, expected, "window sums must match summaries");
+                assert!(windows
+                    .iter()
+                    .any(|w| w.counters.contains_key("on_seconds")));
+                baseline = Some((run.per_swarm, jsonl));
+            }
+            Some((per_swarm, base_jsonl)) => {
+                assert_eq!(&run.per_swarm, per_swarm, "summaries must be invariant");
+                assert_eq!(
+                    &jsonl, base_jsonl,
+                    "timeseries diverged at {threads} threads"
+                );
+            }
+        }
+    }
+    swarm_obs::set_enabled(false);
+}

@@ -21,8 +21,10 @@
 //! executes inside a [`swarm_obs::job_scope`] and a `lab.job` span, its
 //! structured events are drained to `<dir>/<id>/telemetry.jsonl` next
 //! to a `metrics.json` summary, and the run finishes with a global
-//! `telemetry.jsonl`, a registry-delta `metrics.json` and a rendered
-//! `report.txt`. Progress output goes through the `swarm_obs` leveled
+//! `telemetry.jsonl`, a registry-delta `metrics.json`, a rendered
+//! `report.txt` and — when any engine recorded windowed series — a
+//! `timeseries.jsonl` drained from the process-global series registry.
+//! Progress output goes through the `swarm_obs` leveled
 //! logger (so `SWARM_LOG=warn` silences it) and shares its console
 //! lock, which keeps multi-line job text echoes from interleaving with
 //! progress lines.
@@ -374,14 +376,21 @@ fn write_job_telemetry(
     std::fs::write(job_dir.join("metrics.json"), json)
 }
 
-/// Write the run-level residual event stream, metrics delta and
-/// rendered report under `dir`.
+/// Write the run-level residual event stream, metrics delta, rendered
+/// report and (when any engine recorded one) the windowed time series
+/// under `dir`.
 fn write_run_telemetry(dir: &Path, delta: &swarm_obs::Snapshot, report: &str) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let events = swarm_obs::drain_all();
     let mut jsonl = swarm_obs::header_line();
     jsonl.push_str(&swarm_obs::to_jsonl(&events));
     std::fs::write(dir.join("telemetry.jsonl"), jsonl)?;
+    let series = swarm_obs::drain_series();
+    if !series.is_empty() {
+        let mut ts = swarm_obs::header_line();
+        ts.push_str(&swarm_obs::series_to_jsonl(&series));
+        std::fs::write(dir.join("timeseries.jsonl"), ts)?;
+    }
     let json = serde_json::to_string_pretty(delta).map_err(io::Error::other)?;
     std::fs::write(dir.join("metrics.json"), json)?;
     std::fs::write(dir.join("report.txt"), report)

@@ -1,0 +1,329 @@
+//! Minimal blocking HTTP: the live metrics exposition endpoint.
+//!
+//! The TCP host serves its telemetry as Prometheus-style text over
+//! `GET /metrics` on a 127.0.0.1 side port while the swarm runs, and
+//! `repro watch` polls it from another process. Both ends are plain
+//! `std::net` — a request here is one read until the blank line and one
+//! write of the whole response, which is all an exposition endpoint
+//! needs. No async runtime, no HTTP library, in keeping with the
+//! workspace's vendored-dependency rule.
+//!
+//! The exposition renders three layers:
+//!
+//! * every registry counter/gauge as `swarm_<name>` with a `# TYPE`
+//!   header, names sanitized to the metric charset;
+//! * every histogram as `_count`/`_sum` pairs;
+//! * the newest window of each live time series as
+//!   `swarm_ts_<series>_<counter>` gauges plus a `_window_start` marker,
+//!   so a scraper sees per-window rates without parsing JSONL.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use swarm_obs::{Snapshot, Window};
+
+/// Sanitize a metric name to the Prometheus charset
+/// (`[a-zA-Z0-9_:]`); everything else becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a registry snapshot plus the newest window of each named
+/// series as Prometheus text exposition format.
+pub fn render_exposition(snap: &Snapshot, series: &[(&str, &[Window])]) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE swarm_{n} counter\nswarm_{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE swarm_{n} gauge\nswarm_{n} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!(
+            "# TYPE swarm_{n}_count counter\nswarm_{n}_count {}\n",
+            h.count
+        ));
+        out.push_str(&format!(
+            "# TYPE swarm_{n}_sum counter\nswarm_{n}_sum {}\n",
+            h.sum
+        ));
+    }
+    for (series_name, windows) in series {
+        let Some(last) = windows.last() else {
+            continue;
+        };
+        let s = sanitize(series_name);
+        out.push_str(&format!(
+            "# TYPE swarm_ts_{s}_window_start gauge\nswarm_ts_{s}_window_start {}\n",
+            last.start
+        ));
+        out.push_str(&format!(
+            "# TYPE swarm_ts_{s}_window_len gauge\nswarm_ts_{s}_window_len {}\n",
+            last.len
+        ));
+        for (counter, value) in &last.counters {
+            let c = sanitize(counter);
+            out.push_str(&format!(
+                "# TYPE swarm_ts_{s}_{c} gauge\nswarm_ts_{s}_{c} {value}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Read one HTTP request off `stream` and return the request path, or
+/// `None` if the request never completed.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 1024];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => return None,
+            Ok(n) => {
+                buf.extend_from_slice(&scratch[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let mut parts = text.lines().next()?.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+}
+
+/// Serve `GET /metrics` on `listener` until `stop` is raised. `render`
+/// is called per request, so every scrape sees the live registry and
+/// the recorder's current windows.
+pub fn serve_metrics<F>(listener: TcpListener, stop: Arc<AtomicBool>, render: F)
+where
+    F: Fn() -> String,
+{
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking metrics listener");
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                match read_request_path(&mut stream) {
+                    Some(path) if path == "/metrics" || path == "/" => {
+                        respond(&mut stream, "200 OK", &render());
+                    }
+                    Some(_) => respond(&mut stream, "404 Not Found", "not found\n"),
+                    None => {}
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One blocking `GET` round-trip; returns the response body on 200.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            "malformed HTTP response",
+        ));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::other(format!(
+            "metrics endpoint answered: {status}"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+/// `repro watch <host:port>` — poll a live `/metrics` endpoint and
+/// print the exposition's `swarm_` samples each round. Returns a
+/// process exit code.
+pub fn watch_main(args: &[String]) -> i32 {
+    let mut target = None;
+    let mut interval_ms = 1_000u64;
+    let mut iters = 0u64; // 0 = until the endpoint goes away
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--interval-ms" => {
+                i += 1;
+                interval_ms = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("watch: --interval-ms needs a number");
+                        return 2;
+                    }
+                };
+            }
+            "--iters" => {
+                i += 1;
+                iters = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("watch: --iters needs a number");
+                        return 2;
+                    }
+                };
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!("watch: unexpected argument {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let Some(target) = target else {
+        eprintln!("usage: repro watch <host:port> [--interval-ms N] [--iters N]");
+        return 2;
+    };
+
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        match http_get(target.as_str(), "/metrics") {
+            Ok(body) => {
+                println!("--- round {round} @ {target} ---");
+                for line in body.lines().filter(|l| l.starts_with("swarm_")) {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                if round == 1 {
+                    eprintln!("watch: cannot reach {target}: {e}");
+                    return 1;
+                }
+                // A vanished endpoint after a successful round means
+                // the run finished; that is a clean exit.
+                println!("--- endpoint gone after round {} ({e}) ---", round - 1);
+                return 0;
+            }
+        }
+        if iters != 0 && round >= iters {
+            return 0;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_obs::Recorder;
+
+    fn sample_window() -> Vec<Window> {
+        let mut rec = Recorder::new(16);
+        rec.add(3, "bytes_moved", 400);
+        rec.add(5, "completions", 1);
+        rec.windows()
+    }
+
+    #[test]
+    fn exposition_renders_counters_and_series() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("net.ticks".into(), 120);
+        snap.gauges.insert("net.depth".into(), -2);
+        let windows = sample_window();
+        let text = render_exposition(&snap, &[("net.tcp", &windows)]);
+        assert!(text.contains("# TYPE swarm_net_ticks counter\nswarm_net_ticks 120\n"));
+        assert!(text.contains("swarm_net_depth -2\n"));
+        assert!(text.contains("swarm_ts_net_tcp_window_start 0\n"));
+        assert!(text.contains("swarm_ts_net_tcp_bytes_moved 400\n"));
+        assert!(text.contains("swarm_ts_net_tcp_completions 1\n"));
+        // Every sample line is `name value`, parseable exposition text.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let name = parts.next().unwrap();
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+            assert_eq!(parts.next(), None);
+        }
+    }
+
+    #[test]
+    fn empty_series_is_omitted() {
+        let snap = Snapshot::default();
+        let text = render_exposition(&snap, &[("net.tcp", &[])]);
+        assert!(!text.contains("net_tcp"));
+    }
+
+    #[test]
+    fn serve_and_fetch_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                serve_metrics(listener, stop, || {
+                    let mut snap = Snapshot::default();
+                    snap.counters.insert("net.ticks".into(), 7);
+                    let windows = sample_window();
+                    render_exposition(&snap, &[("net.tcp", &windows)])
+                })
+            })
+        };
+        let body = http_get(addr, "/metrics").expect("fetch /metrics");
+        assert!(body.contains("swarm_net_ticks 7"));
+        assert!(body.contains("swarm_ts_net_tcp_window_start"));
+        assert!(http_get(addr, "/nope").is_err(), "404 maps to an error");
+        stop.store(true, Ordering::Release);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn watch_rejects_bad_usage() {
+        assert_eq!(watch_main(&[]), 2);
+        assert_eq!(watch_main(&["--interval-ms".into()]), 2);
+    }
+}

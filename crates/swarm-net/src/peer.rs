@@ -141,14 +141,7 @@ impl NetProbes {
         }
     }
 
-    fn req(
-        &self,
-        tick: u64,
-        local: usize,
-        remote: usize,
-        piece: u32,
-        phase: ReqPhase,
-    ) -> ReqEvent {
+    fn req(&self, tick: u64, local: usize, remote: usize, piece: u32, phase: ReqPhase) -> ReqEvent {
         ReqEvent {
             run: self.run,
             tick,

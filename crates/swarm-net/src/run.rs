@@ -88,6 +88,87 @@ pub struct NetResult {
     /// values land in the process registry when telemetry is on, but
     /// tests read them here to stay independent of global state.
     pub counters: BTreeMap<String, u64>,
+    /// Tick-windowed counter deltas (the `"net"` time series), recorded
+    /// coordinator-side between rounds in id order — identical across
+    /// host modes by construction, and carried here so tests can
+    /// compare series without the global registry. Empty while
+    /// telemetry is off.
+    #[serde(default)]
+    pub timeseries: Vec<swarm_obs::Window>,
+}
+
+/// Window width of the live engine's time series, in virtual ticks.
+/// Scenarios are a few hundred ticks, so 16-tick windows give the
+/// analyzer enough resolution to see availability dips.
+pub const NET_TS_WINDOW: u64 = 16;
+
+/// Per-run window recorder plus the previous cumulative totals (the
+/// aggregator tracks run totals; the series wants per-tick deltas).
+///
+/// The hot `observe` path only does integer math on the `acc_*`
+/// fields; the recorder's string-keyed maps are touched once per
+/// window boundary (and once at finish), not once per tick.
+struct NetTs {
+    rec: swarm_obs::Recorder,
+    prev_arrivals: u64,
+    prev_completions: u64,
+    prev_transitions: u64,
+    prev_bytes: u64,
+    /// Tick of the last `observe` folded into the accumulators; names
+    /// the window the pending deltas belong to.
+    acc_tick: u64,
+    acc_ticks: u64,
+    acc_available: u64,
+    acc_arrivals: u64,
+    acc_completions: u64,
+    acc_transitions: u64,
+    acc_bytes: u64,
+}
+
+impl NetTs {
+    fn new() -> NetTs {
+        NetTs {
+            rec: swarm_obs::Recorder::new(NET_TS_WINDOW),
+            prev_arrivals: 0,
+            prev_completions: 0,
+            prev_transitions: 0,
+            prev_bytes: 0,
+            acc_tick: 0,
+            acc_ticks: 0,
+            acc_available: 0,
+            acc_arrivals: 0,
+            acc_completions: 0,
+            acc_transitions: 0,
+            acc_bytes: 0,
+        }
+    }
+
+    /// Fold the pending per-tick deltas into the recorder. Flushing is
+    /// additive, so flushing more often than the (possibly downsampled)
+    /// slot width is always correct — the boundary check in `observe`
+    /// uses the base window width for exactly that reason.
+    fn flush(&mut self) {
+        if self.acc_ticks == 0 {
+            return;
+        }
+        self.rec.add_batch(
+            self.acc_tick,
+            &[
+                ("ticks", self.acc_ticks),
+                ("available_ticks", self.acc_available),
+                ("arrivals", self.acc_arrivals),
+                ("completions", self.acc_completions),
+                ("transitions", self.acc_transitions),
+                ("bytes_moved", self.acc_bytes),
+            ],
+        );
+        self.acc_ticks = 0;
+        self.acc_available = 0;
+        self.acc_arrivals = 0;
+        self.acc_completions = 0;
+        self.acc_transitions = 0;
+        self.acc_bytes = 0;
+    }
 }
 
 /// SplitMix64 expansion, identical to swarm-catalog's stream keying.
@@ -339,6 +420,8 @@ struct Aggregator {
     publisher_was_on: bool,
     publisher_on_since: u64,
     publisher_intervals: Vec<(u64, u64)>,
+    /// `"net"` series recorder; `None` while telemetry is off.
+    ts: Option<NetTs>,
 }
 
 impl Aggregator {
@@ -361,6 +444,7 @@ impl Aggregator {
             publisher_was_on: false,
             publisher_on_since: 0,
             publisher_intervals: Vec::new(),
+            ts: swarm_obs::series_active().then(NetTs::new),
         }
     }
 
@@ -371,11 +455,16 @@ impl Aggregator {
             self.completion_seen = vec![false; leechers];
         }
         let mut union = Bitfield::new(self.num_pieces);
+        // Cumulative kB received so far (publisher included, matching
+        // `finish`'s sum); summed in id order so the per-window deltas
+        // below are host-mode-invariant floats.
+        let mut cum_bytes = 0.0f64;
         let pub_online = {
             let guard = endpoints[PUBLISHER].lock().expect("publisher poisoned");
             let Endpoint::Peer(core) = &*guard else {
                 unreachable!()
             };
+            cum_bytes += core.bytes_received;
             core.online
         };
         if pub_online && !self.publisher_was_on {
@@ -392,6 +481,7 @@ impl Aggregator {
                 unreachable!()
             };
             let slot = i - 2;
+            cum_bytes += core.bytes_received;
             if core.online {
                 union.union_with(&core.bitfield);
             }
@@ -436,6 +526,28 @@ impl Aggregator {
             self.available_ticks += 1;
             self.last_available_tick = Some(tick);
         }
+        // Windowed time series: per-tick deltas of the run totals this
+        // function maintains, all computed coordinator-side in id order
+        // — the host-mode invariance the loopback test enforces.
+        if let Some(ts) = &mut self.ts {
+            if ts.acc_ticks > 0 && tick / NET_TS_WINDOW != ts.acc_tick / NET_TS_WINDOW {
+                ts.flush();
+            }
+            ts.acc_tick = tick;
+            ts.acc_ticks += 1;
+            ts.acc_available += u64::from(available);
+            ts.acc_arrivals += self.arrivals - ts.prev_arrivals;
+            ts.acc_completions += self.completions - ts.prev_completions;
+            ts.acc_transitions += self.transitions - ts.prev_transitions;
+            // Rounded-cumulative deltas telescope: the window sums
+            // reconcile exactly with `net.bytes_moved` at finish.
+            let rounded = cum_bytes.round() as u64;
+            ts.acc_bytes += rounded.saturating_sub(ts.prev_bytes);
+            ts.prev_arrivals = self.arrivals;
+            ts.prev_completions = self.completions;
+            ts.prev_transitions = self.transitions;
+            ts.prev_bytes = rounded;
+        }
         if swarm_obs::enabled() && tick.is_multiple_of(64) {
             swarm_obs::emit(
                 "net.tick",
@@ -472,6 +584,15 @@ impl Aggregator {
                 unreachable!()
             };
             core.announces
+        };
+        let timeseries = match self.ts.take() {
+            Some(mut ts) => {
+                ts.flush();
+                let windows = ts.rec.windows();
+                swarm_obs::merge_series_owned("net", ts.rec);
+                windows
+            }
+            None => Vec::new(),
         };
         let mut counters = BTreeMap::new();
         counters.insert("net.ticks".to_string(), self.horizon);
@@ -516,6 +637,7 @@ impl Aggregator {
             messages,
             announces,
             counters,
+            timeseries,
         }
     }
 }

@@ -32,12 +32,14 @@ use crate::peer::{PeerCore, PeerParams, TRACKER};
 use crate::run::{next_net_run_ordinal, peer_stream};
 use crate::tracker::TrackerCore;
 use crate::wire::{self, Message};
+use swarm_obs::Recorder;
 
-/// Ticks between `net.health` snapshots per peer thread.
-const HEALTH_INTERVAL: u64 = 20;
-/// Ticks without download progress before an incomplete online leecher
-/// is flagged stalled.
-const STALL_TICKS: u64 = 40;
+/// Default ticks between `net.health` snapshots per peer thread, and
+/// the width of the `"net.tcp"` recorder windows.
+pub const DEFAULT_HEALTH_INTERVAL: u64 = 20;
+/// Default ticks without download progress before an incomplete online
+/// leecher is flagged stalled.
+pub const DEFAULT_STALL_TICKS: u64 = 40;
 
 /// Outcome of one TCP smoke run.
 #[derive(Debug, Clone)]
@@ -49,15 +51,44 @@ pub struct TcpSmokeReport {
     pub census: (u32, u32),
     /// Ticks the slowest leecher needed, if all completed.
     pub slowest_completion_tick: Option<u64>,
+    /// Where the live `GET /metrics` exposition was served, when
+    /// [`TcpSmokeOpts::metrics_port`] asked for one.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 /// Host-level options for [`run_tcp_smoke_with`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TcpSmokeOpts {
     /// When the run ends with leechers still incomplete and recording
     /// is on, dump the whole event sink (header + JSONL) here — the
     /// flight-recorder black box for post-mortem `repro trace`.
     pub flight_dump: Option<std::path::PathBuf>,
+    /// Ticks between `net.health` snapshots per peer thread; also the
+    /// window width of the `"net.tcp"` time series.
+    pub health_interval: u64,
+    /// Ticks without download progress before an incomplete online
+    /// leecher is flagged stalled.
+    pub stall_ticks: u64,
+    /// Serve a live Prometheus-style `GET /metrics` text exposition on
+    /// `127.0.0.1:<port>` for the duration of the run (`0` lets the OS
+    /// pick; the bound address lands in [`TcpSmokeReport::metrics_addr`]
+    /// and on [`TcpSmokeOpts::on_metrics_addr`]).
+    pub metrics_port: Option<u16>,
+    /// Receives the bound metrics address as soon as the exposition
+    /// endpoint is up, so callers can poll it *while the swarm runs*.
+    pub on_metrics_addr: Option<std::sync::mpsc::Sender<SocketAddr>>,
+}
+
+impl Default for TcpSmokeOpts {
+    fn default() -> Self {
+        TcpSmokeOpts {
+            flight_dump: None,
+            health_interval: DEFAULT_HEALTH_INTERVAL,
+            stall_ticks: DEFAULT_STALL_TICKS,
+            metrics_port: None,
+            on_metrics_addr: None,
+        }
+    }
 }
 
 struct Conn {
@@ -195,24 +226,36 @@ fn tracker_thread(listener: TcpListener, stop: Arc<AtomicBool>, seed: u64) {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn peer_thread(
-    mut core: PeerCore,
-    listener: TcpListener,
+/// Handles every peer thread shares with the host.
+#[derive(Clone)]
+struct PeerShared {
     book: AddrBook,
     stop: Arc<AtomicBool>,
     completions: Arc<AtomicU64>,
     slowest: Arc<AtomicU64>,
+    /// Live slice of the `"net.tcp"` time series; peer threads add
+    /// per-tick deltas, the metrics endpoint renders it, and the host
+    /// merges it into the global registry at the end of the run.
+    ts: Arc<Mutex<Recorder>>,
+}
+
+/// Per-run pacing and watchdog knobs, identical for every peer thread.
+#[derive(Clone, Copy)]
+struct PeerPacing {
     tick_ms: u64,
     max_ticks: u64,
     run: u64,
-) {
+    health_interval: u64,
+    stall_ticks: u64,
+}
+
+fn peer_thread(mut core: PeerCore, listener: TcpListener, shared: PeerShared, pacing: PeerPacing) {
     listener
         .set_nonblocking(true)
         .expect("nonblocking listener");
     let my_id = core.id;
     let pieces = core.bitfield.len() as u32;
-    let ticker = WallTicker::new(tick_ms);
+    let ticker = WallTicker::new(pacing.tick_ms);
     let mut inbound: Vec<Conn> = Vec::new();
     let mut outbound: HashMap<usize, Conn> = HashMap::new();
     let mut counted_done = false;
@@ -222,9 +265,13 @@ fn peer_thread(
     let mut last_bytes = core.bytes_received;
     let mut last_progress_tick = 0u64;
     let mut stalled = false;
-    while !stop.load(Ordering::Acquire) {
+    // Rounded cumulative totals behind the recorder deltas, so window
+    // sums telescope to the endpoint totals.
+    let mut ts_prev_bytes = core.bytes_received.round() as u64;
+    let mut ts_prev_pieces = core.bitfield.count() as u64;
+    while !shared.stop.load(Ordering::Acquire) {
         let tick = ticker.current_tick();
-        if tick > max_ticks {
+        if tick > pacing.max_ticks {
             break;
         }
         while let Ok((stream, _)) = listener.accept() {
@@ -260,15 +307,21 @@ fn peer_thread(
             last_tick = tick;
             let mut out = Vec::new();
             core.step(tick, std::mem::take(&mut pending), &mut out);
-            send_frames(my_id, pieces, &mut outbound, &book, out);
+            send_frames(my_id, pieces, &mut outbound, &shared.book, out);
+            let mut just_completed = false;
             if !counted_done && core.completed.is_some() && !core.is_publisher {
                 counted_done = true;
-                completions.fetch_add(1, Ordering::Relaxed);
-                slowest.fetch_max(core.completed.unwrap_or(0), Ordering::Relaxed);
+                just_completed = true;
+                shared.completions.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .slowest
+                    .fetch_max(core.completed.unwrap_or(0), Ordering::Relaxed);
             }
             // Download-progress watchdog: an online, incomplete leecher
-            // whose byte total has not moved for STALL_TICKS is stalled.
-            // One event per episode; any progress re-arms the detector.
+            // whose byte total has not moved for `stall_ticks` is
+            // stalled. One event per episode; any progress re-arms the
+            // detector.
+            let mut just_stalled = false;
             if core.bytes_received > last_bytes {
                 last_bytes = core.bytes_received;
                 last_progress_tick = tick;
@@ -277,9 +330,10 @@ fn peer_thread(
                 && !core.is_publisher
                 && core.online
                 && core.completed.is_none()
-                && tick.saturating_sub(last_progress_tick) >= STALL_TICKS
+                && tick.saturating_sub(last_progress_tick) >= pacing.stall_ticks
             {
                 stalled = true;
+                just_stalled = true;
                 if swarm_obs::enabled() {
                     // Wall-clock behavior → `stats.` prefix keeps the
                     // counter out of the deterministic diff domain.
@@ -287,7 +341,7 @@ fn peer_thread(
                     swarm_obs::emit(
                         "net.stall",
                         &[
-                            ("run", swarm_obs::val(run)),
+                            ("run", swarm_obs::val(pacing.run)),
                             ("tick", swarm_obs::val(tick)),
                             ("peer", swarm_obs::val(my_id as u64)),
                             (
@@ -298,11 +352,33 @@ fn peer_thread(
                     );
                 }
             }
-            if swarm_obs::enabled() && tick.is_multiple_of(HEALTH_INTERVAL) {
+            // Windowed telemetry: per-tick deltas into the shared
+            // recorder. Additive merging across peer threads means the
+            // window sums are the swarm totals; wall ticks are the
+            // window key, so the series lines up with the health
+            // events' tick axis.
+            {
+                let bytes = core.bytes_received.round() as u64;
+                let pieces_now = core.bitfield.count() as u64;
+                let mut ts = shared.ts.lock().unwrap_or_else(|e| e.into_inner());
+                ts.add_batch(
+                    tick,
+                    &[
+                        ("peer_ticks", 1),
+                        ("bytes_moved", bytes.saturating_sub(ts_prev_bytes)),
+                        ("pieces", pieces_now.saturating_sub(ts_prev_pieces)),
+                        ("completions", u64::from(just_completed)),
+                        ("stalls", u64::from(just_stalled)),
+                    ],
+                );
+                ts_prev_bytes = bytes;
+                ts_prev_pieces = pieces_now;
+            }
+            if swarm_obs::enabled() && tick.is_multiple_of(pacing.health_interval) {
                 swarm_obs::emit(
                     "net.health",
                     &[
-                        ("run", swarm_obs::val(run)),
+                        ("run", swarm_obs::val(pacing.run)),
                         ("tick", swarm_obs::val(tick)),
                         ("peer", swarm_obs::val(my_id as u64)),
                         ("pieces", swarm_obs::val(core.bitfield.count() as u64)),
@@ -348,6 +424,10 @@ pub fn run_tcp_smoke_with(
     opts: &TcpSmokeOpts,
 ) -> std::io::Result<TcpSmokeReport> {
     assert!(seeds >= 1 && leechers >= 1 && num_pieces >= 1);
+    assert!(
+        opts.health_interval >= 1 && opts.stall_ticks >= 1,
+        "intervals must be positive"
+    );
     let run = next_net_run_ordinal();
     let params = PeerParams {
         num_pieces,
@@ -364,6 +444,30 @@ pub fn run_tcp_smoke_with(
     let stop = Arc::new(AtomicBool::new(false));
     let completions = Arc::new(AtomicU64::new(0));
     let slowest = Arc::new(AtomicU64::new(0));
+    // Window the live series at the health cadence: recorder windows
+    // are the structured replacement for eyeballing health snapshots.
+    let ts = Arc::new(Mutex::new(Recorder::new(opts.health_interval)));
+
+    // Live exposition endpoint, up before the swarm starts so watchers
+    // never race the run.
+    let mut metrics_addr = None;
+    let mut metrics_handle = None;
+    if let Some(port) = opts.metrics_port {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        metrics_addr = Some(addr);
+        if let Some(tx) = &opts.on_metrics_addr {
+            let _ = tx.send(addr);
+        }
+        let ts = Arc::clone(&ts);
+        let stop = Arc::clone(&stop);
+        metrics_handle = Some(std::thread::spawn(move || {
+            crate::http::serve_metrics(listener, stop, move || {
+                let windows = ts.lock().unwrap_or_else(|e| e.into_inner()).windows();
+                crate::http::render_exposition(&swarm_obs::snapshot(), &[("net.tcp", &windows)])
+            })
+        }));
+    }
 
     let tracker_listener = TcpListener::bind("127.0.0.1:0")?;
     let tracker_addr = tracker_listener.local_addr()?;
@@ -393,22 +497,22 @@ pub fn run_tcp_smoke_with(
         } else {
             PeerCore::leecher(id, 0, 200.0, 2_000.0, params, peer_stream(seed, id as u64))
         };
-        let book = Arc::clone(&book);
-        let stop = Arc::clone(&stop);
-        let completions = Arc::clone(&completions);
-        let slowest = Arc::clone(&slowest);
+        let shared = PeerShared {
+            book: Arc::clone(&book),
+            stop: Arc::clone(&stop),
+            completions: Arc::clone(&completions),
+            slowest: Arc::clone(&slowest),
+            ts: Arc::clone(&ts),
+        };
+        let pacing = PeerPacing {
+            tick_ms,
+            max_ticks,
+            run,
+            health_interval: opts.health_interval,
+            stall_ticks: opts.stall_ticks,
+        };
         handles.push(std::thread::spawn(move || {
-            peer_thread(
-                core,
-                listener,
-                book,
-                stop,
-                completions,
-                slowest,
-                tick_ms,
-                max_ticks,
-                run,
-            )
+            peer_thread(core, listener, shared, pacing)
         }));
     }
 
@@ -423,6 +527,18 @@ pub fn run_tcp_smoke_with(
     stop.store(true, Ordering::Release);
     for h in handles {
         h.join().expect("swarm thread panicked");
+    }
+    if let Some(h) = metrics_handle {
+        h.join().expect("metrics thread panicked");
+    }
+    // The wall-clock series is nondeterministic by nature, so it lives
+    // under its own name; `repro trace --timeseries` reports it but the
+    // deterministic diff gate never touches it.
+    if swarm_obs::enabled() {
+        let ts = ts.lock().unwrap_or_else(|e| e.into_inner());
+        if !ts.is_empty() {
+            swarm_obs::merge_series("net.tcp", &ts);
+        }
     }
     let done = completions.load(Ordering::Relaxed);
     if done < leechers as u64 {
@@ -445,6 +561,7 @@ pub fn run_tcp_smoke_with(
         } else {
             None
         },
+        metrics_addr,
     })
 }
 

@@ -52,7 +52,9 @@ fn snub_and_rejoin_emit_lifecycle_events_in_protocol_order() {
                 (3, Message::Unchoke),
             ],
         );
-        assert!(out.iter().any(|(_, m)| matches!(m, Message::Request { .. })));
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Request { .. })));
         step1(&mut c, 1 + REQUEST_TIMEOUT, vec![]);
         step1(&mut c, 2 + REQUEST_TIMEOUT, vec![(3, Message::Unchoke)]);
         swarm_obs::drain_job(job)
@@ -79,8 +81,7 @@ fn snub_and_rejoin_emit_lifecycle_events_in_protocol_order() {
     // The connection lifecycle around the episode: the first Unchoke
     // arrives un-snubbed, the timeout snubs, the second Unchoke is
     // followed (in that order) by the rejoin.
-    let phases: Vec<(ConnPhase, Option<Dir>)> =
-        conns.iter().map(|c| (c.phase, c.dir)).collect();
+    let phases: Vec<(ConnPhase, Option<Dir>)> = conns.iter().map(|c| (c.phase, c.dir)).collect();
     assert_eq!(
         phases,
         vec![

@@ -42,8 +42,14 @@ fn telemetry_probes_leave_the_protocol_untouched() {
         // Sim-vs-live exactness still holds with probes on.
         assert_eq!(sim.arrivals, single.arrivals, "{name}: arrivals");
         assert_eq!(sim.completions, single.completions, "{name}: completions");
-        assert_eq!(sim.availability, single.availability, "{name}: availability");
-        assert_eq!(sim.publisher_intervals, single.publisher_intervals, "{name}");
+        assert_eq!(
+            sim.availability, single.availability,
+            "{name}: availability"
+        );
+        assert_eq!(
+            sim.publisher_intervals, single.publisher_intervals,
+            "{name}"
+        );
 
         // Host modes stay bit-identical with probes on.
         assert_eq!(single.counters, threaded.counters, "{name}: host modes");

@@ -1,0 +1,62 @@
+//! Host-mode invariance of the `"net"` time series.
+//!
+//! The live engine's recorder runs on the coordinator side of the tick
+//! barrier, observing counter deltas in endpoint-id order, so the
+//! resulting windows must be bit-identical whether endpoints run on one
+//! thread or on a thread per peer — the same guarantee the scalar
+//! counters already carry, extended to the windowed series.
+//!
+//! Own test binary: it owns the process-global `swarm-obs` state
+//! (enable switch + timeseries registry), which must not race with
+//! other tests' runs.
+
+use swarm_net::scenarios;
+use swarm_net::{run_live, HostMode, NET_TS_WINDOW};
+
+#[test]
+fn timeseries_is_host_mode_invariant() {
+    swarm_obs::set_enabled(true);
+    for (name, cfg) in scenarios::all(42) {
+        let _ = swarm_obs::take_series("net");
+        let single = run_live(&cfg, HostMode::SingleThread);
+        let threaded = run_live(&cfg, HostMode::ThreadPerPeer);
+        assert!(
+            !single.timeseries.is_empty(),
+            "{name}: enabled run must carry windows"
+        );
+        assert_eq!(
+            single.timeseries, threaded.timeseries,
+            "{name}: timeseries diverged across host modes"
+        );
+
+        // Windows tile the run contiguously from tick 0 and their sums
+        // reconcile exactly with the scalar counters.
+        let mut next = 0;
+        for w in &single.timeseries {
+            assert_eq!(w.start, next, "{name}: windows must tile");
+            assert!(w.len >= NET_TS_WINDOW, "{name}: window spans >= base width");
+            next = w.start + w.len;
+        }
+        let sum = |key: &str| -> u64 {
+            single
+                .timeseries
+                .iter()
+                .filter_map(|w| w.counters.get(key))
+                .sum()
+        };
+        assert_eq!(sum("ticks"), single.ticks, "{name}: ticks");
+        assert_eq!(sum("arrivals"), single.arrivals, "{name}: arrivals");
+        assert_eq!(
+            sum("completions"),
+            single.completions,
+            "{name}: completions"
+        );
+        assert_eq!(
+            sum("bytes_moved"),
+            single.bytes_moved.round() as u64,
+            "{name}: windowed byte deltas telescope to the total"
+        );
+    }
+    let _ = swarm_obs::take_series("net");
+    swarm_obs::set_enabled(false);
+}

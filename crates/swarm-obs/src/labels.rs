@@ -173,7 +173,11 @@ pub fn gauge_family(name: &str) -> &'static GaugeFamily {
 
 /// The histogram family registered under `name` (created on first use).
 pub fn histogram_family(name: &str) -> &'static HistogramFamily {
-    intern_family(&family_registry().histograms, name, crate::metrics::histogram)
+    intern_family(
+        &family_registry().histograms,
+        name,
+        crate::metrics::histogram,
+    )
 }
 
 #[cfg(test)]

@@ -18,6 +18,10 @@
 //! * [`sink`] — a structured-event flight recorder: a bounded in-memory
 //!   ring of events, drained per job label or whole-run, serialized as
 //!   JSONL through `serde_json`.
+//! * [`timeseries`] — tick-windowed [`Recorder`]s of counter deltas
+//!   keyed by virtual time, with power-of-two downsampling and a
+//!   process-wide named-series registry, serialized as
+//!   `timeseries.jsonl` beside the event sink.
 //! * [`report`] — end-of-run text rendering of a snapshot delta (top
 //!   spans by wall time, counter deltas, histogram quantiles).
 //! * leveled logging ([`log`] plus the `log_error!`/`log_warn!`/
@@ -44,10 +48,11 @@ pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 
 pub use labels::{
-    counter_family, family_metric_name, gauge_family, histogram_family, label,
-    split_family_metric, CounterFamily, Family, GaugeFamily, HistogramFamily, Label,
+    counter_family, family_metric_name, gauge_family, histogram_family, label, split_family_metric,
+    CounterFamily, Family, GaugeFamily, HistogramFamily, Label,
 };
 pub use lifecycle::{
     ConnEvent, ConnPhase, Dir, ReqEvent, ReqPhase, XferEvent, XferPhase, CONN_KIND, REQ_KIND,
@@ -62,6 +67,10 @@ pub use sink::{
     run_id, set_ring_capacity, start_unix_ms, to_jsonl, val, Event, Header,
 };
 pub use span::{current_job, job_scope, span, span_labeled, JobScope, Span};
+pub use timeseries::{
+    drain_series, merge_series, merge_series_owned, parse_timeseries, series_to_jsonl,
+    snapshot_series, take_series, Recorder, Window,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -86,6 +95,32 @@ pub fn enabled() -> bool {
 /// (the switch is never read) when compiled with `obs-off`.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
+}
+
+static SERIES_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is windowed time-series recording on? Subordinate to [`enabled`]:
+/// engines consult [`series_active`], which requires both. Defaults to
+/// `true` so turning telemetry on gets the series for free; the
+/// overhead guard turns it off to measure the recorder's marginal
+/// cost under otherwise-identical telemetry.
+#[inline(always)]
+pub fn series_enabled() -> bool {
+    SERIES_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn windowed time-series recording on or off process-wide
+/// (independent of the master [`set_enabled`] switch).
+pub fn set_series_enabled(on: bool) {
+    SERIES_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Should an engine allocate and feed a window [`Recorder`]? True when
+/// both the master recording switch and the series switch are on;
+/// `const false` under `obs-off` like every other probe gate.
+#[inline(always)]
+pub fn series_active() -> bool {
+    enabled() && series_enabled()
 }
 
 /// Log severity, ordered: `Error < Warn < Info < Debug`.

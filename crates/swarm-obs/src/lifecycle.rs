@@ -373,7 +373,12 @@ mod tests {
         ] {
             assert_eq!(ConnPhase::parse(p.as_str()), Some(p));
         }
-        for p in [ReqPhase::Tx, ReqPhase::Rx, ReqPhase::Cancel, ReqPhase::Choked] {
+        for p in [
+            ReqPhase::Tx,
+            ReqPhase::Rx,
+            ReqPhase::Cancel,
+            ReqPhase::Choked,
+        ] {
             assert_eq!(ReqPhase::parse(p.as_str()), Some(p));
         }
         for p in [XferPhase::Serve, XferPhase::Done] {

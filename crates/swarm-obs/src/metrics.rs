@@ -233,18 +233,26 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Observations recorded since `base` (which must be an earlier
-    /// snapshot of the same histogram).
+    /// Observations recorded since `base` (normally an earlier snapshot
+    /// of the same histogram). Saturates per field when `base` carries
+    /// counts this snapshot lacks — a merged or reset base must not
+    /// underflow — and keeps `self`'s bucket layout even when `base`
+    /// has fewer buckets (zip would silently truncate, breaking the
+    /// `HIST_BUCKETS` invariant downstream `merge_snapshot` asserts).
+    /// When saturation zeroes `count` but bucket mass survives, `count`
+    /// is raised to the surviving mass so the two stay consistent.
     pub fn delta_since(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.saturating_sub(base.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        let mass: u64 = buckets.iter().sum();
         HistogramSnapshot {
-            count: self.count.saturating_sub(base.count),
+            count: self.count.saturating_sub(base.count).max(mass),
             sum: self.sum.saturating_sub(base.sum),
-            buckets: self
-                .buckets
-                .iter()
-                .zip(&base.buckets)
-                .map(|(a, b)| a.saturating_sub(*b))
-                .collect(),
+            buckets,
         }
     }
 
@@ -454,6 +462,45 @@ mod tests {
             assert_eq!(bucket_index(lo), i);
             assert_eq!(bucket_index(hi), i);
         }
+    }
+
+    #[test]
+    fn delta_since_saturates_against_heavier_base() {
+        // A merged/reset base can carry counts the newer snapshot
+        // lacks; the delta must saturate per bucket, keep the full
+        // bucket layout, and keep count consistent with bucket mass.
+        let mut newer = HistogramSnapshot::new();
+        newer.record(1);
+        newer.record(1);
+        newer.record(1000);
+        let mut base = HistogramSnapshot::new();
+        for _ in 0..5 {
+            base.record(1);
+        }
+        let d = newer.delta_since(&base);
+        assert_eq!(d.buckets.len(), HIST_BUCKETS);
+        assert_eq!(d.buckets[bucket_index(1)], 0);
+        assert_eq!(d.buckets[bucket_index(1000)], 1);
+        // Raw count delta saturates to 0, but one observation survives
+        // in the buckets; count reflects it.
+        assert_eq!(d.count, 1);
+        assert_eq!(d.sum, 1002 - 5);
+
+        // A base with a truncated bucket vector must not shrink the
+        // delta's layout (zip-truncation would break merge_snapshot).
+        let short_base = HistogramSnapshot {
+            count: 1,
+            sum: 1,
+            buckets: vec![0; 3],
+        };
+        let d = newer.delta_since(&short_base);
+        assert_eq!(d.buckets.len(), HIST_BUCKETS);
+        assert_eq!(d.buckets[bucket_index(1000)], 1);
+
+        // The ordinary direction is unchanged.
+        let d = newer.delta_since(&HistogramSnapshot::new());
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 1002);
     }
 
     #[test]

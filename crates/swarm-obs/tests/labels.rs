@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use swarm_obs::{
-    counter_family, family_metric_name, label, split_family_metric, val, ConnEvent, ConnPhase,
-    Dir,
+    counter_family, family_metric_name, label, split_family_metric, val, ConnEvent, ConnPhase, Dir,
 };
 
 #[test]

@@ -10,11 +10,12 @@ use crate::diff::{self, Baseline, Thresholds};
 use crate::flame;
 use crate::net;
 use crate::timeline;
+use crate::timeseries;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 const TRACE_USAGE: &str = "\
-usage: repro trace <TELEMETRY_DIR> [--flame PATH] [--width N]
+usage: repro trace <TELEMETRY_DIR> [--flame PATH] [--width N] [--timeseries]
 
 Analyze the telemetry tree a `repro ... --telemetry` run wrote:
 availability timeline and busy-period table per engine run (with the
@@ -24,12 +25,18 @@ profile folded from every span event.
   --flame PATH   where to write the collapsed stacks
                  (default <TELEMETRY_DIR>/flame.folded)
   --width N      timeline strip width in characters (default 72)
+  --timeseries   also analyze <TELEMETRY_DIR>/timeseries.jsonl:
+                 per-window rates, dip/stall episodes, and the
+                 windowed-availability cross-check against the
+                 event timeline
 ";
 
 const DIFF_USAGE: &str = "\
 usage: repro diff <A> <B> [--max-rel R] [--metric NAME=R]
        repro diff --baseline FILE <RUN> [--write-baseline [--description S]]
        repro diff --sim-vs-live <RUN>
+       repro diff --timeseries <A> <B>
+       repro diff --timeseries --baseline FILE <RUN> [--write-baseline]
 
 Compare the deterministic counters of two runs' metrics.json (A, B and
 RUN may be the file itself or a directory containing it). Exits 1 when
@@ -43,6 +50,11 @@ any relative delta exceeds its threshold, 2 on usage or I/O errors.
   --sim-vs-live      within ONE run, require bt.<stem> == net.<stem>
                      exactly for the comparable counter stems (the
                      sim-vs-live equivalence gate)
+  --timeseries       compare timeseries.jsonl windows instead of
+                     metrics.json counters: exact window identity for
+                     two runs, or geometry/totals/digest against a
+                     committed trend baseline. Wall-clock series
+                     (net.tcp) are excluded from the gate.
 ";
 
 const NET_REPORT_USAGE: &str = "\
@@ -68,6 +80,7 @@ pub fn trace_main(args: &[String]) -> i32 {
     let mut dir: Option<PathBuf> = None;
     let mut flame_path: Option<PathBuf> = None;
     let mut width = 72usize;
+    let mut with_timeseries = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -79,6 +92,7 @@ pub fn trace_main(args: &[String]) -> i32 {
                 Some(w) => width = w,
                 None => return usage(TRACE_USAGE, "--width needs a number"),
             },
+            "--timeseries" => with_timeseries = true,
             "--help" | "-h" => {
                 println!("{TRACE_USAGE}");
                 return 0;
@@ -157,11 +171,58 @@ pub fn trace_main(args: &[String]) -> i32 {
     } else {
         println!("\nnote: no net telemetry in this run (live engine events absent)");
     }
+
+    let mut crosscheck_failed = false;
+    let ts_path = dir.join("timeseries.jsonl");
+    if ts_path.is_file() {
+        if with_timeseries {
+            let series = match timeseries::load_timeseries(&dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            println!("\ntime series ({}):", ts_path.display());
+            let traces = timeline::collect_runs(&all_events);
+            for (name, rec) in &series {
+                let analysis = timeseries::SeriesAnalysis::from_recorder(name, rec);
+                print!("{}", analysis.render());
+                if name == "bt" {
+                    if let Some(check) = timeseries::availability_crosscheck(&analysis, &traces) {
+                        let ok = check.ok();
+                        println!(
+                            "  cross-check: windowed available_ticks {} vs engine {} \
+                             over {} run(s) — {}",
+                            check.windowed_available,
+                            check.engine_available,
+                            check.runs,
+                            if ok { "ok" } else { "MISMATCH" }
+                        );
+                        crosscheck_failed |= !ok;
+                    }
+                }
+            }
+        } else {
+            println!(
+                "note: timeseries.jsonl present — run `repro trace --timeseries` \
+                 for the trend report"
+            );
+        }
+    } else if with_timeseries {
+        eprintln!("error: no timeseries.jsonl under {}", dir.display());
+        return 2;
+    }
+
     println!(
         "{} telemetry file(s), {} run(s) model-checked",
         files.len(),
         checked
     );
+    if crosscheck_failed {
+        eprintln!("error: windowed availability diverged from the engine's own figure");
+        return 1;
+    }
     0
 }
 
@@ -374,11 +435,13 @@ pub fn diff_main(args: &[String]) -> i32 {
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut sim_vs_live = false;
+    let mut with_timeseries = false;
     let mut description = String::from("repro quick suite deterministic counters");
     let mut max_rel_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--timeseries" => with_timeseries = true,
             "--max-rel" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(r) => {
                     thresholds.default_max_rel = r;
@@ -409,6 +472,18 @@ pub fn diff_main(args: &[String]) -> i32 {
             _ if !arg.starts_with('-') => positional.push(PathBuf::from(arg)),
             _ => return usage(DIFF_USAGE, &format!("unexpected argument {arg}")),
         }
+    }
+
+    if with_timeseries {
+        if sim_vs_live {
+            return usage(DIFF_USAGE, "--timeseries and --sim-vs-live are exclusive");
+        }
+        return diff_timeseries(
+            &positional,
+            baseline_path.as_deref(),
+            write_baseline,
+            &description,
+        );
     }
 
     if sim_vs_live {
@@ -483,6 +558,88 @@ pub fn diff_main(args: &[String]) -> i32 {
             let report = diff::diff(&ma, &mb, &thresholds);
             print!("{}", report.render(true));
             i32::from(!report.ok())
+        }
+    }
+}
+
+/// `repro diff --timeseries` — window identity between two runs, or
+/// geometry/totals/digest against a committed trend baseline.
+fn diff_timeseries(
+    positional: &[PathBuf],
+    baseline_path: Option<&Path>,
+    write_baseline: bool,
+    description: &str,
+) -> i32 {
+    match baseline_path {
+        Some(bpath) => {
+            let [run] = positional else {
+                return usage(
+                    DIFF_USAGE,
+                    "--timeseries --baseline takes exactly one RUN path",
+                );
+            };
+            let current = match timeseries::load_timeseries(run) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            if write_baseline {
+                let baseline = timeseries::TsBaseline::from_series(&current, description);
+                if let Err(e) = std::fs::write(bpath, baseline.to_json() + "\n") {
+                    return fail(&format!("writing {}: {e}", bpath.display()));
+                }
+                println!(
+                    "wrote timeseries baseline {} ({} series)",
+                    bpath.display(),
+                    baseline.series.len()
+                );
+                return 0;
+            }
+            let text = match std::fs::read_to_string(bpath) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("{}: {e}", bpath.display())),
+            };
+            let baseline = match timeseries::TsBaseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => return fail(&e),
+            };
+            let problems = baseline.check(&current);
+            for p in &problems {
+                println!("TREND REGRESSION: {p}");
+            }
+            println!(
+                "{} series checked against baseline, {} problem(s)",
+                baseline.series.len(),
+                problems.len()
+            );
+            i32::from(!problems.is_empty())
+        }
+        None => {
+            let [a, b] = positional else {
+                return usage(
+                    DIFF_USAGE,
+                    "--timeseries needs exactly two run paths (or --baseline)",
+                );
+            };
+            let (sa, sb) = match (
+                timeseries::load_timeseries(a),
+                timeseries::load_timeseries(b),
+            ) {
+                (Ok(sa), Ok(sb)) => (sa, sb),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let problems = timeseries::diff_series(&sa, &sb);
+            for p in &problems {
+                println!("TREND DIVERGENCE: {p}");
+            }
+            let compared = sa
+                .keys()
+                .filter(|n| timeseries::is_deterministic_series(n))
+                .count();
+            println!(
+                "{compared} series compared, {} divergence(s)",
+                problems.len()
+            );
+            i32::from(!problems.is_empty())
         }
     }
 }

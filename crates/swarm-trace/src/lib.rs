@@ -22,6 +22,10 @@
 //!   (both endpoints merged), checks the wire-level conservation
 //!   invariants, and renders swimlanes plus collapsed message stacks;
 //!   the analysis behind `repro net-report` and the net-live CI gate.
+//! * [`timeseries`] — trend analysis over `timeseries.jsonl` (the
+//!   recorder windows a run wrote): per-window rates, dip/stall episode
+//!   detection, the windowed-availability cross-check against the event
+//!   timeline, and the trend baseline behind `repro diff --timeseries`.
 //! * [`cli`] — the `repro trace` / `repro diff` / `repro net-report`
 //!   entry points.
 //!
@@ -35,8 +39,13 @@ pub mod diff;
 pub mod flame;
 pub mod net;
 pub mod timeline;
+pub mod timeseries;
 
 pub use diff::{Baseline, DiffReport, Thresholds};
 pub use flame::collapse_spans;
 pub use net::{collect_net_runs, ConnRecord, HealthSample, NetRunTrace, StallSample};
 pub use timeline::{collect_runs, BtRunTrace, ModelCheck};
+pub use timeseries::{
+    availability_crosscheck, diff_series, is_deterministic_series, load_timeseries, series_digest,
+    CrossCheck, Episode, SeriesAnalysis, TsBaseline, TsSeriesBaseline, DIP_THRESHOLD,
+};

@@ -191,10 +191,7 @@ impl NetRunTrace {
                 conn.requests, conn.serves, conn.dones
             ));
             for e in &conn.timeline {
-                let piece = e
-                    .piece
-                    .map(|p| format!(" piece {p}"))
-                    .unwrap_or_default();
+                let piece = e.piece.map(|p| format!(" piece {p}")).unwrap_or_default();
                 // The lane shows who observed the entry: `a`-side
                 // entries left of the bar, `b`-side right of it.
                 let lane = if e.local == *a {
@@ -263,10 +260,7 @@ impl OpenRequests {
     }
 
     fn leftovers(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.open
-            .iter()
-            .filter(|(_, &n)| n > 0)
-            .map(|(&k, _)| k)
+        self.open.iter().filter(|(_, &n)| n > 0).map(|(&k, _)| k)
     }
 }
 
@@ -351,7 +345,9 @@ pub fn collect_net_runs(events: &[Event]) -> Vec<NetRunTrace> {
             match x.phase {
                 XferPhase::Serve => {
                     // `local` is the server, `remote` the requester.
-                    *serves.entry((x.run, x.local, x.remote, x.piece)).or_insert(0) += 1;
+                    *serves
+                        .entry((x.run, x.local, x.remote, x.piece))
+                        .or_insert(0) += 1;
                 }
                 XferPhase::Done => {
                     // `local` is the receiver, `remote` the server.
@@ -397,7 +393,9 @@ pub fn collect_net_runs(events: &[Event]) -> Vec<NetRunTrace> {
                     bytes_kb: field(e, "bytes_kb").and_then(Value::as_f64).unwrap_or(0.0),
                     neighbors: u64_field(e, "neighbors").unwrap_or(0),
                     online: field(e, "online").and_then(Value::as_bool).unwrap_or(false),
-                    stalled: field(e, "stalled").and_then(Value::as_bool).unwrap_or(false),
+                    stalled: field(e, "stalled")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
                 });
         } else if e.kind == "net.stall" {
             let (Some(run), Some(tick), Some(peer)) = (
@@ -434,7 +432,12 @@ pub fn collect_net_runs(events: &[Event]) -> Vec<NetRunTrace> {
     }
     // Invariant 3: every completion matches a serve at the server.
     for (run, server, receiver, piece) in dones {
-        if serves.get(&(run, server, receiver, piece)).copied().unwrap_or(0) == 0 {
+        if serves
+            .get(&(run, server, receiver, piece))
+            .copied()
+            .unwrap_or(0)
+            == 0
+        {
             if let Some(trace) = runs.get_mut(&run) {
                 trace.violations.push(format!(
                     "peer {receiver} completed piece {piece} from {server} \

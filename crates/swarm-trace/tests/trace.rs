@@ -394,3 +394,109 @@ fn metrics_json_loader_reads_snapshot_deltas() {
     assert_eq!(loaded, metrics(&[("bt.ticks", 123.0)]));
     assert!(diff::load_metrics_json("{not json").is_err());
 }
+
+// --- timeseries CLI gate ---------------------------------------------
+
+fn ts_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ts-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_series(dir: &std::path::Path, extra_tick: Option<u64>) {
+    let mut rec = swarm_obs::Recorder::with_capacity(8, 64);
+    for base in [0u64, 8, 16] {
+        rec.add(base, "ticks", 8);
+        rec.add(base, "arrivals", 2);
+    }
+    if let Some(t) = extra_tick {
+        rec.add(t, "arrivals", 1); // the injected regression
+    }
+    let mut series = BTreeMap::new();
+    series.insert("bt".to_string(), rec);
+    std::fs::write(
+        dir.join("timeseries.jsonl"),
+        swarm_obs::series_to_jsonl(&series),
+    )
+    .unwrap();
+}
+
+#[test]
+fn diff_timeseries_gates_two_runs_and_baselines() {
+    use swarm_trace::cli::diff_main;
+    let a = ts_temp_dir("a");
+    let b = ts_temp_dir("b");
+    let broken = ts_temp_dir("broken");
+    write_series(&a, None);
+    write_series(&b, None);
+    write_series(&broken, Some(9));
+    let arg = |p: &std::path::Path| p.to_string_lossy().into_owned();
+
+    // Identical runs pass; an injected window regression exits 1.
+    assert_eq!(diff_main(&["--timeseries".into(), arg(&a), arg(&b)]), 0);
+    assert_eq!(
+        diff_main(&["--timeseries".into(), arg(&a), arg(&broken)]),
+        1
+    );
+
+    // Baseline round trip: write from A, check A (pass) and the
+    // perturbed run (fail).
+    let bfile = a.join("baseline.json");
+    assert_eq!(
+        diff_main(&[
+            "--timeseries".into(),
+            "--baseline".into(),
+            arg(&bfile),
+            arg(&a),
+            "--write-baseline".into(),
+        ]),
+        0
+    );
+    assert_eq!(
+        diff_main(&[
+            "--timeseries".into(),
+            "--baseline".into(),
+            arg(&bfile),
+            arg(&a)
+        ]),
+        0
+    );
+    assert_eq!(
+        diff_main(&[
+            "--timeseries".into(),
+            "--baseline".into(),
+            arg(&bfile),
+            arg(&broken),
+        ]),
+        1
+    );
+
+    // Usage errors exit 2.
+    assert_eq!(diff_main(&["--timeseries".into(), arg(&a)]), 2);
+    assert_eq!(
+        diff_main(&["--timeseries".into(), "--sim-vs-live".into(), arg(&a)]),
+        2
+    );
+
+    for d in [a, b, broken] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn trace_timeseries_reports_and_errors_without_file() {
+    use swarm_trace::cli::trace_main;
+    let dir = ts_temp_dir("trace");
+    write_series(&dir, None);
+    // trace needs a telemetry file to get past the initial scan.
+    std::fs::write(dir.join("telemetry.jsonl"), swarm_obs::header_line()).unwrap();
+    let arg = dir.to_string_lossy().into_owned();
+    assert_eq!(trace_main(&[arg.clone(), "--timeseries".into()]), 0);
+    assert_eq!(trace_main(std::slice::from_ref(&arg)), 0);
+
+    // --timeseries without the file is a usage/IO error.
+    std::fs::remove_file(dir.join("timeseries.jsonl")).unwrap();
+    assert_eq!(trace_main(&[arg, "--timeseries".into()]), 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
