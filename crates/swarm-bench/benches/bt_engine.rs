@@ -55,6 +55,25 @@ fn bench_bt(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Multi-word bitfield points: the word-level kernels only show their
+    // shape once a peer's bitmap spans several u64 words. K=16 seedless is
+    // 256 pieces (4 words per peer), K=32 is 512 (8 words) — wide enough
+    // that interest scans, candidate walks and holder drops are genuinely
+    // word-parallel rather than single-word.
+    group.bench_function("bt_K16_seedless_1500s", |b| {
+        b.iter_batched(
+            || BtConfig::paper_section_4_2(16, 7),
+            |cfg| run(&cfg),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bt_K32_seedless_1500s", |b| {
+        b.iter_batched(
+            || BtConfig::paper_section_4_2(32, 7),
+            |cfg| run(&cfg),
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

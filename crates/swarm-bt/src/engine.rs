@@ -28,7 +28,7 @@
 //! flash departures when an intermittent publisher returns, and the
 //! self-sustaining transition as the bundle size K grows.
 
-use crate::bitfield::Bitfield;
+use crate::bitfield::{self, BitArena};
 use crate::config::{BtConfig, BtPublisher, PieceSelection};
 use crate::metrics::{BtResult, PeerSpan};
 use rand::seq::SliceRandom;
@@ -298,7 +298,10 @@ impl ReplicationIndex {
         }
     }
 
-    /// An online holder of `piece` went offline.
+    /// An online holder of `piece` went offline. Naive per-piece form;
+    /// the engine path is the word-batched [`Self::drop_holder`], which
+    /// the equivalence proptest cross-checks against this reference.
+    #[cfg(test)]
     fn lose(&mut self, piece: usize) {
         let c = self.counts[piece] as usize;
         debug_assert!(c > 0, "losing a holder of an unheld piece");
@@ -313,10 +316,35 @@ impl ReplicationIndex {
         }
     }
 
-    /// A peer went offline: release every piece it held.
-    fn drop_holder(&mut self, held: &Bitfield) {
-        for p in held.ones() {
-            self.lose(p);
+    /// A peer went offline: release every piece it held, word at a time.
+    ///
+    /// Equivalent to one [`Self::lose`] per set bit, but batched: the
+    /// per-piece count/histogram/coverage updates inline into the word
+    /// walk (zero words cost one compare), and the cached minimum is
+    /// re-anchored once at the end instead of once per bit. The final
+    /// state is identical — `lose`'s min-tracking only ever lowers
+    /// `min_count` to the smallest post-decrement count, which is exactly
+    /// the fold below.
+    fn drop_holder(&mut self, held: &[u64]) {
+        let mut min_touched = u32::MAX;
+        for (wi, &word) in held.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let p = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let c = self.counts[p] as usize;
+                debug_assert!(c > 0, "losing a holder of an unheld piece");
+                self.counts[p] = (c - 1) as u32;
+                self.hist[c] -= 1;
+                self.hist[c - 1] += 1;
+                if c == 1 {
+                    self.covered -= 1;
+                }
+                min_touched = min_touched.min((c - 1) as u32);
+            }
+        }
+        if min_touched < self.min_count {
+            self.min_count = min_touched;
         }
     }
 
@@ -337,49 +365,112 @@ impl ReplicationIndex {
     }
 }
 
-struct Node {
-    online: bool,
-    is_publisher: bool,
-    bitfield: Bitfield,
-    /// Cached `bitfield.count()`: piece completions are the only writes.
-    num_held: usize,
-    /// Partial bytes per piece (peers only).
-    progress: Vec<f64>,
-    upload: f64,
-    neighbors: Vec<usize>,
-    arrived: u64,
-    completed: Option<u64>,
-    departed: Option<u64>,
-    linger_until: Option<u64>,
-    counted: bool,
-    /// Bytes received per uploader over the previous rechoke window
-    /// (reciprocity), as a small association list: entries are bounded by
-    /// the number of uploaders unchoking this peer, so linear scans beat
-    /// hashing and iteration order is insertion order (deterministic).
-    recv_prev: Vec<(usize, f64)>,
-    recv_cur: Vec<(usize, f64)>,
-    /// Tick that `received_this_tick` refers to. Reset is lazy: a stale
-    /// stamp means "nothing received this tick yet", which avoids a
-    /// per-tick sweep over every node that ever arrived.
-    recv_tick: u64,
-    received_this_tick: f64,
-    /// `(uploader, piece, last-data tick)` — the piece currently being
-    /// fetched on each connection. Each connection works on its own piece
-    /// (request pipelining): without this, every connection piles onto
-    /// the same partial piece and the publisher's capacity re-sends
-    /// content leechers already serve, starving the swarm of *new*
-    /// pieces. Entries idle beyond [`REQUEST_TIMEOUT`] expire, releasing
-    /// the piece to other connections (mainline's request timeout).
-    assigned: Vec<(usize, usize, u64)>,
+/// Struct-of-arrays peer state: every `Node` field of the old
+/// array-of-structs layout hoisted into its own parallel vector, indexed
+/// by peer id. The per-tick phases each touch a handful of fields for
+/// many peers, so splitting the ~250-byte struct into field arrays turns
+/// scattered 4-cache-line loads into dense streams over exactly the
+/// bytes a phase reads. Piece bitmaps live outside this struct in the
+/// engine's [`BitArena`] (one flat `u64` allocation, one row per id) and
+/// partial-piece progress in a flat stride-`num_pieces` `f64` arena, for
+/// the same reason.
+///
+/// Ids are never reused and rows are append-only; id 0 is always the
+/// publisher (there is no `is_publisher` array — `i == PUBLISHER` is the
+/// check).
+#[derive(Default)]
+struct Peers {
+    online: Vec<bool>,
+    upload: Vec<f64>,
+    /// Cached per-peer set-bit count of the arena row: piece completions
+    /// are the only writes, so seed checks never popcount.
+    num_held: Vec<usize>,
+    arrived: Vec<u64>,
+    completed: Vec<Option<u64>>,
+    departed: Vec<Option<u64>>,
+    linger_until: Vec<Option<u64>>,
+    counted: Vec<bool>,
+    /// Per-peer `(tick, bytes received that tick)` for the download
+    /// cap. Reset is lazy: a stale stamp means "nothing received this
+    /// tick yet", which avoids a per-tick sweep over every node that
+    /// ever arrived; pairing stamp and accumulator keeps the transfer
+    /// loop's cap check to one cache line per downloader.
+    recv: Vec<(u64, f64)>,
+    neighbors: Vec<Vec<usize>>,
+    /// Per-downloader connection rows, one per distinct uploader (see
+    /// [`Conn`]). Replaces the three separate association lists the
+    /// engine used to keep (`recv_prev`, `recv_cur`, `assigned`): the
+    /// transfer loop touches request state and window bytes for the same
+    /// `(uploader, downloader)` pair in the same breath, so a single row
+    /// table means one pointer chase and one linear scan per transfer
+    /// instead of two of each. Rows are bounded by the number of
+    /// uploaders unchoking this peer, so linear scans beat hashing, and
+    /// no reader depends on row order (the taken set is a set, uploader
+    /// lookups are unique, window scoring stores per distinct peer).
+    conns: Vec<Vec<Conn>>,
 }
 
-impl Node {
-    fn active(&self) -> bool {
-        self.online
+/// Sentinel for [`Conn::piece`]: no active request on this connection.
+const NO_PIECE: u32 = u32::MAX;
+
+/// State of one `uploader → downloader` connection, stored per
+/// downloader. The request fields mirror the old `assigned` entries
+/// `(uploader, piece, last-data tick)`: each connection works on its own
+/// piece (request pipelining) — without this, every connection piles
+/// onto the same partial piece and the publisher's capacity re-sends
+/// content leechers already serve, starving the swarm of *new* pieces.
+/// Requests idle beyond [`REQUEST_TIMEOUT`] expire (mainline's request
+/// timeout), releasing the piece: expiry just clears `piece` to
+/// [`NO_PIECE`], and rows that are fully dead — no active request, no
+/// bytes in the previous window — are compacted away at the next window
+/// roll, where dropping them is invisible to every reader.
+/// The byte fields are the reciprocity windows the old `recv_cur` /
+/// `recv_prev` lists kept: bytes received from `u` in the current and
+/// previous rechoke window (an entry "exists" in the old sense when the
+/// field is positive).
+struct Conn {
+    /// Uploader id; unique among this downloader's rows. `u32` rather
+    /// than `usize` keeps the row at 32 bytes — two rows per cache line
+    /// in the transfer loop's per-allocation row scans (peer and piece
+    /// counts are nowhere near `u32::MAX`).
+    u: u32,
+    /// Piece the active request is for, or [`NO_PIECE`].
+    piece: u32,
+    /// Last tick the active request received data.
+    ts: u64,
+    /// Bytes received from `u` in the current rechoke window.
+    cur: f64,
+    /// Bytes received from `u` in the previous rechoke window.
+    prev: f64,
+}
+
+impl Peers {
+    fn len(&self) -> usize {
+        self.online.len()
     }
 
-    fn is_seed(&self) -> bool {
-        self.num_held == self.bitfield.len()
+    /// Append one peer row across every parallel array, returning its id.
+    fn push(
+        &mut self,
+        online: bool,
+        upload: f64,
+        arrived: u64,
+        completed: Option<u64>,
+        counted: bool,
+        num_held: usize,
+    ) -> usize {
+        self.online.push(online);
+        self.upload.push(upload);
+        self.num_held.push(num_held);
+        self.arrived.push(arrived);
+        self.completed.push(completed);
+        self.departed.push(None);
+        self.linger_until.push(None);
+        self.counted.push(counted);
+        self.recv.push((u64::MAX, 0.0));
+        self.neighbors.push(Vec::new());
+        self.conns.push(Vec::new());
+        self.online.len() - 1
     }
 }
 
@@ -408,12 +499,10 @@ pub fn run_with_inspector(
         }
         engine.tick_body(tick);
         if tick % 60 == 0 {
-            let snapshot: Vec<(u64, usize, f64, bool)> = engine
-                .nodes
-                .iter()
-                .skip(1)
-                .filter(|n| n.online)
-                .map(|n| (tick - n.arrived, n.num_held, n.upload, n.online))
+            let p = &engine.peers;
+            let snapshot: Vec<(u64, usize, f64, bool)> = (1..p.len())
+                .filter(|&i| p.online[i])
+                .map(|i| (tick - p.arrived[i], p.num_held[i], p.upload[i], p.online[i]))
                 .collect();
             inspect(tick, &snapshot);
         }
@@ -424,7 +513,23 @@ pub fn run_with_inspector(
 struct BtEngine<'c> {
     cfg: &'c BtConfig,
     rng: ChaCha8Rng,
-    nodes: Vec<Node>,
+    /// Struct-of-arrays peer state (see [`Peers`]).
+    peers: Peers,
+    /// Every peer's piece bitmap, one arena row per id.
+    bits: BitArena,
+    /// Per-peer "has partial progress" piece bitmap: bit `p` of row `i`
+    /// is set the moment `progress[i * num_pieces + p]` first goes
+    /// positive, and never cleared (completed pieces keep it, but they
+    /// leave every candidate set via the held bitmap). It exists so the
+    /// partial-resume scan in `pick_piece` touches only actual partials
+    /// instead of reading a `progress` cell for every free candidate —
+    /// the progress arena is far larger than cache and those misses
+    /// dominated the non-continue pick path.
+    partial_bits: BitArena,
+    /// Partial bytes per piece, flat with stride `num_pieces`: peer `i`'s
+    /// progress on piece `p` is `progress[i * num_pieces + p]`. (The
+    /// publisher's row exists but is never read — it downloads nothing.)
+    progress: Vec<f64>,
     num_pieces: usize,
     /// Precomputed `1 / arrival_rate` — the mean of the exponential
     /// inter-arrival gap, so the hot arrival loop never re-divides.
@@ -454,7 +559,7 @@ struct BtEngine<'c> {
     injected: Vec<u64>,
     /// Incremental per-piece replication over online non-publisher peers.
     rep: ReplicationIndex,
-    /// Ids of the nodes with `online == true`, maintained at the six
+    /// Ids of the peers with `online == true`, maintained at the six
     /// membership-flip sites (arrival, departure, drain, publisher
     /// toggle/retire). The quiescence detector's no-op proofs scan this
     /// instead of every node that ever existed: `Node` is large, the
@@ -473,16 +578,20 @@ struct BtEngine<'c> {
     /// Interested downloaders of the uploader being rechoked.
     scratch_interested: Vec<usize>,
     /// Planned `(uploader, downloader, rate)` transfers for the tick.
-    scratch_alloc: Vec<(usize, usize, f64)>,
+    /// `(uploader, downloader, rate)` — ids as `u32` so a row is 16
+    /// bytes and the per-tick Fisher-Yates shuffle moves less memory.
+    scratch_alloc: Vec<(u32, u32, f64)>,
     /// Free (not already requested) candidate pieces in `pick_piece`.
     scratch_free: Vec<usize>,
     /// Peers whose download finished this tick.
     scratch_complete: Vec<usize>,
-    /// Per-piece "requested on another connection" stamps: a slot equal
-    /// to `taken_gen` means taken. Bumping the generation clears the
-    /// whole set in O(1).
-    taken_stamp: Vec<u64>,
-    taken_gen: u64,
+    /// Reused key buffer for the rechoke score sort.
+    scratch_rechoke: Vec<(f64, u32, usize)>,
+    /// Pieces requested on the downloader's *other* connections, as a
+    /// packed word bitmap (one arena stride wide) rebuilt per
+    /// `pick_piece` enumeration — so the candidate walk is a pure word
+    /// expression `theirs & !mine & !taken`.
+    taken_words: Vec<u64>,
     /// Per-node reciprocity scores for the rechoke sort, stamp-cleared.
     score: Vec<f64>,
     score_stamp: Vec<u64>,
@@ -521,25 +630,20 @@ impl<'c> BtEngine<'c> {
             BtPublisher::OnOff { initially_on, .. }
             | BtPublisher::Periodic { initially_on, .. } => initially_on,
         };
-        let publisher = Node {
-            online: initially_on,
-            is_publisher: true,
-            bitfield: Bitfield::full(num_pieces),
-            num_held: num_pieces,
-            progress: Vec::new(),
-            upload: cfg.publisher_capacity,
-            neighbors: Vec::new(),
-            arrived: 0,
-            completed: Some(0),
-            departed: None,
-            linger_until: None,
-            counted: false,
-            recv_prev: Vec::new(),
-            recv_cur: Vec::new(),
-            recv_tick: u64::MAX,
-            received_this_tick: 0.0,
-            assigned: Vec::new(),
-        };
+        let mut peers = Peers::default();
+        peers.push(
+            initially_on,
+            cfg.publisher_capacity,
+            0,
+            Some(0),
+            false,
+            num_pieces,
+        );
+        let mut bits = BitArena::new(num_pieces);
+        bits.push_full_row();
+        let mut partial_bits = BitArena::new(num_pieces);
+        partial_bits.push_row();
+        let bits_words = bits.words_per_row();
         let arrival_mean = 1.0 / cfg.arrival_rate;
         // Scripted runs drive arrivals off the schedule cursor alone; the
         // stochastic path (and its RNG draw here) is untouched when the
@@ -613,7 +717,10 @@ impl<'c> BtEngine<'c> {
         BtEngine {
             cfg,
             rng,
-            nodes: vec![publisher],
+            peers,
+            bits,
+            partial_bits,
+            progress: vec![0.0; num_pieces],
             num_pieces,
             arrival_mean,
             next_arrival,
@@ -643,8 +750,8 @@ impl<'c> BtEngine<'c> {
             scratch_alloc: Vec::new(),
             scratch_free: Vec::new(),
             scratch_complete: Vec::new(),
-            taken_stamp: vec![0; num_pieces],
-            taken_gen: 0,
+            scratch_rechoke: Vec::new(),
+            taken_words: vec![0; bits_words],
             score: Vec::new(),
             score_stamp: Vec::new(),
             score_gen: 0,
@@ -702,7 +809,6 @@ impl<'c> BtEngine<'c> {
             self.rechoke();
             self.force_rechoke = false;
         }
-        self.expire_requests(tick);
         self.transfer_round(tick);
         self.linger_expiry(tick);
         self.availability_check(tick);
@@ -729,7 +835,7 @@ impl<'c> BtEngine<'c> {
         let Some(p) = &self.probes else { return };
         p.ticks.inc();
         p.bytes.add(self.tick_bytes.round() as u64);
-        let publisher_on = usize::from(self.nodes[PUBLISHER].online);
+        let publisher_on = usize::from(self.peers.online[PUBLISHER]);
         p.online.set((self.online_nonpub + publisher_on) as i64);
         p.covered.set(self.rep.covered as i64);
         p.min_rep.set(self.rep.min_replication() as i64);
@@ -775,7 +881,7 @@ impl<'c> BtEngine<'c> {
                         "min_replication",
                         swarm_obs::val(self.rep.min_replication() as u64),
                     ),
-                    ("publisher_on", swarm_obs::val(self.nodes[PUBLISHER].online)),
+                    ("publisher_on", swarm_obs::val(self.peers.online[PUBLISHER])),
                 ],
             );
         }
@@ -853,8 +959,8 @@ impl<'c> BtEngine<'c> {
         // per-node flags it mirrors.
         debug_assert_eq!(
             self.online_ids.len(),
-            self.nodes.iter().filter(|n| n.online).count(),
-            "online_ids out of sync with node flags"
+            self.peers.online.iter().filter(|&&o| o).count(),
+            "online_ids out of sync with per-peer flags"
         );
         // The dense loop's drain break-check fires at `from`; let it.
         if from >= self.cfg.horizon && !self.any_leecher_online() {
@@ -891,13 +997,17 @@ impl<'c> BtEngine<'c> {
             wake = wake.min(t.ceil() as u64);
         }
         for &i in &self.online_ids {
-            let n = &self.nodes[i];
-            // Request-timeout expiries prune per-connection state.
-            for &(_, _, last) in &n.assigned {
-                wake = wake.min(last + REQUEST_TIMEOUT);
+            // Request-timeout expiries prune per-connection state. Only
+            // live requests schedule a wake: a row whose request already
+            // aged out (`ts + TIMEOUT <= from`) is exactly one the old
+            // eager sweep would have removed by now.
+            for c in &self.peers.conns[i] {
+                if c.piece != NO_PIECE && c.ts + REQUEST_TIMEOUT > from {
+                    wake = wake.min(c.ts + REQUEST_TIMEOUT);
+                }
             }
             // A lingering seed departs when its linger runs out.
-            if let Some(until) = n.linger_until {
+            if let Some(until) = self.peers.linger_until[i] {
                 wake = wake.min(until);
             }
         }
@@ -922,14 +1032,13 @@ impl<'c> BtEngine<'c> {
     fn transfer_is_noop(&self) -> bool {
         for i in 0..self.unchoked_from.len() {
             let u = self.unchoked_from[i];
-            if !self.nodes[u].active() || self.nodes[u].num_held == 0 {
+            if !self.peers.online[u] || self.peers.num_held[u] == 0 {
                 continue;
             }
             for &d in &self.unchoked_flat[self.unchoked_off[i]..self.unchoked_off[i + 1]] {
-                let nd = &self.nodes[d];
-                if nd.active()
-                    && !nd.is_seed()
-                    && nd.bitfield.interested_in(&self.nodes[u].bitfield)
+                if self.peers.online[d]
+                    && !self.is_seed(d)
+                    && bitfield::any_and_not(self.bits.row(u), self.bits.row(d))
                 {
                     return false;
                 }
@@ -953,19 +1062,23 @@ impl<'c> BtEngine<'c> {
             return false;
         }
         for &i in &self.online_ids {
-            let n = &self.nodes[i];
-            if !n.recv_prev.is_empty() || !n.recv_cur.is_empty() {
+            // "Window non-empty" in the old association-list sense: any
+            // row carrying bytes (entries were only ever created with
+            // positive byte counts).
+            if self.peers.conns[i]
+                .iter()
+                .any(|c| c.prev > 0.0 || c.cur > 0.0)
+            {
                 return false;
             }
-            if n.num_held == 0 {
+            if self.peers.num_held[i] == 0 {
                 continue;
             }
-            for &d in &n.neighbors {
-                let nd = &self.nodes[d];
-                if nd.active()
-                    && !nd.is_publisher
-                    && !nd.is_seed()
-                    && nd.bitfield.interested_in(&n.bitfield)
+            for &d in &self.peers.neighbors[i] {
+                if self.peers.online[d]
+                    && d != PUBLISHER
+                    && !self.is_seed(d)
+                    && bitfield::any_and_not(self.bits.row(i), self.bits.row(d))
                 {
                     return false;
                 }
@@ -999,12 +1112,12 @@ impl<'c> BtEngine<'c> {
         let prune_pending = matches!(
             self.cfg.publisher,
             BtPublisher::OnOff { .. } | BtPublisher::Periodic { .. }
-        ) && !self.nodes[PUBLISHER].online;
+        ) && !self.peers.online[PUBLISHER];
         for &i in &self.online_ids {
             if i != PUBLISHER && self.active_neighbor_count(i) < MIN_NEIGHBORS {
                 return false;
             }
-            if prune_pending && self.nodes[i].neighbors.contains(&PUBLISHER) {
+            if prune_pending && self.peers.neighbors[i].contains(&PUBLISHER) {
                 return false;
             }
         }
@@ -1019,7 +1132,7 @@ impl<'c> BtEngine<'c> {
     /// reconstructs timelines from.
     fn fast_forward(&mut self, from: u64, to: u64) {
         let elided = to - from;
-        let available = self.nodes[PUBLISHER].online || self.rep.covered == self.num_pieces;
+        let available = self.peers.online[PUBLISHER] || self.rep.covered == self.num_pieces;
         if available {
             // Gaps never straddle the horizon (`quiescent_wake` caps
             // there), so the whole span earns credit or none of it does.
@@ -1048,7 +1161,7 @@ impl<'c> BtEngine<'c> {
         p.ticks_elided.add(elided);
         p.ff_jumps.inc();
         p.ticks.add(elided);
-        let publisher_on = usize::from(self.nodes[PUBLISHER].online);
+        let publisher_on = usize::from(self.peers.online[PUBLISHER]);
         p.online.set((self.online_nonpub + publisher_on) as i64);
         p.covered.set(self.rep.covered as i64);
         p.min_rep.set(self.rep.min_replication() as i64);
@@ -1093,7 +1206,7 @@ impl<'c> BtEngine<'c> {
                         "min_replication",
                         swarm_obs::val(self.rep.min_replication() as u64),
                     ),
-                    ("publisher_on", swarm_obs::val(self.nodes[PUBLISHER].online)),
+                    ("publisher_on", swarm_obs::val(self.peers.online[PUBLISHER])),
                 ],
             );
             t += TICK_EVENT_SAMPLE;
@@ -1105,8 +1218,15 @@ impl<'c> BtEngine<'c> {
     fn any_leecher_online(&self) -> bool {
         // Peers never depart before completing and every completion is
         // counted exactly once, so "a leecher is still online" reduces to
-        // a counter comparison instead of a node scan.
-        (self.nodes.len() - 1) as u64 > self.completions_total
+        // a counter comparison instead of a peer scan.
+        (self.peers.len() - 1) as u64 > self.completions_total
+    }
+
+    /// Does peer `i` hold every piece? Reads the cached held-count array,
+    /// never the bitmap.
+    #[inline]
+    fn is_seed(&self, i: usize) -> bool {
+        self.peers.num_held[i] == self.num_pieces
     }
 
     /// Refresh `scratch_online` with the online node ids, ascending.
@@ -1121,10 +1241,9 @@ impl<'c> BtEngine<'c> {
     }
 
     fn active_neighbor_count(&self, i: usize) -> usize {
-        self.nodes[i]
-            .neighbors
+        self.peers.neighbors[i]
             .iter()
-            .filter(|&&n| self.nodes[n].active())
+            .filter(|&&n| self.peers.online[n])
             .count()
     }
 
@@ -1136,18 +1255,18 @@ impl<'c> BtEngine<'c> {
         // their TCP connections, freeing slots for newcomers.
         if self.active_neighbor_count(a) < self.cfg.max_neighbors
             && self.active_neighbor_count(b) < self.cfg.max_neighbors
-            && !self.nodes[a].neighbors.contains(&b)
+            && !self.peers.neighbors[a].contains(&b)
         {
-            self.nodes[a].neighbors.push(b);
-            self.nodes[b].neighbors.push(a);
+            self.peers.neighbors[a].push(b);
+            self.peers.neighbors[b].push(a);
         }
     }
 
     fn tracker_join(&mut self, joiner: usize) {
         let mut candidates = std::mem::take(&mut self.scratch_ids);
         candidates.clear();
-        for i in 0..self.nodes.len() {
-            if i != joiner && self.nodes[i].active() {
+        for i in 0..self.peers.len() {
+            if i != joiner && self.peers.online[i] {
                 candidates.push(i);
             }
         }
@@ -1181,34 +1300,21 @@ impl<'c> BtEngine<'c> {
         }
     }
 
-    /// Admit one leecher with the given upload capacity: node record,
-    /// active-set bookkeeping, probes, and the tracker join (which draws
-    /// from the RNG). Shared by the stochastic and scripted arrival paths.
+    /// Admit one leecher with the given upload capacity: peer-array row,
+    /// bitmap arena row, active-set bookkeeping, probes, and the tracker
+    /// join (which draws from the RNG). Shared by the stochastic and
+    /// scripted arrival paths.
     fn spawn_peer(&mut self, tick: u64, upload: f64) {
         let counted = tick >= self.cfg.warmup;
         if counted {
             self.result.arrivals += 1;
         }
-        self.nodes.push(Node {
-            online: true,
-            is_publisher: false,
-            bitfield: Bitfield::new(self.num_pieces),
-            num_held: 0,
-            progress: vec![0.0; self.num_pieces],
-            upload,
-            neighbors: Vec::new(),
-            arrived: tick,
-            completed: None,
-            departed: None,
-            linger_until: None,
-            counted,
-            recv_prev: Vec::new(),
-            recv_cur: Vec::new(),
-            recv_tick: u64::MAX,
-            received_this_tick: 0.0,
-            assigned: Vec::new(),
-        });
-        let id = self.nodes.len() - 1;
+        let id = self.peers.push(true, upload, tick, None, counted, 0);
+        let row = self.bits.push_row();
+        debug_assert_eq!(row, id, "bitmap arena row out of sync with peer id");
+        self.partial_bits.push_row();
+        self.progress
+            .resize(self.progress.len() + self.num_pieces, 0.0);
         self.online_ids.push(id);
         self.online_nonpub += 1;
         if let Some(p) = &self.probes {
@@ -1225,7 +1331,7 @@ impl<'c> BtEngine<'c> {
     fn reannounce(&mut self) {
         // Drop connections to departed peers (in place: peers keep their
         // neighbor-list allocations), then let under-connected peers
-        // query the tracker again. Only online nodes' lists need the
+        // query the tracker again. Only online peers' lists need the
         // prune: an offline node's list is read solely through
         // active-filtered views (`active_neighbor_count`, rechoke/PEX
         // candidate scans) and `connect`'s duplicate check, none of
@@ -1233,17 +1339,17 @@ impl<'c> BtEngine<'c> {
         // never reused. The publisher prunes on its next online round.
         for idx in 0..self.online_ids.len() {
             let i = self.online_ids[idx];
-            let mut neighbors = std::mem::take(&mut self.nodes[i].neighbors);
-            neighbors.retain(|&n| self.nodes[n].active());
-            self.nodes[i].neighbors = neighbors;
+            let mut neighbors = std::mem::take(&mut self.peers.neighbors[i]);
+            neighbors.retain(|&n| self.peers.online[n]);
+            self.peers.neighbors[i] = neighbors;
         }
         // Ascending-id scan, not `online_ids`: each lonely peer's
         // tracker query draws from the RNG, so the query order is part
         // of the observable stream and `online_ids` is unordered.
         let mut lonely = std::mem::take(&mut self.scratch_nb);
         lonely.clear();
-        for i in 1..self.nodes.len() {
-            if self.nodes[i].active() && self.active_neighbor_count(i) < MIN_NEIGHBORS {
+        for i in 1..self.peers.len() {
+            if self.peers.online[i] && self.active_neighbor_count(i) < MIN_NEIGHBORS {
                 lonely.push(i);
             }
         }
@@ -1259,13 +1365,13 @@ impl<'c> BtEngine<'c> {
         self.fill_online();
         for oi in 0..self.scratch_online.len() {
             let id = self.scratch_online[oi];
-            if self.nodes[id].is_publisher {
+            if id == PUBLISHER {
                 continue;
             }
             let mut online_neighbors = std::mem::take(&mut self.scratch_nb);
             online_neighbors.clear();
-            for &n in &self.nodes[id].neighbors {
-                if self.nodes[n].active() {
+            for &n in &self.peers.neighbors[id] {
+                if self.peers.online[n] {
                     online_neighbors.push(n);
                 }
             }
@@ -1276,8 +1382,8 @@ impl<'c> BtEngine<'c> {
             };
             let mut shared = std::mem::take(&mut self.scratch_ids);
             shared.clear();
-            for &n in &self.nodes[partner].neighbors {
-                if n != id && self.nodes[n].active() {
+            for &n in &self.peers.neighbors[partner] {
+                if n != id && self.peers.online[n] {
                     shared.push(n);
                 }
             }
@@ -1301,7 +1407,7 @@ impl<'c> BtEngine<'c> {
             if t > tick as f64 {
                 break;
             }
-            let was_online = self.nodes[PUBLISHER].online;
+            let was_online = self.peers.online[PUBLISHER];
             // Dwell of the phase being entered. OnOff draws here in the
             // exact order the stochastic engine always has; Periodic is
             // RNG-free by design.
@@ -1318,13 +1424,13 @@ impl<'c> BtEngine<'c> {
             };
             self.next_toggle = Some(t + dwell);
             if was_online {
-                self.nodes[PUBLISHER].online = false;
+                self.peers.online[PUBLISHER] = false;
                 self.online_ids.retain(|&i| i != PUBLISHER);
                 if let Some(since) = self.publisher_online_since.take() {
                     self.result.publisher_intervals.push((since, tick));
                 }
             } else {
-                self.nodes[PUBLISHER].online = true;
+                self.peers.online[PUBLISHER] = true;
                 self.online_ids.push(PUBLISHER);
                 self.publisher_online_since = Some(tick);
                 // Returning publisher re-announces and reconnects.
@@ -1336,9 +1442,9 @@ impl<'c> BtEngine<'c> {
 
     fn retire_publisher(&mut self, tick: u64) {
         self.publisher_retired = true;
-        self.nodes[PUBLISHER].online = false;
+        self.peers.online[PUBLISHER] = false;
         self.online_ids.retain(|&i| i != PUBLISHER);
-        self.nodes[PUBLISHER].departed = Some(tick);
+        self.peers.departed[PUBLISHER] = Some(tick);
         if let Some(since) = self.publisher_online_since.take() {
             self.result.publisher_intervals.push((since, tick));
         }
@@ -1352,37 +1458,43 @@ impl<'c> BtEngine<'c> {
     /// persistence a publisher facing many stuck peers hands every peer an
     /// epsilon of capacity and nobody ever finishes a piece).
     fn rechoke(&mut self) {
-        // Only online nodes need the window roll: departed leechers never
+        // Only online peers need the window roll: departed leechers never
         // come back (their windows are never read again) and the
-        // publisher — the one node that can re-join — never receives
+        // publisher — the one peer that can re-join — never receives
         // bytes, so its windows are always empty.
         for idx in 0..self.online_ids.len() {
-            let n = &mut self.nodes[self.online_ids[idx]];
-            // Swap instead of take: both windows keep their allocations.
-            std::mem::swap(&mut n.recv_prev, &mut n.recv_cur);
-            n.recv_cur.clear();
+            let i = self.online_ids[idx];
+            // Roll the reciprocity windows and compact: a row with no
+            // active request and no bytes entering the scoring window is
+            // invisible to every reader, so this is the one place rows
+            // are dropped.
+            self.peers.conns[i].retain_mut(|c| {
+                c.prev = c.cur;
+                c.cur = 0.0;
+                c.piece != NO_PIECE || c.prev > 0.0
+            });
         }
         self.unchoked_from.clear();
         self.unchoked_off.clear();
         self.unchoked_flat.clear();
-        if self.score.len() < self.nodes.len() {
-            self.score.resize(self.nodes.len(), 0.0);
-            self.score_stamp.resize(self.nodes.len(), 0);
+        if self.score.len() < self.peers.len() {
+            self.score.resize(self.peers.len(), 0.0);
+            self.score_stamp.resize(self.peers.len(), 0);
         }
         self.fill_online();
         let mut interested = std::mem::take(&mut self.scratch_interested);
         for oi in 0..self.scratch_online.len() {
             let u = self.scratch_online[oi];
-            if self.nodes[u].num_held == 0 {
+            if self.peers.num_held[u] == 0 {
                 continue;
             }
             interested.clear();
-            for &d in &self.nodes[u].neighbors {
-                let nd = &self.nodes[d];
-                if nd.active()
-                    && !nd.is_publisher
-                    && !nd.is_seed()
-                    && nd.bitfield.interested_in(&self.nodes[u].bitfield)
+            let u_bits = self.bits.row(u);
+            for &d in &self.peers.neighbors[u] {
+                if self.peers.online[d]
+                    && d != PUBLISHER
+                    && !self.is_seed(d)
+                    && bitfield::any_and_not(u_bits, self.bits.row(d))
                 {
                     interested.push(d);
                 }
@@ -1396,24 +1508,27 @@ impl<'c> BtEngine<'c> {
             // seed behavior). The decision itself lives in
             // `policy::rechoke_order`, shared with the live runtime; the
             // stamp-cleared score table stays engine-owned.
-            let uploader_is_publisher = self.nodes[u].is_publisher;
+            let uploader_is_publisher = u == PUBLISHER;
             if !uploader_is_publisher {
                 self.score_gen += 1;
                 let gen = self.score_gen;
-                for &(peer, bytes) in &self.nodes[u].recv_prev {
-                    self.score[peer] = bytes;
-                    self.score_stamp[peer] = gen;
+                for c in &self.peers.conns[u] {
+                    if c.prev > 0.0 {
+                        self.score[c.u as usize] = c.prev;
+                        self.score_stamp[c.u as usize] = gen;
+                    }
                 }
             }
             let gen = self.score_gen;
             let (score, stamp) = (&self.score, &self.score_stamp);
-            let chosen = crate::policy::rechoke_order(
+            let chosen = crate::policy::rechoke_order_with_scratch(
                 &mut interested,
                 uploader_is_publisher,
                 |p| if stamp[p] == gen { score[p] } else { 0.0 },
                 self.cfg.unchoke_slots,
                 self.cfg.optimistic_slots,
                 &mut self.rng,
+                &mut self.scratch_rechoke,
             );
             self.unchoked_from.push(u);
             self.unchoked_off.push(self.unchoked_flat.len());
@@ -1426,19 +1541,23 @@ impl<'c> BtEngine<'c> {
         }
     }
 
-    /// Expire per-connection requests that have not received data within
-    /// the request timeout, releasing their pieces to other connections.
-    fn expire_requests(&mut self, tick: u64) {
-        // Offline peers are never picked from again, so only online ones
-        // need the sweep — via the id list, not a scan of every node that
-        // ever arrived.
-        for idx in 0..self.online_ids.len() {
-            let d = &mut self.nodes[self.online_ids[idx]];
-            if !d.assigned.is_empty() {
-                d.assigned
-                    .retain(|&(_, _, last)| tick.saturating_sub(last) < REQUEST_TIMEOUT);
-            }
-        }
+    /// Is the request on connection row `c` live at `tick`? Expiry is
+    /// *lazy*: there is no per-tick sweep clearing timed-out requests —
+    /// instead every request reader applies this predicate. The two are
+    /// exactly equivalent because the old sweep ran every tick with the
+    /// same `tick - ts >= REQUEST_TIMEOUT` test and `ts` only ever moves
+    /// forward to the current tick: a request the sweep would have
+    /// cleared at some earlier tick still satisfies the predicate now,
+    /// and one it would not have cleared cannot have aged past the
+    /// timeout in between without its `ts` being refreshed (which
+    /// un-ages it on both schemes). Readers: the `pick_piece` continue
+    /// check, the taken-piece bitmap, and `quiescent_wake` (where the
+    /// `wake > from` guard subsumes the filter). Dead rows get their
+    /// `piece` cleared whenever a reader touches them next, and are
+    /// compacted at window rolls.
+    #[inline]
+    fn request_live(c: &Conn, tick: u64) -> bool {
+        c.piece != NO_PIECE && tick.saturating_sub(c.ts) < REQUEST_TIMEOUT
     }
 
     fn transfer_round(&mut self, tick: u64) {
@@ -1450,24 +1569,24 @@ impl<'c> BtEngine<'c> {
         allocations.clear();
         for i in 0..self.unchoked_from.len() {
             let u = self.unchoked_from[i];
-            if !self.nodes[u].active() || self.nodes[u].num_held == 0 {
+            if !self.peers.online[u] || self.peers.num_held[u] == 0 {
                 continue;
             }
             let start = allocations.len();
+            let u_bits = self.bits.row(u);
             for &d in &self.unchoked_flat[self.unchoked_off[i]..self.unchoked_off[i + 1]] {
-                let nd = &self.nodes[d];
-                if nd.active()
-                    && !nd.is_seed()
-                    && nd.bitfield.interested_in(&self.nodes[u].bitfield)
+                if self.peers.online[d]
+                    && !self.is_seed(d)
+                    && bitfield::any_and_not(u_bits, self.bits.row(d))
                 {
-                    allocations.push((u, d, 0.0));
+                    allocations.push((u as u32, d as u32, 0.0));
                 }
             }
             let live = allocations.len() - start;
             if live == 0 {
                 continue;
             }
-            let share = self.nodes[u].upload / live as f64;
+            let share = self.peers.upload[u] / live as f64;
             for a in &mut allocations[start..] {
                 a.2 = share;
             }
@@ -1479,46 +1598,81 @@ impl<'c> BtEngine<'c> {
         newly_complete.clear();
         let mut bytes_moved = 0.0;
         let mut receivers = 0usize;
+        // Loop-invariant config reads, hoisted by hand: everything in the
+        // loop body goes through `&mut self`, so the compiler must assume
+        // the stores below could alias these fields and re-load them on
+        // every one of the (hundreds of thousands of) iterations.
+        let download_cap = self.cfg.download_cap;
+        let num_pieces = self.num_pieces;
+        let full_len = self.cfg.piece_size;
+        let last_len = self.piece_len(num_pieces - 1);
         for &(u, d, rate) in &allocations {
-            if !self.nodes[d].active() || self.nodes[d].is_seed() {
+            let (u, d) = (u as usize, d as usize);
+            // The plan loop already filtered on `online[d]`, and nothing
+            // inside this loop toggles liveness — only seed status can
+            // change mid-round (piece completions), so that is the one
+            // recheck needed.
+            if self.peers.num_held[d] == num_pieces {
                 continue;
             }
-            let received = if self.nodes[d].recv_tick == tick {
-                self.nodes[d].received_this_tick
-            } else {
-                0.0
-            };
-            let budget = (self.cfg.download_cap - received).max(0.0);
+            let recv = self.peers.recv[d];
+            let received = if recv.0 == tick { recv.1 } else { 0.0 };
+            let budget = (download_cap - received).max(0.0);
             let bytes = rate.min(budget);
             if bytes <= 0.0 {
                 continue;
             }
-            let Some(piece) = self.pick_piece(u, d, tick) else {
+            let picked = self.pick_piece(u, d, tick);
+            let Some((piece, row)) = picked else {
                 continue;
             };
             // pick_piece records (and timestamps) the assignment — it is
             // the single site that writes per-connection request state.
             bytes_moved += bytes;
-            {
-                let nd = &mut self.nodes[d];
-                if nd.recv_tick != tick {
-                    nd.recv_tick = tick;
-                    nd.received_this_tick = 0.0;
-                    receivers += 1;
-                }
-                nd.received_this_tick += bytes;
-                match nd.recv_cur.iter_mut().find(|e| e.0 == u) {
-                    Some(e) => e.1 += bytes,
-                    None => nd.recv_cur.push((u, bytes)),
-                }
-                nd.progress[piece] += bytes;
+            let recv = &mut self.peers.recv[d];
+            if recv.0 != tick {
+                *recv = (tick, 0.0);
+                receivers += 1;
             }
-            if self.nodes[d].progress[piece] >= self.piece_len(piece) {
-                self.nodes[d].bitfield.set(piece);
-                self.nodes[d].num_held += 1;
+            recv.1 += bytes;
+            // `pick_piece` returned the connection row it (re)confirmed,
+            // so the window credit is a direct index, not a second scan.
+            debug_assert!(row < self.peers.conns[d].len());
+            // SAFETY: `pick_piece` just returned `row` as an index into
+            // `conns[d]`, and nothing has touched the rows since.
+            unsafe { self.peers.conns.get_unchecked_mut(d).get_unchecked_mut(row) }.cur += bytes;
+            let cell = d * num_pieces + piece;
+            debug_assert!(cell < self.progress.len());
+            // SAFETY: `d < peers.len()` and `piece < num_pieces`, and the
+            // progress arena is kept at `peers.len() * num_pieces` cells
+            // by the same push path that sizes every peer row.
+            let (cell_bytes, newly_partial) = unsafe {
+                let c = self.progress.get_unchecked_mut(cell);
+                let was_zero = *c == 0.0;
+                *c += bytes;
+                (*c, was_zero)
+            };
+            if newly_partial {
+                // `bytes > 0` here, so the cell just went positive.
+                self.partial_bits.set(d, piece);
+            }
+            let piece_len = if piece + 1 == num_pieces {
+                last_len
+            } else {
+                full_len
+            };
+            if cell_bytes >= piece_len {
+                self.bits.set(d, piece);
+                self.peers.num_held[d] += 1;
                 self.rep.gain(piece);
-                self.nodes[d].assigned.retain(|&(_, p, _)| p != piece);
-                if self.nodes[d].is_seed() {
+                // Endgame can put several connections on the same piece;
+                // clear the request on every one of them.
+                for c in &mut self.peers.conns[d] {
+                    if c.piece as usize == piece {
+                        c.piece = NO_PIECE;
+                    }
+                }
+                if self.peers.num_held[d] == num_pieces {
                     newly_complete.push(d);
                 }
             }
@@ -1552,19 +1706,32 @@ impl<'c> BtEngine<'c> {
     }
 
     /// Record `piece` as the active request on connection `u → d`,
-    /// refreshing the existing slot for `u` if one exists. Together with
-    /// the timestamp refresh on `pick_piece`'s continue path this is the
-    /// engine's *only* write site for request state: `transfer_round`
-    /// never touches `assigned`, so a request's timestamp advances
-    /// exactly when `pick_piece` (re)confirms its piece.
-    fn assign(&mut self, d: usize, u: usize, piece: usize, tick: u64) {
-        let slots = &mut self.nodes[d].assigned;
-        match slots.iter_mut().find(|slot| slot.0 == u) {
-            Some(slot) => {
-                slot.1 = piece;
-                slot.2 = tick;
+    /// refreshing the existing row for `u` if one exists (its window
+    /// bytes are untouched — request state and reciprocity bytes share
+    /// the row but have independent lifecycles). Returns the row index.
+    /// Together with the timestamp refresh on `pick_piece`'s continue
+    /// path this is the engine's *only* write site for request state, so
+    /// a request's timestamp advances exactly when `pick_piece`
+    /// (re)confirms its piece.
+    #[inline]
+    fn assign(&mut self, d: usize, u: usize, piece: usize, tick: u64) -> usize {
+        let rows = &mut self.peers.conns[d];
+        match rows.iter_mut().position(|c| c.u as usize == u) {
+            Some(i) => {
+                rows[i].piece = piece as u32;
+                rows[i].ts = tick;
+                i
             }
-            None => slots.push((u, piece, tick)),
+            None => {
+                rows.push(Conn {
+                    u: u as u32,
+                    piece: piece as u32,
+                    ts: tick,
+                    cur: 0.0,
+                    prev: 0.0,
+                });
+                rows.len() - 1
+            }
         }
     }
 
@@ -1572,60 +1739,90 @@ impl<'c> BtEngine<'c> {
     /// this (uploader, downloader) connection; otherwise pick rarest-first
     /// (by global replication count) among pieces no other connection of
     /// this downloader is fetching; if every candidate is taken, join the
-    /// most-complete one (endgame mode).
-    fn pick_piece(&mut self, u: usize, d: usize, tick: u64) -> Option<usize> {
+    /// most-complete one (endgame mode). Returns the chosen piece and the
+    /// connection-row index it was recorded on, so the caller can credit
+    /// window bytes without a second row scan.
+    #[inline]
+    fn pick_piece(&mut self, u: usize, d: usize, tick: u64) -> Option<(usize, usize)> {
         // Continue this connection's piece if still valid, refreshing the
         // request timestamp: data keeps flowing, so the request is live.
-        if let Some(i) = self.nodes[d]
-            .assigned
-            .iter()
-            .position(|&(up, _, _)| up == u)
-        {
-            let p = self.nodes[d].assigned[i].1;
-            if !self.nodes[d].bitfield.has(p) && self.nodes[u].bitfield.has(p) {
-                self.nodes[d].assigned[i].2 = tick;
-                return Some(p);
+        for (i, c) in self.peers.conns[d].iter_mut().enumerate() {
+            if c.u as usize != u {
+                continue;
+            }
+            let p = c.piece as usize;
+            if c.piece != NO_PIECE
+                && tick.saturating_sub(c.ts) < REQUEST_TIMEOUT
+                && !self.bits.has(d, p)
+                && self.bits.has(u, p)
+            {
+                c.ts = tick;
+                return Some((p, i));
+            }
+            break;
+        }
+        // Pack the pieces taken by the downloader's other connections
+        // into a one-row word bitmap, so the candidate walk below is a
+        // pure word expression: `theirs & !mine & !taken`.
+        self.taken_words.fill(0);
+        for c in &self.peers.conns[d] {
+            if c.u as usize != u && Self::request_live(c, tick) {
+                self.taken_words[c.piece as usize / 64] |= 1u64 << (c.piece % 64);
             }
         }
-        // Stamp pieces taken by the downloader's other connections; the
-        // generation bump clears the previous call's stamps in O(1).
-        self.taken_gen += 1;
-        let taken_gen = self.taken_gen;
-        for &(up, p, _) in &self.nodes[d].assigned {
-            if up != u {
-                self.taken_stamp[p] = taken_gen;
-            }
-        }
-        // One pass over the pieces `u` has and `d` lacks: collect the
-        // free ones and track the endgame fallback (the most-complete
-        // candidate; last maximum wins, matching `Iterator::max_by`).
+        // One word-level pass over the pieces `u` has and `d` lacks:
+        // popcount the candidates and collect the free ones in ascending
+        // piece order (same order the per-bit scan produced).
         let mut free = std::mem::take(&mut self.scratch_free);
         free.clear();
         let mut n_candidates = 0usize;
-        let mut endgame_best: Option<usize> = None;
+        // Most-complete partial among the free candidates, computed in
+        // the same walk: `free & partial` is nearly always empty or a
+        // bit or two, so progress cells are read only for true partials.
+        // Ascending walk with replace-on-ties matches
+        // `policy::most_complete_partial`'s last-maximum-wins exactly.
+        let mut best_partial: Option<usize> = None;
         {
-            let dn = &self.nodes[d];
-            let un = &self.nodes[u];
-            for p in dn.bitfield.missing_from(&un.bitfield) {
-                n_candidates += 1;
-                if self.taken_stamp[p] != taken_gen {
-                    free.push(p);
+            let theirs = self.bits.row(u);
+            let mine = self.bits.row(d);
+            let partial = self.partial_bits.row(d);
+            let progress = &self.progress[d * self.num_pieces..(d + 1) * self.num_pieces];
+            for wi in 0..theirs.len() {
+                let cand = theirs[wi] & !mine[wi];
+                if cand == 0 {
+                    continue;
                 }
-                match endgame_best {
-                    Some(b) if dn.progress[p] < dn.progress[b] => {}
-                    _ => endgame_best = Some(p),
+                n_candidates += cand.count_ones() as usize;
+                let free_w = cand & !self.taken_words[wi];
+                let mut w = free_w;
+                while w != 0 {
+                    free.push(wi * 64 + w.trailing_zeros() as usize);
+                    w &= w - 1;
+                }
+                let mut pw = free_w & partial[wi];
+                while pw != 0 {
+                    let p = wi * 64 + pw.trailing_zeros() as usize;
+                    pw &= pw - 1;
+                    match best_partial {
+                        Some(b) if progress[p] < progress[b] => {}
+                        _ => best_partial = Some(p),
+                    }
                 }
             }
         }
         let choice = if n_candidates == 0 {
-            self.nodes[d].assigned.retain(|&(up, _, _)| up != u);
+            // Nothing left on this connection: drop its request (the row
+            // itself is compacted at the next window roll).
+            if let Some(c) = self.peers.conns[d].iter_mut().find(|c| c.u as usize == u) {
+                c.piece = NO_PIECE;
+            }
             None
-        } else if self.cfg.super_seed && self.nodes[u].is_publisher && !free.is_empty() {
+        } else if self.cfg.super_seed && u == PUBLISHER && !free.is_empty() {
             // Super-seeding: the publisher pushes its least-injected
             // piece, maximizing unique-piece injection into the swarm.
             // Partially transferred pieces are finished first — abandoning
             // them would litter the downloader with fragments.
-            let progress = &self.nodes[d].progress;
+            let progress = &self.progress[d * self.num_pieces..(d + 1) * self.num_pieces];
             let pick = match crate::policy::most_complete_partial(&free, |p| progress[p]) {
                 Some(p) => p,
                 None => {
@@ -1641,12 +1838,20 @@ impl<'c> BtEngine<'c> {
             Some(pick)
         } else if free.is_empty() {
             // Endgame: every interesting piece is already being fetched
-            // from someone; double up on the most complete one.
+            // from someone; double up on the most complete one. Computed
+            // only on this branch — the common free-piece path never
+            // needs the fallback, and the scan is RNG-free with the same
+            // last-maximum-wins result as `Iterator::max_by`.
+            let progress = &self.progress[d * self.num_pieces..(d + 1) * self.num_pieces];
+            let mut endgame_best: Option<usize> = None;
+            for p in bitfield::and_not_ones(self.bits.row(u), self.bits.row(d)) {
+                match endgame_best {
+                    Some(b) if progress[p] < progress[b] => {}
+                    _ => endgame_best = Some(p),
+                }
+            }
             endgame_best
-        } else if let Some(partial) = {
-            let progress = &self.nodes[d].progress;
-            crate::policy::most_complete_partial(&free, |p| progress[p])
-        } {
+        } else if let Some(partial) = best_partial {
             // Resume the most-complete orphaned partial before starting a
             // fresh piece: short unchoke windows otherwise litter the peer
             // with fragments of many pieces and it completes none.
@@ -1667,15 +1872,12 @@ impl<'c> BtEngine<'c> {
             crate::policy::rarest_first(&free, |p| counts[p], &mut self.rng)
         };
         self.scratch_free = free;
-        if let Some(p) = choice {
-            self.assign(d, u, p, tick);
-        }
-        choice
+        choice.map(|p| (p, self.assign(d, u, p, tick)))
     }
 
     fn complete(&mut self, d: usize, tick: u64) {
         let done_at = tick + 1; // completion lands at the end of this tick
-        self.nodes[d].completed = Some(done_at);
+        self.peers.completed[d] = Some(done_at);
         self.completions_total += 1;
         if let Some(p) = &self.probes {
             p.completions.inc();
@@ -1689,11 +1891,11 @@ impl<'c> BtEngine<'c> {
         if (tick as usize) < self.completions_per_tick.len() {
             self.completions_per_tick[tick as usize] += 1;
         }
-        if self.nodes[d].counted {
+        if self.peers.counted[d] {
             self.result.completions += 1;
             self.result
                 .download_times
-                .add((done_at - self.nodes[d].arrived) as f64);
+                .add((done_at - self.peers.arrived[d]) as f64);
         }
         if matches!(self.cfg.publisher, BtPublisher::UntilFirstCompletion)
             && !self.publisher_retired
@@ -1703,41 +1905,47 @@ impl<'c> BtEngine<'c> {
         match self.cfg.linger_mean {
             Some(mean) => {
                 let linger = exp_sample(&mut self.rng, mean).ceil() as u64;
-                self.nodes[d].linger_until = Some(done_at + linger.max(1));
+                self.peers.linger_until[d] = Some(done_at + linger.max(1));
                 self.lingering_online += 1;
             }
             None => {
-                self.nodes[d].online = false;
+                self.peers.online[d] = false;
                 self.online_ids.retain(|&i| i != d);
-                self.nodes[d].departed = Some(done_at);
-                self.rep.drop_holder(&self.nodes[d].bitfield);
+                self.peers.departed[d] = Some(done_at);
+                self.rep.drop_holder(self.bits.row(d));
                 self.online_nonpub -= 1;
             }
         }
     }
 
     fn linger_expiry(&mut self, tick: u64) {
-        // Only lingering seeds can expire; skip the node scan entirely
-        // while nobody is lingering (the common case in blocked swarms,
-        // where this runs every tick over every node that ever arrived).
+        // Only lingering seeds can expire; skip the sweep entirely while
+        // nobody is lingering (the common case in blocked swarms, where
+        // this runs every tick). When someone is, sweep the sorted active
+        // set instead of every peer that ever arrived: expiry is RNG-free
+        // and index drops commute, so ascending-online order leaves the
+        // replication index bit-identical to the old full ascending scan.
         if self.lingering_online == 0 {
             return;
         }
+        self.fill_online();
+        let sweep = std::mem::take(&mut self.scratch_online);
         let mut expired = 0usize;
-        for i in 0..self.nodes.len() {
-            let n = &mut self.nodes[i];
-            if n.online && !n.is_publisher {
-                if let Some(until) = n.linger_until {
-                    if until <= tick {
-                        n.online = false;
-                        n.departed = Some(tick);
-                        self.rep.drop_holder(&n.bitfield);
-                        self.online_ids.retain(|&o| o != i);
-                        expired += 1;
-                    }
+        for &i in &sweep {
+            if i == PUBLISHER || !self.peers.online[i] {
+                continue;
+            }
+            if let Some(until) = self.peers.linger_until[i] {
+                if until <= tick {
+                    self.peers.online[i] = false;
+                    self.peers.departed[i] = Some(tick);
+                    self.rep.drop_holder(self.bits.row(i));
+                    self.online_ids.retain(|&o| o != i);
+                    expired += 1;
                 }
             }
         }
+        self.scratch_online = sweep;
         self.online_nonpub -= expired;
         self.lingering_online -= expired;
     }
@@ -1761,7 +1969,7 @@ impl<'c> BtEngine<'c> {
         if cfg!(debug_assertions) && tick.is_multiple_of(60) {
             self.check_index_consistency();
         }
-        let available = self.nodes[PUBLISHER].online || peer_coverage == self.num_pieces;
+        let available = self.peers.online[PUBLISHER] || peer_coverage == self.num_pieces;
         if let Some(p) = &self.probes {
             // Sparse event stream: one event per availability transition
             // (plus the initial state), not one per tick.
@@ -1801,8 +2009,8 @@ impl<'c> BtEngine<'c> {
     /// as an index-consistency test.
     fn check_index_consistency(&self) {
         let mut counts = vec![0u32; self.num_pieces];
-        for n in self.nodes.iter().skip(1).filter(|n| n.active()) {
-            for p in n.bitfield.ones() {
+        for i in (1..self.peers.len()).filter(|&i| self.peers.online[i]) {
+            for p in bitfield::ones(self.bits.row(i)) {
                 counts[p] += 1;
             }
         }
@@ -1817,20 +2025,24 @@ impl<'c> BtEngine<'c> {
             counts.iter().copied().min().unwrap_or(0),
             "min replication drifted"
         );
-        for n in &self.nodes {
-            debug_assert_eq!(n.num_held, n.bitfield.count(), "held-piece cache drifted");
+        for i in 0..self.peers.len() {
+            debug_assert_eq!(
+                self.peers.num_held[i],
+                bitfield::count_ones(self.bits.row(i)),
+                "held-piece cache drifted"
+            );
         }
         assert_eq!(
             self.online_nonpub,
-            self.nodes.iter().skip(1).filter(|n| n.online).count(),
+            (1..self.peers.len())
+                .filter(|&i| self.peers.online[i])
+                .count(),
             "online-peer count drifted"
         );
         assert_eq!(
             self.lingering_online,
-            self.nodes
-                .iter()
-                .skip(1)
-                .filter(|n| n.online && n.is_seed())
+            (1..self.peers.len())
+                .filter(|&i| self.peers.online[i] && self.is_seed(i))
                 .count(),
             "lingering-seed count drifted"
         );
@@ -1842,18 +2054,16 @@ impl<'c> BtEngine<'c> {
             self.result.publisher_intervals.push((since, horizon));
         }
         self.result.availability = self.available_ticks as f64 / horizon as f64;
-        self.result.in_flight_at_horizon =
-            self.nodes.iter().skip(1).filter(|n| n.online).count() as u64;
+        self.result.in_flight_at_horizon = (1..self.peers.len())
+            .filter(|&i| self.peers.online[i])
+            .count() as u64;
         if self.cfg.record_timeline {
-            self.result.spans = self
-                .nodes
-                .iter()
-                .skip(1)
-                .map(|n| PeerSpan {
-                    arrived: n.arrived,
-                    departed: n.departed,
-                    completed: n.completed,
-                    final_fraction: n.num_held as f64 / self.num_pieces as f64,
+            self.result.spans = (1..self.peers.len())
+                .map(|i| PeerSpan {
+                    arrived: self.peers.arrived[i],
+                    departed: self.peers.departed[i],
+                    completed: self.peers.completed[i],
+                    final_fraction: self.peers.num_held[i] as f64 / self.num_pieces as f64,
                 })
                 .collect();
         }
@@ -1920,6 +2130,7 @@ fn count_multiples(from: u64, to: u64, interval: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitfield::Bitfield;
     use crate::capacity::CapacityDistribution;
     use proptest::prelude::*;
 
@@ -2083,25 +2294,33 @@ mod tests {
     proptest! {
         #[test]
         fn replication_index_matches_recount(
+            // Word-boundary-straddling piece counts exercise the batched
+            // word-walk in `drop_holder` across full, single-bit and
+            // empty tail words (the 24-piece point keeps the original
+            // dense-collision regime).
+            pieces in prop::sample::select(
+                vec![24usize, 63, 64, 65, 127, 128, 129],
+            ),
             ops in prop::collection::vec(
-                (0usize..8, 0usize..24, prop::bool::ANY),
+                (0usize..8, 0usize..1024, prop::bool::ANY),
                 1..200,
             ),
         ) {
-            // Model: 8 peers over 24 pieces. Each op either grants a
-            // piece to an online peer or takes a peer offline — the only
-            // two event kinds the engine feeds the index. The incremental
-            // state must match a from-scratch recount after every event.
-            let pieces = 24usize;
+            // Model: 8 peers over `pieces` pieces. Each op either grants
+            // a piece to an online peer or takes a peer offline — the
+            // only two event kinds the engine feeds the index. The
+            // incremental state must match a from-scratch recount after
+            // every event.
             let mut held: Vec<Bitfield> =
                 (0..8).map(|_| Bitfield::new(pieces)).collect();
             let mut online = [true; 8];
             let mut rep = ReplicationIndex::new(pieces);
             for (peer, piece, depart) in ops {
+                let piece = piece % pieces;
                 if depart {
                     if online[peer] {
                         online[peer] = false;
-                        rep.drop_holder(&held[peer]);
+                        rep.drop_holder(held[peer].as_words());
                     }
                 } else if online[peer] && !held[peer].has(piece) {
                     held[peer].set(piece);
@@ -2128,6 +2347,42 @@ mod tests {
                 sorted.sort_unstable();
                 prop_assert_eq!(rep.sorted_counts(), sorted);
             }
+        }
+
+        #[test]
+        fn drop_holder_matches_per_bit_lose(
+            pieces in prop::sample::select(
+                vec![1usize, 63, 64, 65, 127, 128, 129],
+            ),
+            other_holders in prop::collection::vec(0usize..1024, 0..64),
+            held_pieces in prop::collection::vec(0usize..1024, 0..64),
+        ) {
+            // The word-batched drop must leave the index in exactly the
+            // state the naive per-bit `lose` loop produces: replay the
+            // same gains into two indices, then drop one holder's bitmap
+            // both ways.
+            let mut held = Bitfield::new(pieces);
+            for &p in &held_pieces {
+                held.set(p % pieces);
+            }
+            let mut batched = ReplicationIndex::new(pieces);
+            let mut naive = ReplicationIndex::new(pieces);
+            for &p in &other_holders {
+                batched.gain(p % pieces);
+                naive.gain(p % pieces);
+            }
+            for p in held.ones() {
+                batched.gain(p);
+                naive.gain(p);
+            }
+            batched.drop_holder(held.as_words());
+            for p in held.ones() {
+                naive.lose(p);
+            }
+            prop_assert_eq!(&batched.counts, &naive.counts);
+            prop_assert_eq!(batched.covered, naive.covered);
+            prop_assert_eq!(batched.min_count, naive.min_count);
+            prop_assert_eq!(batched.sorted_counts(), naive.sorted_counts());
         }
     }
 

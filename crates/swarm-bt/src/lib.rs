@@ -37,7 +37,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod policy;
 
-pub use bitfield::Bitfield;
+pub use bitfield::{BitArena, Bitfield};
 pub use capacity::CapacityDistribution;
 pub use config::{BtConfig, BtPublisher, PieceSelection};
 pub use engine::run;

@@ -24,8 +24,8 @@ use rand::Rng;
 /// optimistic unchokes. The unchoked set is `interested[..returned]`.
 ///
 /// Draw sequence: one `shuffle` over the full set, then one `shuffle`
-/// over the post-regular remainder (a slice shorter than two draws
-/// nothing). The sort never touches the RNG.
+/// over the post-regular remainder (a slice with fewer than two elements
+/// draws nothing). The sort never touches the RNG.
 pub fn rechoke_order<R: Rng + ?Sized>(
     interested: &mut [usize],
     uploader_is_publisher: bool,
@@ -34,14 +34,62 @@ pub fn rechoke_order<R: Rng + ?Sized>(
     optimistic_slots: usize,
     rng: &mut R,
 ) -> usize {
+    let mut scratch = Vec::new();
+    rechoke_order_with_scratch(
+        interested,
+        uploader_is_publisher,
+        score_of,
+        unchoke_slots,
+        optimistic_slots,
+        rng,
+        &mut scratch,
+    )
+}
+
+/// [`rechoke_order`] with a caller-owned scratch buffer for the score
+/// sort, so per-rechoke callers (the engine runs this for every online
+/// uploader every interval) pay no allocation. Same results, same RNG
+/// draws.
+#[allow(clippy::too_many_arguments)]
+pub fn rechoke_order_with_scratch<R: Rng + ?Sized>(
+    interested: &mut [usize],
+    uploader_is_publisher: bool,
+    score_of: impl Fn(usize) -> f64,
+    unchoke_slots: usize,
+    optimistic_slots: usize,
+    rng: &mut R,
+    scratch: &mut Vec<(f64, u32, usize)>,
+) -> usize {
     interested.shuffle(rng);
     if !uploader_is_publisher {
-        // Stable sort: ties stay in shuffled order.
-        interested.sort_by(|&a, &b| {
-            score_of(b)
-                .partial_cmp(&score_of(a))
-                .expect("finite byte counts")
-        });
+        // Sort by descending score with ties in shuffled order. Keying
+        // each element by (score, post-shuffle position) and sorting
+        // unstably is exactly the stable sort of the shuffled slice:
+        // positions are distinct, so the comparator is a total order
+        // whose outcome no unstable sort can permute. Scores are
+        // evaluated once per element rather than twice per comparison,
+        // and `sort_unstable_by` never allocates (the stable sort's
+        // per-call merge buffer showed up in engine profiles).
+        scratch.clear();
+        scratch.extend(
+            interested
+                .iter()
+                .enumerate()
+                .map(|(pos, &peer)| (score_of(peer), pos as u32, peer)),
+        );
+        // All-equal scores (typically all zero: nobody reciprocated this
+        // window) sort to ascending position — the identity permutation
+        // — so the sort and writeback can be skipped outright.
+        if scratch.windows(2).any(|w| w[0].0 != w[1].0) {
+            scratch.sort_unstable_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("finite byte counts")
+                    .then(a.1.cmp(&b.1))
+            });
+            for (slot, &(_, _, peer)) in interested.iter_mut().zip(scratch.iter()) {
+                *slot = peer;
+            }
+        }
     }
     let regular = unchoke_slots.min(interested.len());
     interested[regular..].shuffle(rng);

@@ -517,10 +517,12 @@ impl PeerCore {
             if !n.we_interested || n.they_choke_us || n.our_request.is_some() {
                 continue;
             }
-            let free: Vec<usize> = n
+            // Want-list via the word-level AND-NOT kernel (ascending
+            // piece order, identical to the old ones()+has() filter).
+            let free: Vec<usize> = self
                 .bitfield
-                .ones()
-                .filter(|&p| !self.bitfield.has(p) && !in_flight.contains(&p))
+                .missing_from(&n.bitfield)
+                .filter(|&p| !in_flight.contains(&p))
                 .collect();
             if free.is_empty() {
                 continue;

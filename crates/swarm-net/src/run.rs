@@ -217,7 +217,12 @@ pub fn publisher_online_at(publisher: &BtPublisher, tick: u64) -> bool {
 
 /// One hub endpoint: the tracker or a peer.
 enum Endpoint {
-    Tracker { core: TrackerCore, rng: ChaCha8Rng },
+    // The RNG is boxed: `ChaCha8Rng` carries a 4-block keystream buffer,
+    // which would otherwise dwarf the `Peer` variant.
+    Tracker {
+        core: TrackerCore,
+        rng: Box<ChaCha8Rng>,
+    },
     Peer(Box<PeerCore>),
 }
 
@@ -237,7 +242,7 @@ fn step_endpoint(ep: &mut Endpoint, id: usize, tick: u64, hub: &LoopbackHub) {
     match ep {
         Endpoint::Tracker { core, rng } => {
             for (from, msg) in &msgs {
-                core.handle(*from, msg, rng, &mut out);
+                core.handle(*from, msg, &mut **rng, &mut out);
             }
         }
         Endpoint::Peer(core) => core.step(tick, msgs, &mut out),
@@ -288,7 +293,7 @@ pub fn run_live(cfg: &BtConfig, mode: HostMode) -> NetResult {
     let mut endpoints: Vec<Arc<Mutex<Endpoint>>> = Vec::with_capacity(n);
     endpoints.push(Arc::new(Mutex::new(Endpoint::Tracker {
         core: TrackerCore::new(cfg.tracker_response),
-        rng: peer_stream(cfg.seed, TRACKER as u64),
+        rng: Box::new(peer_stream(cfg.seed, TRACKER as u64)),
     })));
     endpoints.push(Arc::new(Mutex::new(Endpoint::Peer(Box::new(
         PeerCore::publisher(

@@ -102,6 +102,17 @@ pub trait Strategy {
             pred,
         }
     }
+
+    /// Derive a dependent strategy from each generated value (e.g. a
+    /// length first, then collections of that length).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
 }
 
 /// `Strategy` behind a reference, so strategies can be reused by value
@@ -125,6 +136,21 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMapStrategy<S, F> {
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        let seed = self.inner.generate(rng);
+        (self.f)(seed).generate(rng)
     }
 }
 
@@ -244,6 +270,29 @@ pub mod prop {
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let n = self.len.clone().generate(rng);
                 (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform choice from a fixed candidate list.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "empty select strategy");
+            Select { options }
+        }
+
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = (rng.next_u64() % self.options.len() as u64) as usize;
+                self.options[i].clone()
             }
         }
     }

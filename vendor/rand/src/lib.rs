@@ -3,10 +3,19 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small API subset it actually uses: [`RngCore`], [`Rng`],
 //! [`SeedableRng`] and [`seq::SliceRandom`]. Algorithms are deliberately
-//! simple (Lemire-free modulo ranges, 53-bit float conversion,
-//! Fisher-Yates shuffles) — the workspace only needs deterministic,
-//! well-distributed streams, not compatibility with upstream `rand`
-//! value sequences.
+//! simple (modulo ranges, 53-bit float conversion, Fisher-Yates
+//! shuffles) — the workspace only needs deterministic, well-distributed
+//! streams, not compatibility with upstream `rand` value sequences.
+//!
+//! The modulo reduction itself is div-free for small spans: integer
+//! `gen_range` is the hottest instruction sequence in the `swarm-bt`
+//! engine (hundreds of thousands of shuffle/tie-break draws per run,
+//! each one `next_u64() % span` = a 64-bit hardware divide), so
+//! [`range_rem`] replaces the divide with an exact Lemire–Kaser
+//! reciprocal multiply off a precomputed magic table. The reduction is
+//! bit-for-bit the same `x % span` — golden-trace artifacts pin the
+//! draw values, so only the instruction sequence may change, never the
+//! result.
 
 use std::fmt;
 
@@ -113,6 +122,52 @@ impl Standard for bool {
     }
 }
 
+/// Largest span served by the precomputed reciprocal table. Engine-hot
+/// draws are tiny spans (Fisher-Yates counters, slot indices, tie
+/// reservoirs), so a small table covers essentially every hot call;
+/// larger spans fall back to the hardware divide.
+const REM_TABLE: usize = 1024;
+
+/// `ceil(2^128 / d) mod 2^128` for `d = index + 1`. `u128::MAX / d + 1`
+/// equals the ceiling for every `d` (exact when `d` divides `2^128`,
+/// i.e. powers of two, and one past the floor otherwise — both are the
+/// ceiling). For `d = 1` the ceiling is `2^128` itself, which wraps to
+/// `0` — and a zero magic still reduces correctly, since `x % 1` is
+/// always `0`.
+static REM_MAGIC: [u128; REM_TABLE] = {
+    let mut t = [0u128; REM_TABLE];
+    let mut i = 0usize;
+    while i < REM_TABLE {
+        t[i] = (u128::MAX / (i as u128 + 1)).wrapping_add(1);
+        i += 1;
+    }
+    t
+};
+
+/// Exactly `x % span`, without a 64-bit divide when `span` is small.
+///
+/// Lemire–Kaser "fastmod": with `c = ceil(2^128 / d)`, the remainder of
+/// any `x < 2^64` by `d` is the high 128 bits of `(c·x mod 2^128) · d`.
+/// Writing `x = q·d + r` and `c·d = 2^128 + e` (`0 ≤ e < d`), the low
+/// bits come to `q·e + c·r`, and multiplying back by `d` gives
+/// `2^128·r + e·x` — the high half is `r` exactly, because `e·x <
+/// d·2^64 ≪ 2^128` for every tabled `d`. No approximation anywhere;
+/// `fast_rem_matches_divide` sweeps the full table against `%`.
+///
+/// `span == 0` takes the fallback divide and panics exactly like the
+/// plain `%` did.
+#[inline]
+fn range_rem(x: u64, span: u64) -> u64 {
+    if ((span as usize).wrapping_sub(1)) < REM_TABLE {
+        let c = REM_MAGIC[(span - 1) as usize];
+        let low = c.wrapping_mul(x as u128);
+        let carry = ((low as u64 as u128) * span as u128) >> 64;
+        (((low >> 64) * span as u128 + carry) >> 64) as u64
+    } else {
+        x % span
+    }
+}
+
 /// Ranges usable with [`Rng::gen_range`]. Generic over the output type
 /// (like upstream rand) so integer literals infer from the use site.
 pub trait SampleRange<T> {
@@ -126,7 +181,7 @@ macro_rules! int_range {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "empty range in gen_range");
                 let span = (self.end - self.start) as u64;
-                self.start + (rng.next_u64() % span) as $t
+                self.start + range_rem(rng.next_u64(), span) as $t
             }
         }
         impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
@@ -134,7 +189,7 @@ macro_rules! int_range {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty range in gen_range");
                 let span = (end - start) as u64 + 1;
-                start + (rng.next_u64() % span) as $t
+                start + range_rem(rng.next_u64(), span) as $t
             }
         }
     )*};
@@ -148,7 +203,7 @@ macro_rules! signed_range {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "empty range in gen_range");
                 let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
-                (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+                (self.start as i64).wrapping_add(range_rem(rng.next_u64(), span) as i64) as $t
             }
         }
         impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
@@ -156,7 +211,7 @@ macro_rules! signed_range {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty range in gen_range");
                 let span = (end as i64).wrapping_sub(start as i64) as u64 + 1;
-                (start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+                (start as i64).wrapping_add(range_rem(rng.next_u64(), span) as i64) as $t
             }
         }
     )*};
@@ -253,9 +308,17 @@ pub mod seq {
         }
 
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Hot loop (the swarm engine shuffles every transfer round):
+            // reduce the draw directly — same value as
+            // `gen_range(0..=i)` without the range plumbing — and swap
+            // through raw pointers; `j <= i < len` makes the accesses
+            // trivially in bounds, and the checked swap's four bounds
+            // tests were measurable at this call rate.
+            let p = self.as_mut_ptr();
             for i in (1..self.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                self.swap(i, j);
+                let j = super::range_rem(rng.next_u64(), i as u64 + 1) as usize;
+                // SAFETY: `i < len` from the loop range and `j <= i`.
+                unsafe { std::ptr::swap(p.add(i), p.add(j)) };
             }
         }
     }
@@ -285,6 +348,33 @@ mod tests {
         fn next_u64(&mut self) -> u64 {
             self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
             self.0
+        }
+    }
+
+    #[test]
+    fn fast_rem_matches_divide() {
+        // The reciprocal-multiply reduction must be exactly `%` for the
+        // whole magic table — golden traces pin every draw value. Sweep
+        // every tabled span against edge and random dividends, plus a
+        // few beyond-table spans that take the divide fallback.
+        let mut rng = Lcg(0x5eed);
+        for span in 1..=(REM_TABLE as u64 + 8) {
+            for x in [
+                0,
+                1,
+                span - 1,
+                span,
+                span + 1,
+                u64::MAX,
+                u64::MAX - 1,
+                u64::MAX / 2,
+            ] {
+                assert_eq!(range_rem(x, span), x % span, "x={x} span={span}");
+            }
+            for _ in 0..64 {
+                let x = rng.next_u64();
+                assert_eq!(range_rem(x, span), x % span, "x={x} span={span}");
+            }
         }
     }
 
